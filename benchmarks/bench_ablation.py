@@ -1,0 +1,109 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation solves the same instance with one formulation knob flipped
+and checks (a) the optimum is unchanged — the knobs are performance
+devices, not semantics — and (b) the model-size / effort direction is as
+designed.
+"""
+
+import pytest
+
+from bench_config import once
+from repro.experiments.networks import paper_network
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel, FormulationOptions
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.pgo import SpikeProfile, build_pgo_model
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+
+SOLVER = HighsOptions(time_limit=20.0)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    network = paper_network("E", scale=0.12)
+    arch = heterogeneous_architecture(network.num_neurons, max_slots_per_type=10)
+    return MappingProblem(network, arch)
+
+
+def _solve_area(problem, options):
+    handle = AreaModel(problem, options)
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    result = HighsBackend(SOLVER).solve(handle.model, warm_start=warm)
+    return handle, result
+
+
+def test_benchmark_ablation_symmetry_breaking(benchmark, problem):
+    """Symmetry breaking must not change the optimum; it adds cheap rows
+    that cut permutations of identical slots."""
+    base_handle, base = _solve_area(problem, FormulationOptions())
+
+    def ablated():
+        return _solve_area(
+            problem, FormulationOptions(symmetry_breaking=False)
+        )
+
+    _, no_sym = once(benchmark, ablated)
+    assert no_sym.objective == pytest.approx(base.objective)
+    sym_rows = base_handle.model.num_constraints
+    no_sym_rows = AreaModel(
+        problem, FormulationOptions(symmetry_breaking=False)
+    ).model.num_constraints
+    assert sym_rows > no_sym_rows
+
+
+def test_benchmark_ablation_aggregated_sharing(benchmark, problem):
+    """Aggregated constraint 6 shrinks the row count but weakens the LP;
+    the integer optimum is identical."""
+    _, base = _solve_area(problem, FormulationOptions())
+
+    def ablated():
+        return _solve_area(
+            problem, FormulationOptions(disaggregate_sharing=False)
+        )
+
+    _, aggregated = once(benchmark, ablated)
+    assert aggregated.objective == pytest.approx(base.objective)
+    tight = AreaModel(problem, FormulationOptions()).model.num_constraints
+    loose = AreaModel(
+        problem, FormulationOptions(disaggregate_sharing=False)
+    ).model.num_constraints
+    assert loose < tight
+
+
+def test_benchmark_ablation_upper_link(benchmark, problem):
+    """Constraint 5 never binds under a minimizing objective: dropping it
+    preserves the optimum and removes one row per (source, slot)."""
+    _, base = _solve_area(problem, FormulationOptions())
+
+    def ablated():
+        return _solve_area(
+            problem, FormulationOptions(include_upper_link=False)
+        )
+
+    _, without = once(benchmark, ablated)
+    assert without.objective == pytest.approx(base.objective)
+
+
+def test_benchmark_ablation_pgo_silent_elimination(benchmark, problem):
+    """The PGO speedup mechanism: silent sources remove b-variables and
+    objective terms (paper §IV-D)."""
+    base_mapping = greedy_first_fit(problem)
+    neurons = problem.network.neuron_ids()
+    sparse_profile = SpikeProfile(
+        counts={k: (10 if k % 4 == 0 else 0) for k in neurons}
+    )
+    dense_profile = SpikeProfile(counts={k: 10 for k in neurons})
+
+    def solve_sparse():
+        handle = build_pgo_model(problem, base_mapping, sparse_profile)
+        return handle, HighsBackend(SOLVER).solve(
+            handle.model, warm_start=handle.warm_start_from(base_mapping)
+        )
+
+    sparse_handle, sparse_res = once(benchmark, solve_sparse)
+    dense_handle = build_pgo_model(problem, base_mapping, dense_profile)
+    assert sparse_handle.model.num_vars < dense_handle.model.num_vars
+    assert sparse_handle.model.num_constraints < dense_handle.model.num_constraints
+    assert sparse_res.status.has_solution()

@@ -1,0 +1,56 @@
+"""Solver-backend bench: HiGHS vs pure-Python branch and bound.
+
+On a mapping-shaped instance both backends must agree on the optimum;
+HiGHS is expected to be much faster (the B&B exists for incumbent-stream
+recording, not raw speed), and the B&B must produce a usable incumbent
+trace with nondecreasing deterministic timestamps.
+"""
+
+import pytest
+
+from bench_config import once
+from repro.ilp.bnb_backend import BnBBackend, BnBOptions
+from repro.ilp.highs_backend import HighsBackend
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+def _instance():
+    net = random_network(10, 20, seed=18, max_fan_in=5)
+    arch = custom_architecture(
+        [(CrossbarType(4, 4), 4), (CrossbarType(8, 8), 2)]
+    )
+    problem = MappingProblem(net, arch)
+    return problem, AreaModel(problem)
+
+
+def test_benchmark_bnb_backend(benchmark):
+    problem, handle = _instance()
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+
+    result = once(
+        benchmark,
+        lambda: BnBBackend(BnBOptions(max_nodes=20_000)).solve(
+            handle.model, warm_start=warm
+        ),
+    )
+    highs = HighsBackend().solve(handle.model, warm_start=warm)
+    assert result.objective == pytest.approx(highs.objective)
+    # Incumbent stream: improving objectives, nondecreasing det stamps.
+    objs = [inc.objective for inc in result.incumbents]
+    assert objs == sorted(objs, reverse=True)
+    stamps = [inc.det_time for inc in result.incumbents]
+    assert stamps == sorted(stamps)
+
+
+def test_benchmark_highs_backend(benchmark):
+    problem, handle = _instance()
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    result = once(benchmark, lambda: HighsBackend().solve(handle.model, warm_start=warm))
+    assert result.status.has_solution()
+    mapping = handle.extract_mapping(result)
+    assert mapping.is_valid()

@@ -1,0 +1,32 @@
+"""Fig. 3 bench: heterogeneous area evolution + crossbar-size breakdown.
+
+Shape checks: the incumbent stream is monotonically improving, and the
+best solutions prefer tall multi-macro crossbars (the paper's key
+observation about structural sparsity).
+"""
+
+from bench_config import SMALL, once
+from repro.experiments.fig3 import run_network
+from repro.experiments.networks import NETWORK_NAMES
+
+
+def test_benchmark_fig3(benchmark):
+    def run():
+        return [run_network(name, SMALL) for name in NETWORK_NAMES]
+
+    results = once(benchmark, run)
+    tall_seen = 0
+    for res in results:
+        areas = [p.area for p in res.evolution]
+        assert areas == sorted(areas, reverse=True), res.network
+        assert res.best_mapping.is_valid()
+        hist = res.best_mapping.crossbar_histogram()
+        if any(_is_tall(label) for label in hist):
+            tall_seen += 1
+    # Sparse networks should pull most solutions toward stacked macros.
+    assert tall_seen >= 3, f"only {tall_seen}/5 networks used tall crossbars"
+
+
+def _is_tall(label: str) -> bool:
+    inputs, outputs = map(int, label.split("x"))
+    return inputs > outputs

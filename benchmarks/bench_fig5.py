@@ -1,0 +1,17 @@
+"""Fig. 5 bench: SNU route minimization, homogeneous target.
+
+Shape: routes never increase, area never increases, and at least one
+network improves strictly (paper: 9.2-26.9% reduction).
+"""
+
+from bench_config import SMALL, once
+from repro.experiments.fig5 import run_fig5
+
+
+def test_benchmark_fig5(benchmark):
+    result = once(benchmark, lambda: run_fig5(SMALL))
+    improvements = []
+    for net, _area, before, after, gain in result.rows:
+        assert after <= before, (net, before, after)
+        improvements.append(before - after)
+    assert max(improvements) > 0, "SNU should strictly improve somewhere"

@@ -1,0 +1,18 @@
+"""Fig. 6 bench: SNU route minimization, heterogeneous target.
+
+Shape: routes never increase at frozen area; most networks improve
+strictly (paper: 11.9-26.4% reduction).
+"""
+
+from bench_config import SMALL, once
+from repro.experiments.fig6 import run_fig6
+
+
+def test_benchmark_fig6(benchmark):
+    result = once(benchmark, lambda: run_fig6(SMALL))
+    strict = 0
+    for net, _area, before, after, gain in result.rows:
+        assert after <= before, (net, before, after)
+        if after < before:
+            strict += 1
+    assert strict >= 3, f"only {strict}/5 networks improved routes"

@@ -1,0 +1,25 @@
+"""Fig. 7 bench: area/SNU evolution for network A, homogeneous MCA.
+
+Shape: the frontier's areas descend over solver time, every SNU re-opt is
+no worse than its area-optimal basis, and the hypothetical one-neuron-
+per-crossbar bound dominates all achieved areas.
+"""
+
+from bench_config import SMALL, once
+from repro.experiments.common import homo_problem
+from repro.experiments.fig7 import evolution_frontier, hypothetical_bound
+from repro.experiments.networks import paper_network
+
+
+def test_benchmark_fig7(benchmark):
+    problem = homo_problem(paper_network("A", scale=SMALL.scale), SMALL)
+
+    points = once(benchmark, lambda: evolution_frontier(problem, SMALL))
+    assert points, "the greedy warm start guarantees at least one incumbent"
+    areas = [p.area for p in points]
+    assert areas == sorted(areas, reverse=True)
+    for p in points:
+        assert p.routes_snu_opt <= p.routes_area_opt
+    bound_area, _ = hypothetical_bound(problem)
+    # One-neuron-per-16x16 is strictly worse than any real packing here.
+    assert bound_area >= max(areas)

@@ -1,0 +1,26 @@
+"""Fig. 8 bench: area/SNU evolution for network A, heterogeneous MCA.
+
+Shape: descending area frontier, SNU never hurts, and the heterogeneous
+frontier ends strictly below the homogeneous one at equal solver budget
+(the paper's "uniform improvement" observation).
+"""
+
+from bench_config import SMALL, once
+from repro.experiments.common import het_problem, homo_problem
+from repro.experiments.fig7 import evolution_frontier
+from repro.experiments.networks import paper_network
+
+
+def test_benchmark_fig8(benchmark):
+    network = paper_network("A", scale=SMALL.scale)
+    het = het_problem(network, SMALL)
+
+    points = once(benchmark, lambda: evolution_frontier(het, SMALL))
+    assert points
+    areas = [p.area for p in points]
+    assert areas == sorted(areas, reverse=True)
+    for p in points:
+        assert p.routes_snu_opt <= p.routes_area_opt
+
+    homo_points = evolution_frontier(homo_problem(network, SMALL), SMALL)
+    assert min(areas) < min(p.area for p in homo_points)

@@ -1,0 +1,21 @@
+"""Fig. 9 bench: PGO vs SNU packet counts on held-out data.
+
+Shape (paper: 0.5-14.8% gain at far less solver effort): PGO's expected
+packets on the *profile* never exceed SNU's (an ILP guarantee), held-out
+gains are positive for most networks, and never catastrophically negative
+(regular spiking transfers from the 1% profile to the 99% eval split).
+"""
+
+from bench_config import FIG9, once
+from repro.experiments.fig9 import run_fig9
+
+
+def test_benchmark_fig9(benchmark):
+    result = once(benchmark, lambda: run_fig9(FIG9))
+    gains = []
+    for (net, snu_mean, _s1, pgo_mean, _s2, gain, _speedup) in result.rows:
+        assert snu_mean >= 0 and pgo_mean >= 0
+        # Profile-to-eval transfer: PGO must not blow up on held-out data.
+        assert gain >= -8.0, (net, gain)
+        gains.append(gain)
+    assert max(gains) >= 3.0, f"PGO should win clearly somewhere: {gains}"

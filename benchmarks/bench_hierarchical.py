@@ -1,0 +1,41 @@
+"""Hierarchical-mapping scaling bench.
+
+Maps a full-scale (229-neuron) network-A twin — the size the paper needed
+multi-hour CP-SAT runs for — with the partition-then-ILP mapper in
+seconds-per-region budgets.  Shape: valid mapping in the greedy quality
+class (partition boundaries cost a little area) and far below the trivial
+per-neuron bound, at a tiny fraction of the monolithic solve cost.
+"""
+
+from bench_config import once
+from repro.experiments.networks import paper_network
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.hierarchical import HierarchicalOptions, hierarchical_map
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+
+
+def test_benchmark_hierarchical_full_scale(benchmark):
+    network = paper_network("A", scale=1.0)  # 229 neurons, 464 synapses
+    problem = MappingProblem(
+        network,
+        heterogeneous_architecture(network.num_neurons, max_slots_per_type=64),
+    )
+
+    mapping = once(
+        benchmark,
+        lambda: hierarchical_map(
+            problem,
+            HierarchicalOptions(region_size=40, region_time_limit=5.0),
+        ),
+    )
+    assert mapping.is_valid()
+    # Region-local optimality does not dominate a global heuristic — the
+    # partition boundary costs something — but it must stay in the same
+    # quality class while offering bounded per-region solve times.
+    greedy = greedy_first_fit(problem)
+    assert mapping.area() <= 1.25 * greedy.area()
+    per_neuron_bound = network.num_neurons * min(
+        t.area for t in problem.architecture.types()
+    )
+    assert mapping.area() < per_neuron_bound

@@ -1,0 +1,48 @@
+"""LNS anytime-optimization bench (§V-E "finding optima faster").
+
+Shape: the destroy/repair loop's anytime curve descends monotonically,
+ends at or below the greedy start, and stays above the exact optimum.
+"""
+
+import pytest
+
+from bench_config import once
+from repro.experiments.networks import paper_network
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.lns import LnsOptions, lns_area
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+
+
+def test_benchmark_lns(benchmark):
+    network = paper_network("E", scale=0.2)
+    problem = MappingProblem(
+        network,
+        heterogeneous_architecture(network.num_neurons, max_slots_per_type=12),
+    )
+    initial = greedy_first_fit(problem)
+
+    result = once(
+        benchmark,
+        lambda: lns_area(
+            problem,
+            initial,
+            LnsOptions(rounds=6, destroy_fraction=0.35, repair_time_limit=2.0),
+        ),
+    )
+    areas = [a for _, a in result.history]
+    assert areas == sorted(areas, reverse=True)
+    assert result.mapping.area() <= initial.area() + 1e-9
+
+    handle = AreaModel(problem)
+    exact = HighsBackend(HighsOptions(time_limit=20)).solve(
+        handle.model, warm_start=handle.warm_start_from(initial)
+    )
+    assert result.mapping.area() >= exact.objective - 1e-9
+    # LNS should recover most of the greedy-to-optimal gap.
+    gap = initial.area() - exact.objective
+    if gap > 0:
+        recovered = initial.area() - result.mapping.area()
+        assert recovered >= 0.5 * gap, (recovered, gap)

@@ -1,0 +1,45 @@
+"""Local-search ablation: the §V-E "iterative swapping" suggestion.
+
+Compares greedy first-fit, local search, and the exact ILP on one twin
+network.  Shape: greedy >= local search >= ILP in area (the paper's
+expectation that swapping closes much of the gap at a fraction of the
+solver effort), and local search warm starts make the ILP strictly
+cheaper to prove optimal than greedy warm starts (never worse objective).
+"""
+
+from bench_config import once
+from repro.experiments.networks import paper_network
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.local_search import LocalSearchOptions, local_search
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+
+
+def test_benchmark_local_search(benchmark):
+    network = paper_network("C", scale=0.2)
+    problem = MappingProblem(
+        network,
+        heterogeneous_architecture(network.num_neurons, max_slots_per_type=12),
+    )
+    greedy = greedy_first_fit(problem)
+
+    searched = once(
+        benchmark,
+        lambda: local_search(problem, greedy, LocalSearchOptions(max_rounds=20)),
+    )
+    assert searched.is_valid()
+    assert searched.area() <= greedy.area()
+
+    handle = AreaModel(problem)
+    exact = HighsBackend(HighsOptions(time_limit=15)).solve(
+        handle.model, warm_start=handle.warm_start_from(searched)
+    )
+    # Sandwich: ILP <= local search <= greedy.
+    assert exact.objective <= searched.area() + 1e-9
+    # Swapping must close a real part of the greedy-to-optimal gap.
+    gap_before = greedy.area() - exact.objective
+    gap_after = searched.area() - exact.objective
+    if gap_before > 0:
+        assert gap_after <= gap_before

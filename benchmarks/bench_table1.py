@@ -1,0 +1,23 @@
+"""Table I bench: regenerate the benchmark-network attribute table."""
+
+from bench_config import once
+from repro.experiments.networks import PAPER_NETWORK_SPECS, paper_network
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import run_table1
+from repro.snn.stats import network_stats
+
+FULL = ExperimentConfig(scale=1.0)
+
+
+def test_benchmark_table1(benchmark):
+    report = once(benchmark, lambda: run_table1(FULL))
+    assert "GiniIn" in report
+    # Exact columns must match the paper at full scale.
+    for name, spec in PAPER_NETWORK_SPECS.items():
+        stats = network_stats(paper_network(name, scale=1.0))
+        assert stats.node_count == spec.node_count
+        assert stats.edge_count == spec.edge_count
+        assert stats.max_fan_in == spec.max_fan_in
+        # Gini targets are generator-approximate.
+        assert abs(stats.gini_incoming - spec.gini_incoming) < 0.1
+        assert abs(stats.gini_outgoing - spec.gini_outgoing) < 0.1

@@ -1,0 +1,19 @@
+"""Table II bench: regenerate the crossbar dimension set."""
+
+from bench_config import SMALL, once
+from repro.experiments.table2 import run_table2
+from repro.mca.architecture import table_ii_types
+
+
+def test_benchmark_table2(benchmark):
+    report = once(benchmark, lambda: run_table2(SMALL))
+    labels = {t.label for t in table_ii_types()}
+    # The exact Table II dimension set.
+    assert labels == {
+        "4x4", "8x4", "16x4", "32x4",
+        "8x8", "16x8", "32x8",
+        "16x16", "32x16",
+        "32x32",
+    }
+    for label in labels:
+        assert label in report

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Evolve-and-remap loop: keeping hardware mappings fresh during training.
+
+EONS mutates networks constantly; re-solving the whole mapping ILP per
+mutation would dominate training time.  This example shows the intended
+workflow for hardware-in-the-loop evolution:
+
+1. map the initial network once (area ILP),
+2. per evolution step: mutate the network, lint it, then *incrementally
+   remap* — carrying over placements and repairing only the edited
+   neighbourhood with a small exact solve,
+3. periodically consolidate with a few LNS destroy/repair rounds.
+
+Run:  python examples/evolve_and_remap.py
+"""
+
+from repro.mapping import (
+    LnsOptions,
+    MappingProblem,
+    RemapOptions,
+    greedy_first_fit,
+    lns_area,
+    remap_incremental,
+)
+from repro.mca import heterogeneous_architecture
+from repro.snn import Eons, EonsConfig, lint_network, network_stats
+
+STEPS = 8
+
+
+def main() -> None:
+    eons = Eons(
+        EonsConfig(
+            num_inputs=6,
+            num_outputs=3,
+            initial_hidden=12,
+            initial_synapses=50,
+            max_neurons=40,
+            max_fan_in=10,
+            seed=19,
+        )
+    )
+    genome = eons.random_genome()
+    network, _ = genome.compact()
+    # Pool sized for growth headroom (max_neurons, not the current size).
+    architecture = heterogeneous_architecture(eons.config.max_neurons)
+    problem = MappingProblem(network, architecture)
+    mapping = greedy_first_fit(problem)
+    print(f"initial: {network_stats(network).node_count} neurons -> "
+          f"{mapping.summary()}")
+
+    for step in range(1, STEPS + 1):
+        genome = eons.mutate(genome)
+        network, _ = genome.compact()
+        warnings = [str(i) for i in lint_network(network)]
+        result = remap_incremental(
+            mapping, network, RemapOptions(polish=True, polish_time_limit=2.0)
+        )
+        mapping = result.mapping
+        note = f" lint:{len(warnings)}" if warnings else ""
+        print(f"step {step}: {network.num_neurons:2d} neurons, "
+              f"area {mapping.area():5g}, carried {result.carried_over:2d}, "
+              f"new {result.newly_placed}, moved {result.relocated}{note}")
+
+    consolidated = lns_area(
+        mapping.problem, mapping,
+        LnsOptions(rounds=4, destroy_fraction=0.35, repair_time_limit=2.0),
+    )
+    print(f"\nLNS consolidation: area {mapping.area():g} -> "
+          f"{consolidated.mapping.area():g} "
+          f"({consolidated.repairs_improved} improving repairs)")
+    print(f"final mapping: {consolidated.mapping.summary()}")
+
+
+if __name__ == "__main__":
+    main()

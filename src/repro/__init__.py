@@ -1,0 +1,76 @@
+"""repro — reproduction of "Mapping Spiking Neural Networks to
+Heterogeneous Crossbar Architectures using Integer Linear Programming"
+(DATE 2025).
+
+Public API tour
+---------------
+- :mod:`repro.snn` — networks, statistics, simulation, generators, EONS.
+- :mod:`repro.mca` — crossbar types/pools (Table II), NoC, processor model.
+- :mod:`repro.ilp` — ILP modeling layer with HiGHS and branch-and-bound
+  backends (the CP-SAT stand-in).
+- :mod:`repro.mapping` — the paper's formulations (area / SNU / PGO), the
+  SpikeHard baseline, approximate baselines, and the staged pipeline.
+- :mod:`repro.profile` — synthetic SmartPixel data and spike profiling.
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart
+----------
+>>> from repro import quick_map
+>>> from repro.snn import random_network
+>>> mapping = quick_map(random_network(32, 64, seed=1))
+>>> mapping.is_valid()
+True
+"""
+
+from .ilp.highs_backend import HighsBackend, HighsOptions
+from .mapping.axon_sharing import AreaModel, FormulationOptions
+from .mapping.greedy import greedy_first_fit
+from .mapping.pipeline import MappingPipeline
+from .mapping.problem import MappingProblem
+from .mapping.solution import Mapping
+from .mca.architecture import (
+    heterogeneous_architecture,
+    homogeneous_architecture,
+)
+from .snn.network import Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaModel",
+    "FormulationOptions",
+    "HighsBackend",
+    "HighsOptions",
+    "Mapping",
+    "MappingPipeline",
+    "MappingProblem",
+    "Network",
+    "greedy_first_fit",
+    "heterogeneous_architecture",
+    "homogeneous_architecture",
+    "quick_map",
+]
+
+
+def quick_map(
+    network: Network,
+    heterogeneous: bool = True,
+    time_limit: float = 10.0,
+) -> Mapping:
+    """One-call mapping: area-optimize a network onto a default pool.
+
+    Uses the Table-II heterogeneous pool (or a 16x16 homogeneous pool) and
+    returns the best mapping found within ``time_limit`` seconds, warm-
+    started by greedy first-fit so a valid mapping is always returned.
+    """
+    if heterogeneous:
+        arch = heterogeneous_architecture(network.num_neurons)
+    else:
+        arch = homogeneous_architecture(network.num_neurons)
+    problem = MappingProblem(network, arch)
+    handle = AreaModel(problem)
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    result = HighsBackend(HighsOptions(time_limit=time_limit)).solve(
+        handle.model, warm_start=warm
+    )
+    return handle.extract_mapping(result)

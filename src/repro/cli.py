@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``repro map``      — map a network JSON onto a crossbar pool and save
+  the mapping (area ILP, optional SNU stage).
+- ``repro inspect``  — print Table-I statistics and structure of a network.
+- ``repro simulate`` — run a saved mapping on the processor model and
+  report traffic/energy.
+- ``repro exhibits`` — alias of ``python -m repro.experiments.runner``.
+
+Usage:  python -m repro.cli <subcommand> --help
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .experiments.runner import format_table
+    from .snn.analysis import structure_report
+    from .snn.io import load_network
+    from .snn.stats import network_stats
+
+    from .snn.validation import has_errors, lint_network
+
+    network = load_network(args.network)
+    stats = network_stats(network)
+    rows = [
+        ("neurons", stats.node_count),
+        ("synapses", stats.edge_count),
+        ("max fan-in", stats.max_fan_in),
+        ("edge density", round(stats.edge_density, 5)),
+        ("gini (incoming)", round(stats.gini_incoming, 4)),
+        ("gini (outgoing)", round(stats.gini_outgoing, 4)),
+    ]
+    rows += structure_report(network).as_rows()
+    print(format_table(["attribute", "value"], rows))
+    issues = lint_network(network)
+    if issues:
+        print("\nlint findings:")
+        for issue in issues:
+            print(f"  {issue}")
+    return 1 if has_errors(issues) else 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .ilp.highs_backend import HighsBackend, HighsOptions
+    from .mapping.axon_sharing import AreaModel
+    from .mapping.greedy import greedy_first_fit
+    from .mapping.io import save_mapping
+    from .mapping.problem import MappingProblem
+    from .mapping.snu import build_snu_model
+    from .mca.architecture import (
+        heterogeneous_architecture,
+        homogeneous_architecture,
+    )
+    from .snn.io import load_network
+
+    network = load_network(args.network)
+    compact, _ = network.compact()
+    if args.homogeneous:
+        arch = homogeneous_architecture(compact.num_neurons, dimension=args.dimension)
+    else:
+        arch = heterogeneous_architecture(compact.num_neurons)
+    problem = MappingProblem(compact, arch)
+
+    handle = AreaModel(problem)
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    result = HighsBackend(HighsOptions(time_limit=args.time_limit)).solve(
+        handle.model, warm_start=warm
+    )
+    mapping = handle.extract_mapping(result)
+    print(f"area stage ({result.status.value}): {mapping.summary()}")
+
+    if args.snu:
+        snu = build_snu_model(problem, mapping)
+        snu_result = HighsBackend(HighsOptions(time_limit=args.time_limit)).solve(
+            snu.model, warm_start=snu.warm_start_from(mapping)
+        )
+        mapping = snu.extract_mapping(snu_result)
+        print(f"SNU stage ({snu_result.status.value}): {mapping.summary()}")
+
+    save_mapping(mapping, args.output)
+    print(f"mapping written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .mapping.io import load_mapping
+    from .mca.energy import cost_summary
+    from .mca.processor import MappedProcessor
+
+    mapping = load_mapping(args.mapping)
+    network = mapping.problem.network
+    proc = MappedProcessor(network, mapping.assignment, mapping.problem.architecture)
+    spikes = {nid: list(range(0, args.duration, args.period))
+              for nid in network.input_ids()}
+    sim, traffic = proc.run(args.duration, input_spikes=spikes)
+    summary = cost_summary(
+        mapping.problem.architecture, mapping.assignment, traffic, args.duration
+    )
+    print(f"spikes           : {sim.total_spikes}")
+    print(f"local packets    : {traffic.local_packets}")
+    print(f"global packets   : {traffic.global_packets}")
+    print(f"hop-packets      : {traffic.hop_packets}")
+    print(f"peak link load   : {traffic.max_link_load}")
+    print(f"energy estimate  : {summary.total_energy_pj:.1f} pJ")
+    return 0
+
+
+def _cmd_exhibits(args: argparse.Namespace) -> int:
+    from .experiments import runner
+
+    forwarded: list[str] = []
+    if args.exhibit:
+        forwarded += ["--exhibit", args.exhibit]
+    if args.full:
+        forwarded.append("--full")
+    return runner.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNN-to-heterogeneous-crossbar mapping (DATE 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser("inspect", help="network statistics and structure")
+    inspect.add_argument("network", help="network JSON file")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    map_cmd = sub.add_parser("map", help="map a network onto a crossbar pool")
+    map_cmd.add_argument("network", help="network JSON file")
+    map_cmd.add_argument("-o", "--output", default="mapping.json")
+    map_cmd.add_argument("--homogeneous", action="store_true",
+                         help="use a square homogeneous pool (default: Table II)")
+    map_cmd.add_argument("--dimension", type=int, default=16,
+                         help="homogeneous crossbar dimension")
+    map_cmd.add_argument("--time-limit", type=float, default=30.0)
+    map_cmd.add_argument("--snu", action="store_true",
+                         help="run SNU route minimization after area")
+    map_cmd.set_defaults(func=_cmd_map)
+
+    simulate = sub.add_parser("simulate", help="execute a saved mapping")
+    simulate.add_argument("mapping", help="mapping JSON file")
+    simulate.add_argument("--duration", type=int, default=64)
+    simulate.add_argument("--period", type=int, default=4,
+                          help="input spike period per input neuron")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    exhibits = sub.add_parser("exhibits", help="reproduce paper tables/figures")
+    exhibits.add_argument("--exhibit", default="all")
+    exhibits.add_argument("--full", action="store_true")
+    exhibits.set_defaults(func=_cmd_exhibits)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Evaluation harness: one module per paper exhibit (Tables I-II,
+Figs. 2-3 and 5-9) plus the shared runner/CLI."""
+
+from .common import ExhibitResult, OptimizedMapping
+from .networks import (
+    NETWORK_NAMES,
+    PAPER_NETWORK_SPECS,
+    all_paper_networks,
+    paper_network,
+)
+from .runner import EXHIBITS, ExperimentConfig, format_table, run_exhibit
+
+__all__ = [
+    "EXHIBITS",
+    "ExhibitResult",
+    "ExperimentConfig",
+    "NETWORK_NAMES",
+    "OptimizedMapping",
+    "PAPER_NETWORK_SPECS",
+    "all_paper_networks",
+    "format_table",
+    "paper_network",
+    "run_exhibit",
+]

@@ -1,0 +1,125 @@
+"""Shared helpers for the exhibit reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ilp.highs_backend import HighsBackend, HighsOptions
+from ..ilp.result import SolveResult
+from ..mapping.axon_sharing import AreaModel
+from ..mapping.greedy import greedy_first_fit
+from ..mapping.pgo import SpikeProfile, build_pgo_model
+from ..mapping.problem import MappingProblem
+from ..mapping.snu import RouteObjective, build_snu_model
+from ..mapping.solution import Mapping
+from ..mca.architecture import (
+    heterogeneous_architecture,
+    homogeneous_architecture,
+)
+from ..snn.network import Network
+from .runner import ExperimentConfig
+
+
+def homo_problem(network: Network, config: ExperimentConfig) -> MappingProblem:
+    """The §V-C homogeneous target: a pool of 16x16 crossbars."""
+    arch = homogeneous_architecture(
+        network.num_neurons, dimension=config.homo_dim, slack=config.homo_slack
+    )
+    return MappingProblem(network, arch)
+
+
+def het_problem(network: Network, config: ExperimentConfig) -> MappingProblem:
+    """The Table-II heterogeneous target."""
+    arch = heterogeneous_architecture(
+        network.num_neurons, max_slots_per_type=config.het_slots_per_type
+    )
+    return MappingProblem(network, arch)
+
+
+def spikehard_problem(
+    network: Network, config: ExperimentConfig, heterogeneous: bool
+) -> MappingProblem:
+    """A pool sized for SpikeHard's pessimistic axon arithmetic.
+
+    MCC packing *sums* per-MCC input demands, so in the worst case
+    (singleton MCCs) it needs ``sum_i fan_in(i)`` input lines across the
+    pool — far more slots than the exact formulation ever enables.  The
+    area objective only counts *enabled* slots, so the larger pool changes
+    nothing except feasibility.
+    """
+    total_fan_in = sum(network.fan_in(i) for i in network.neuron_ids())
+    if heterogeneous:
+        per_type = max(
+            config.het_slots_per_type,
+            -(-total_fan_in // 4),  # ceil: every axon on a 4-input slot
+        )
+        arch = heterogeneous_architecture(
+            network.num_neurons, max_slots_per_type=per_type
+        )
+        return MappingProblem(network, arch)
+    demand = max(network.num_neurons, total_fan_in)
+    # homogeneous_architecture opens ceil(slack * n / dim) slots; scale
+    # slack so the pool covers the summed-input worst case with headroom.
+    slack = max(config.homo_slack, 1.25 * demand / network.num_neurons)
+    arch = homogeneous_architecture(
+        network.num_neurons, dimension=config.homo_dim, slack=slack
+    )
+    return MappingProblem(network, arch)
+
+
+@dataclass(frozen=True)
+class OptimizedMapping:
+    """A mapping plus the solve that produced it."""
+
+    mapping: Mapping
+    solve: SolveResult
+
+    @property
+    def det_time(self) -> float:
+        return self.solve.det_time
+
+
+def area_optimize(
+    problem: MappingProblem,
+    config: ExperimentConfig,
+    warm: Mapping | None = None,
+) -> OptimizedMapping:
+    """Axon-sharing area optimization with a greedy warm start."""
+    warm = warm if warm is not None else greedy_first_fit(problem)
+    handle = AreaModel(problem)
+    backend = HighsBackend(HighsOptions(time_limit=config.area_time_limit))
+    solve = backend.solve(handle.model, warm_start=handle.warm_start_from(warm))
+    return OptimizedMapping(handle.extract_mapping(solve), solve)
+
+
+def snu_optimize(
+    problem: MappingProblem,
+    base: Mapping,
+    config: ExperimentConfig,
+) -> OptimizedMapping:
+    """SNU (global-route) post-optimization over a frozen crossbar set."""
+    handle = build_snu_model(problem, base, RouteObjective.GLOBAL)
+    backend = HighsBackend(HighsOptions(time_limit=config.route_time_limit))
+    solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
+    return OptimizedMapping(handle.extract_mapping(solve), solve)
+
+
+def pgo_optimize(
+    problem: MappingProblem,
+    base: Mapping,
+    profile: SpikeProfile,
+    config: ExperimentConfig,
+) -> OptimizedMapping:
+    """PGO (packet) post-optimization over a frozen crossbar set."""
+    handle = build_pgo_model(problem, base, profile)
+    backend = HighsBackend(HighsOptions(time_limit=config.route_time_limit))
+    solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
+    return OptimizedMapping(handle.extract_mapping(solve), solve)
+
+
+@dataclass(frozen=True)
+class ExhibitResult:
+    """A reproduced exhibit: text report plus machine-readable rows."""
+
+    report: str
+    rows: list[tuple]

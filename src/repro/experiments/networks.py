@@ -1,0 +1,56 @@
+"""The paper's benchmark networks (Table I) as statistical twins.
+
+The original networks are unreleased EONS checkpoints trained on
+SmartPixel data inside TENNLab; their published attributes (Table I) fully
+determine the statistics the mapping ILP is sensitive to, so each is
+regenerated as a statistical twin (see :func:`repro.snn.generators.
+statistical_twin`).  ``scale`` shrinks node/edge counts proportionally for
+laptop-budget solver runs — fan-in and Gini targets are preserved, so the
+optimization landscape keeps its shape.
+"""
+
+from __future__ import annotations
+
+from ..snn.generators import TwinSpec, statistical_twin
+from ..snn.network import Network
+
+#: Table I, verbatim.
+PAPER_NETWORK_SPECS: dict[str, TwinSpec] = {
+    "A": TwinSpec("A", 229, 464, 11, 0.6889, 0.6764),
+    "B": TwinSpec("B", 257, 464, 10, 0.6411, 0.6304),
+    "C": TwinSpec("C", 148, 487, 15, 0.5744, 0.6067),
+    "D": TwinSpec("D", 253, 499, 13, 0.6431, 0.6541),
+    "E": TwinSpec("E", 150, 446, 11, 0.5876, 0.6229),
+}
+
+#: Table I's reported edge densities, for the Table-1 comparison report.
+PAPER_EDGE_DENSITY: dict[str, float] = {
+    "A": 0.0088,
+    "B": 0.0070,
+    "C": 0.0222,
+    "D": 0.0078,
+    "E": 0.0198,
+}
+
+#: Deterministic per-network seeds so every run regenerates identical twins.
+_NETWORK_SEEDS: dict[str, int] = {"A": 11, "B": 23, "C": 37, "D": 41, "E": 53}
+
+NETWORK_NAMES = tuple(PAPER_NETWORK_SPECS)
+
+
+def paper_network(name: str, scale: float = 1.0, seed: int | None = None) -> Network:
+    """Regenerate one Table-I network twin (optionally scaled down)."""
+    if name not in PAPER_NETWORK_SPECS:
+        raise KeyError(
+            f"unknown network {name!r}; choose from {sorted(PAPER_NETWORK_SPECS)}"
+        )
+    spec = PAPER_NETWORK_SPECS[name]
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    actual_seed = seed if seed is not None else _NETWORK_SEEDS[name]
+    return statistical_twin(spec, seed=actual_seed)
+
+
+def all_paper_networks(scale: float = 1.0) -> dict[str, Network]:
+    """All five twins, keyed A-E."""
+    return {name: paper_network(name, scale) for name in PAPER_NETWORK_SPECS}

@@ -1,0 +1,79 @@
+"""Terminal-friendly report rendering: sparklines and scatter strips.
+
+The paper's evolution exhibits (Figs. 3a, 7, 8) are line/scatter plots;
+in a text harness we render them as unicode sparklines and labelled
+strips so a run's trajectory is still legible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a unicode sparkline (empty input -> '')."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return _BARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_BARS) - 1))
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def trend_line(
+    label: str, values: Sequence[float], unit: str = ""
+) -> str:
+    """One labelled sparkline row: ``label  ▇▅▃▁  first -> last unit``."""
+    if not values:
+        return f"{label}: (no data)"
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{label}: {sparkline(values)}  "
+        f"{values[0]:g} -> {values[-1]:g}{suffix}"
+    )
+
+
+def scatter_strip(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 10,
+) -> str:
+    """ASCII scatter of (x, y) points on a width x height grid."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return "(no points)"
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(value: float, lo: float, hi: float, cells: int) -> int:
+        if hi - lo < 1e-12:
+            return 0
+        return min(cells - 1, int((value - lo) / (hi - lo) * (cells - 1)))
+
+    for x, y in zip(xs, ys):
+        col = place(x, x_lo, x_hi, width)
+        row = height - 1 - place(y, y_lo, y_hi, height)
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x_lo:g}, {x_hi:g}]  y: [{y_lo:g}, {y_hi:g}]")
+    return "\n".join(lines)
+
+
+def percent_bar(fraction: float, width: int = 30) -> str:
+    """A [####----] utilization bar for a fraction in [0, 1]."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "-" * (width - filled) + f"] {100 * fraction:.0f}%"

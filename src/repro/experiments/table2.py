@@ -1,0 +1,29 @@
+"""Table II reproduction: the allowed crossbar dimension set.
+
+Reconstructs the multi-macro dimension table from the base square sizes
+and stacking factors, verifying the 32-input-channel exclusion rule.
+"""
+
+from __future__ import annotations
+
+from ..mca.architecture import BASE_DIMENSIONS, MACRO_FACTORS, table_ii_types
+from .runner import ExperimentConfig, format_table
+
+
+def run_table2(config: ExperimentConfig) -> str:  # config unused; uniform API
+    types = table_ii_types()
+    by_base: dict[int, dict[int, str]] = {base: {} for base in BASE_DIMENSIONS}
+    for ctype in types:
+        base = ctype.outputs
+        factor = ctype.inputs // ctype.outputs
+        by_base[base][factor] = ctype.label
+    headers = ["Base Dimension"] + [f"Multi-Macro {f}x" for f in MACRO_FACTORS]
+    rows: list[tuple] = []
+    for base in BASE_DIMENSIONS:
+        row = [by_base[base].get(1, "-")]
+        for factor in MACRO_FACTORS:
+            row.append(by_base[base].get(factor, "-"))
+        rows.append(tuple(row))
+    total = format_table(headers, rows)
+    memristors = ", ".join(f"{t.label}={t.memristors}" for t in types)
+    return total + f"\n({len(types)} types; memristor counts: {memristors})"

@@ -1,0 +1,51 @@
+"""Integer-linear-programming substrate.
+
+A small modeling layer (:class:`Model`, :func:`lin_sum`) plus two exact
+backends: :class:`HighsBackend` (SciPy/HiGHS) and :class:`BnBBackend`
+(pure-Python branch and bound with incumbent-stream recording).  Stands in
+for the OR-Tools CP-SAT stack used by the paper.
+"""
+
+from .bnb_backend import BnBBackend, BnBOptions
+from .dettime import DeterministicClock
+from .diagnostics import IisResult, explain_infeasibility, find_iis
+from .expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
+from .greedy_rounding import lp_rounding_warm_start
+from .highs_backend import HighsBackend, HighsOptions, solve_with_trace
+from .model import MatrixForm, Model, ObjectiveSense
+from .presolve import (
+    InfeasibleModelError,
+    PresolveReport,
+    extend_solution,
+    presolve,
+)
+from .result import Incumbent, SolveResult, SolveStatus
+
+__all__ = [
+    "BnBBackend",
+    "BnBOptions",
+    "Constraint",
+    "DeterministicClock",
+    "IisResult",
+    "explain_infeasibility",
+    "find_iis",
+    "HighsBackend",
+    "HighsOptions",
+    "Incumbent",
+    "InfeasibleModelError",
+    "PresolveReport",
+    "extend_solution",
+    "presolve",
+    "LinExpr",
+    "MatrixForm",
+    "Model",
+    "ObjectiveSense",
+    "Sense",
+    "SolveResult",
+    "SolveStatus",
+    "Variable",
+    "VarType",
+    "lin_sum",
+    "lp_rounding_warm_start",
+    "solve_with_trace",
+]

@@ -1,0 +1,314 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+This backend exists for two reasons:
+
+1. It records a *true incumbent stream* with deterministic timestamps,
+   which the paper obtained from CP-SAT solution callbacks and uses for the
+   area/SNU evolution figures (Figs. 3, 7, 8).  SciPy's HiGHS interface
+   cannot report intermediate solutions.
+2. It demonstrates the full solve path with no black boxes, which makes the
+   solver itself testable (tests cross-check it against HiGHS on random
+   instances).
+
+The algorithm is a textbook best-first branch and bound over LP relaxations
+(solved with HiGHS via :func:`scipy.optimize.linprog`), with
+most-fractional branching and a rounding primal heuristic.  It is intended
+for the moderate model sizes used in the evolution experiments, not as a
+replacement for HiGHS on large instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .dettime import DeterministicClock
+from .model import MatrixForm, Model
+from .result import Incumbent, SolveResult, SolveStatus
+
+INT_TOL = 1e-6
+FEAS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class BnBOptions:
+    """Search limits for the branch-and-bound backend."""
+
+    max_nodes: int = 100_000
+    time_limit: float | None = None  # wall seconds
+    det_limit: float | None = None  # deterministic work units
+    gap_tol: float = 1e-6  # stop when |incumbent - bound| / |incumbent| below
+    heuristic_period: int = 20  # run rounding heuristic every N nodes
+    keep_incumbent_values: bool = True
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    tiebreak: int
+    lb: np.ndarray = field(compare=False, default=None)
+    ub: np.ndarray = field(compare=False, default=None)
+
+
+class _LpRelaxation:
+    """LP relaxation of a lowered model with mutable variable bounds."""
+
+    def __init__(self, form: MatrixForm) -> None:
+        self.form = form
+        a = form.a_matrix.tocsr()
+        eq_rows = np.isfinite(form.row_lb) & (form.row_lb == form.row_ub)
+        ub_rows = np.isfinite(form.row_ub) & ~eq_rows
+        lb_rows = np.isfinite(form.row_lb) & ~eq_rows
+
+        self.a_eq = a[eq_rows] if eq_rows.any() else None
+        self.b_eq = form.row_ub[eq_rows] if eq_rows.any() else None
+        blocks = []
+        rhs = []
+        if ub_rows.any():
+            blocks.append(a[ub_rows])
+            rhs.append(form.row_ub[ub_rows])
+        if lb_rows.any():
+            blocks.append(-a[lb_rows])
+            rhs.append(-form.row_lb[lb_rows])
+        self.a_ub = sparse.vstack(blocks).tocsr() if blocks else None
+        self.b_ub = np.concatenate(rhs) if rhs else None
+        self.nnz = a.nnz
+
+    def solve(self, lb: np.ndarray, ub: np.ndarray):
+        """Solve the relaxation under the given variable bounds.
+
+        Returns ``(status, objective, x, iterations)`` where status is one
+        of 'optimal', 'infeasible', 'unbounded', 'error'.
+        """
+        res = linprog(
+            c=self.form.c,
+            A_ub=self.a_ub,
+            b_ub=self.b_ub,
+            A_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        iterations = int(getattr(res, "nit", 0) or 0)
+        if res.status == 0:
+            return "optimal", float(res.fun), np.asarray(res.x), iterations
+        if res.status == 2:
+            return "infeasible", None, None, iterations
+        if res.status == 3:
+            return "unbounded", None, None, iterations
+        return "error", None, None, iterations
+
+    def is_feasible(self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> bool:
+        """Feasibility check in matrix form (bounds, rows, integrality)."""
+        if np.any(x < lb - FEAS_TOL) or np.any(x > ub + FEAS_TOL):
+            return False
+        int_mask = self.form.integrality > 0
+        if np.any(np.abs(x[int_mask] - np.round(x[int_mask])) > INT_TOL):
+            return False
+        ax = self.form.a_matrix @ x
+        return bool(
+            np.all(ax <= self.form.row_ub + FEAS_TOL)
+            and np.all(ax >= self.form.row_lb - FEAS_TOL)
+        )
+
+
+class BnBBackend:
+    """Best-first branch and bound with incumbent-stream recording."""
+
+    name = "bnb"
+
+    def __init__(self, options: BnBOptions | None = None) -> None:
+        self.options = options or BnBOptions()
+
+    def solve(
+        self,
+        model: Model,
+        warm_start: dict[str, float] | None = None,
+        keep_values: bool = True,
+    ) -> SolveResult:
+        opts = self.options
+        form = model.lower()
+        relax = _LpRelaxation(form)
+        clock = DeterministicClock()
+        clock.charge("setup", relax.nnz * 0.001)
+        start = time.perf_counter()
+        names = [v.name for v in model.variables]
+        int_mask = form.integrality > 0
+
+        best_x: np.ndarray | None = None
+        best_obj = np.inf  # minimized-form objective (c.x)
+        incumbents: list[Incumbent] = []
+
+        def record(x: np.ndarray, cx: float) -> None:
+            nonlocal best_x, best_obj
+            if cx < best_obj - 1e-9:
+                best_x, best_obj = x.copy(), cx
+                values = None
+                if opts.keep_incumbent_values:
+                    values = {n: float(x[i]) for i, n in enumerate(names)}
+                incumbents.append(
+                    Incumbent(
+                        objective=form.sign * (cx + form.offset),
+                        det_time=clock.now(),
+                        wall_time=time.perf_counter() - start,
+                        values=values,
+                    )
+                )
+
+        if warm_start is not None:
+            violations = model.check_feasible(warm_start)
+            if violations:
+                raise ValueError(f"warm start infeasible: {violations[:3]}")
+            by_index = model.values_by_index(warm_start)
+            x0 = np.array([by_index[i] for i in range(model.num_vars)])
+            record(x0, float(form.c @ x0))
+
+        root_lb = form.var_lb.copy()
+        root_ub = form.var_ub.copy()
+        status, obj, x, nit = relax.solve(root_lb, root_ub)
+        clock.charge_lp(nit, relax.nnz)
+        if status == "infeasible":
+            return self._finish(
+                SolveStatus.INFEASIBLE, None, None, None, clock, start, incumbents, 1
+            )
+        if status in ("unbounded", "error"):
+            final = (
+                SolveStatus.UNBOUNDED if status == "unbounded" else SolveStatus.NO_SOLUTION
+            )
+            if best_x is not None:
+                return self._finish(
+                    SolveStatus.FEASIBLE, best_x, best_obj, None, clock, start,
+                    incumbents, 1, form, names, keep_values,
+                )
+            return self._finish(
+                final, None, None, None, clock, start, incumbents, 1
+            )
+
+        counter = itertools.count()
+        heap: list[_Node] = []
+        heapq.heappush(heap, _Node(obj, next(counter), root_lb, root_ub))
+        nodes = 0
+        global_bound = obj
+
+        while heap:
+            if nodes >= opts.max_nodes:
+                break
+            if opts.time_limit is not None and time.perf_counter() - start > opts.time_limit:
+                break
+            if opts.det_limit is not None and clock.now() > opts.det_limit:
+                break
+
+            node = heapq.heappop(heap)
+            global_bound = node.bound
+            if node.bound >= best_obj - 1e-9:
+                break  # best-first: nothing left can improve
+            if best_obj < np.inf:
+                gap = abs(best_obj - node.bound) / max(abs(best_obj), 1e-9)
+                if gap <= opts.gap_tol:
+                    break
+
+            nodes += 1
+            clock.charge_node()
+            status, obj, x, nit = relax.solve(node.lb, node.ub)
+            clock.charge_lp(nit, relax.nnz)
+            if status != "optimal" or obj >= best_obj - 1e-9:
+                continue
+
+            frac = np.abs(x[int_mask] - np.round(x[int_mask]))
+            if frac.size == 0 or frac.max() <= INT_TOL:
+                snapped = x.copy()
+                snapped[int_mask] = np.round(snapped[int_mask])
+                record(snapped, float(form.c @ snapped))
+                continue
+
+            if nodes % opts.heuristic_period == 1:
+                self._try_rounding(relax, x, node.lb, node.ub, int_mask, clock, record)
+
+            branch_var = self._pick_branch_var(x, int_mask)
+            val = x[branch_var]
+            down_ub = node.ub.copy()
+            down_ub[branch_var] = np.floor(val)
+            up_lb = node.lb.copy()
+            up_lb[branch_var] = np.ceil(val)
+            if node.lb[branch_var] <= down_ub[branch_var]:
+                heapq.heappush(heap, _Node(obj, next(counter), node.lb, down_ub))
+            if up_lb[branch_var] <= node.ub[branch_var]:
+                heapq.heappush(heap, _Node(obj, next(counter), up_lb, node.ub))
+
+        exhausted = not heap or (heap and heap[0].bound >= best_obj - 1e-9)
+        if best_x is None:
+            final = SolveStatus.NO_SOLUTION if not exhausted else SolveStatus.INFEASIBLE
+            return self._finish(
+                final, None, None, global_bound, clock, start, incumbents, nodes
+            )
+        within_gap = (
+            best_obj < np.inf
+            and abs(best_obj - global_bound) / max(abs(best_obj), 1e-9) <= opts.gap_tol
+        )
+        final = (
+            SolveStatus.OPTIMAL if exhausted or within_gap else SolveStatus.FEASIBLE
+        )
+        return self._finish(
+            final, best_x, best_obj, global_bound, clock, start, incumbents,
+            nodes, form, names, keep_values,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pick_branch_var(x: np.ndarray, int_mask: np.ndarray) -> int:
+        """Most-fractional branching among integer variables."""
+        frac = np.abs(x - np.round(x))
+        frac[~int_mask] = -1.0
+        return int(np.argmax(np.minimum(frac, 1.0 - frac) * int_mask))
+
+    def _try_rounding(self, relax, x, lb, ub, int_mask, clock, record) -> None:
+        """Primal heuristic: round the LP point and keep it if feasible."""
+        clock.charge_heuristic(x.shape[0])
+        rounded = x.copy()
+        rounded[int_mask] = np.round(rounded[int_mask])
+        rounded = np.clip(rounded, relax.form.var_lb, relax.form.var_ub)
+        if relax.is_feasible(rounded, relax.form.var_lb, relax.form.var_ub):
+            record(rounded, float(relax.form.c @ rounded))
+
+    def _finish(
+        self,
+        status: SolveStatus,
+        best_x,
+        best_obj,
+        bound,
+        clock: DeterministicClock,
+        start: float,
+        incumbents: list[Incumbent],
+        nodes: int,
+        form: MatrixForm | None = None,
+        names: list[str] | None = None,
+        keep_values: bool = True,
+    ) -> SolveResult:
+        values = None
+        objective = None
+        user_bound = None
+        if best_x is not None and form is not None and names is not None:
+            if keep_values:
+                values = {n: float(best_x[i]) for i, n in enumerate(names)}
+            objective = form.sign * (best_obj + form.offset)
+            if bound is not None:
+                user_bound = form.sign * (bound + form.offset)
+        elif bound is not None and form is not None:
+            user_bound = form.sign * (bound + form.offset)
+        return SolveResult(
+            status=status,
+            objective=objective,
+            values=values,
+            bound=user_bound,
+            det_time=clock.now(),
+            wall_time=time.perf_counter() - start,
+            incumbents=incumbents,
+            node_count=nodes,
+            backend=self.name,
+        )

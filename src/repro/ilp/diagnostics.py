@@ -1,0 +1,98 @@
+"""Infeasibility diagnosis: irreducible infeasible subsystems (IIS).
+
+When a mapping model is infeasible (pool too small, fan-in wider than any
+crossbar after freezing, over-tight area budget), the raw solver verdict
+is just "infeasible".  :func:`find_iis` shrinks the constraint set to an
+*irreducible* infeasible core via the classic deletion filter: drop each
+constraint in turn; if the rest stays infeasible, the constraint was not
+needed to explain the conflict.  The survivors — typically a handful of
+named rows like ``place_7`` + ``outputs_3`` — tell the user *which*
+requirement cannot be met.
+
+Deletion filtering costs one solve per constraint, so it is meant for the
+moderate models where a human will read the answer, not for production
+solving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expr import Constraint
+from .highs_backend import HighsBackend, HighsOptions
+from .model import Model
+from .result import SolveStatus
+
+
+@dataclass(frozen=True)
+class IisResult:
+    """The irreducible core plus accounting."""
+
+    core: list[Constraint]
+    solves_used: int
+
+    def names(self) -> list[str]:
+        return [c.name or repr(c) for c in self.core]
+
+
+def _rebuild(model: Model, keep: list[Constraint]) -> Model:
+    """A copy of ``model`` containing only the ``keep`` constraints."""
+    clone = Model(f"{model.name}-iis")
+    for var in model.variables:
+        clone.add_var(var.name, var.lb, var.ub, var.vartype)
+    for con in keep:
+        clone.add(Constraint(con.expr, con.sense, con.name))
+    clone.minimize(model.objective)
+    return clone
+
+
+def _is_infeasible(model: Model, time_limit: float) -> bool:
+    result = HighsBackend(HighsOptions(time_limit=time_limit)).solve(model)
+    return result.status is SolveStatus.INFEASIBLE
+
+
+def find_iis(
+    model: Model,
+    time_limit_per_solve: float = 5.0,
+    max_constraints: int = 2000,
+) -> IisResult:
+    """Deletion-filter an infeasible model down to an irreducible core.
+
+    Raises ``ValueError`` if the model is actually feasible, or if it has
+    more than ``max_constraints`` rows (the filter would be too slow).
+    """
+    if model.num_constraints > max_constraints:
+        raise ValueError(
+            f"model has {model.num_constraints} constraints; deletion "
+            f"filtering is capped at {max_constraints}"
+        )
+    solves = 1
+    if not _is_infeasible(model, time_limit_per_solve):
+        raise ValueError("model is feasible; nothing to diagnose")
+
+    working = list(model.constraints)
+    index = 0
+    while index < len(working):
+        candidate = working[:index] + working[index + 1:]
+        solves += 1
+        if _is_infeasible(_rebuild(model, candidate), time_limit_per_solve):
+            # Still infeasible without it: the constraint is not needed.
+            working = candidate
+        else:
+            index += 1  # needed; keep and move on
+    return IisResult(core=working, solves_used=solves)
+
+
+def explain_infeasibility(
+    model: Model, time_limit_per_solve: float = 5.0
+) -> str:
+    """Human-readable one-paragraph infeasibility explanation."""
+    try:
+        iis = find_iis(model, time_limit_per_solve)
+    except ValueError as exc:
+        return f"no diagnosis: {exc}"
+    names = ", ".join(iis.names())
+    return (
+        f"{len(iis.core)} constraint(s) jointly unsatisfiable "
+        f"(found in {iis.solves_used} solves): {names}"
+    )

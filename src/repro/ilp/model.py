@@ -1,0 +1,296 @@
+"""Declarative ILP model container and matrix lowering.
+
+:class:`Model` plays the role PuLP / OR-Tools' CpModel played for the paper:
+formulations are stated as named variables plus algebraic constraints, then
+lowered once into sparse-matrix form for whichever backend solves them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from .expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
+
+
+class ObjectiveSense(enum.Enum):
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass(frozen=True)
+class MatrixForm:
+    """A model lowered to ``min c.x  s.t.  lb <= A.x <= ub`` plus bounds.
+
+    ``integrality`` follows :func:`scipy.optimize.milp` conventions
+    (0 continuous, 1 integer).  ``offset`` is the constant dropped from the
+    objective; add it back when reporting objective values.  ``sign`` is
+    +1 for minimization models and -1 when a maximization objective was
+    negated during lowering.
+    """
+
+    c: np.ndarray
+    a_matrix: sparse.csr_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    var_lb: np.ndarray
+    var_ub: np.ndarray
+    integrality: np.ndarray
+    offset: float
+    sign: float
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        return self.a_matrix.shape[0]
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """User-facing objective value of assignment ``x``."""
+        return self.sign * (float(self.c @ x) + self.offset)
+
+
+class Model:
+    """An integer linear program under construction.
+
+    Example
+    -------
+    >>> m = Model("demo")
+    >>> x = m.add_binary("x")
+    >>> y = m.add_binary("y")
+    >>> m.add(x + y <= 1, name="at_most_one")
+    >>> m.minimize(-x - 2 * y)
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._vars: list[Variable] = []
+        self._by_name: dict[str, Variable] = {}
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense = ObjectiveSense.MINIMIZE
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = float("inf"),
+        vartype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a variable; names must be unique."""
+        if name in self._by_name:
+            raise ValueError(f"duplicate variable name {name!r}")
+        if lb > ub:
+            raise ValueError(f"variable {name!r} has lb {lb} > ub {ub}")
+        var = Variable(name, len(self._vars), float(lb), float(ub), vartype)
+        self._vars.append(var)
+        self._by_name[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def add_integer(self, name: str, lb: float = 0.0, ub: float = float("inf")) -> Variable:
+        return self.add_var(name, lb, ub, VarType.INTEGER)
+
+    def add_continuous(
+        self, name: str, lb: float = 0.0, ub: float = float("inf")
+    ) -> Variable:
+        return self.add_var(name, lb, ub, VarType.CONTINUOUS)
+
+    def var(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        return self._by_name[name]
+
+    def has_var(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        return tuple(self._vars)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    # ------------------------------------------------------------------
+    # constraints and objective
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built with <=, >= or ==."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "Model.add expects a Constraint; build one with <=, >= or =="
+            )
+        if name:
+            constraint.named(name)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_all(self, constraints: Iterable[Constraint]) -> None:
+        for con in constraints:
+            self.add(con)
+
+    @property
+    def constraints(self) -> Sequence[Constraint]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def minimize(self, expr) -> None:
+        self._objective = lin_sum([expr])
+        self._sense = ObjectiveSense.MINIMIZE
+
+    def maximize(self, expr) -> None:
+        self._objective = lin_sum([expr])
+        self._sense = ObjectiveSense.MAXIMIZE
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> ObjectiveSense:
+        return self._sense
+
+    # ------------------------------------------------------------------
+    # solution utilities
+    # ------------------------------------------------------------------
+    def fix_var(self, name: str, value: float) -> None:
+        """Clamp a variable's bounds to a single value (e.g. freeze y_j)."""
+        var = self._by_name[name]
+        var.lb = float(value)
+        var.ub = float(value)
+
+    def values_by_index(self, values: Mapping[str, float]) -> dict[int, float]:
+        """Convert a name-keyed assignment to an index-keyed one.
+
+        Missing variables default to their lower bound, which matches how
+        sparse warm starts are usually specified (only nonzeros listed).
+        """
+        out: dict[int, float] = {}
+        for var in self._vars:
+            out[var.index] = float(values.get(var.name, var.lb))
+        return out
+
+    def check_feasible(
+        self, values: Mapping[str, float], tol: float = 1e-6
+    ) -> list[str]:
+        """Return human-readable violations of ``values`` (empty = feasible).
+
+        Checks bounds, integrality and every constraint.  Used heavily by
+        tests and by mapping validators.
+        """
+        by_index = self.values_by_index(values)
+        violations: list[str] = []
+        for var in self._vars:
+            val = by_index[var.index]
+            if val < var.lb - tol or val > var.ub + tol:
+                violations.append(
+                    f"variable {var.name}={val} outside [{var.lb}, {var.ub}]"
+                )
+            if var.is_integer() and abs(val - round(val)) > tol:
+                violations.append(f"variable {var.name}={val} not integral")
+        for pos, con in enumerate(self._constraints):
+            if not con.satisfied(by_index, tol):
+                label = con.name or f"#{pos}"
+                violations.append(
+                    f"constraint {label} violated: {con.expr.evaluate(by_index):g} "
+                    f"{con.sense.value} 0"
+                )
+        return violations
+
+    def objective_of(self, values: Mapping[str, float]) -> float:
+        """Objective value of a name-keyed assignment."""
+        return self._objective.evaluate(self.values_by_index(values))
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def lower(self) -> MatrixForm:
+        """Lower the model to sparse-matrix form for the backends.
+
+        Maximization is converted to minimization by negating the
+        objective; :attr:`MatrixForm.sign` undoes this in reports.
+        """
+        n = len(self._vars)
+        sign = 1.0 if self._sense is ObjectiveSense.MINIMIZE else -1.0
+
+        c = np.zeros(n)
+        for idx, coef in self._objective.coeffs.items():
+            c[idx] = sign * coef
+        offset = sign * self._objective.constant
+
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        row_lb = np.empty(len(self._constraints))
+        row_ub = np.empty(len(self._constraints))
+        for r, con in enumerate(self._constraints):
+            for idx, coef in con.expr.coeffs.items():
+                if coef != 0.0:
+                    rows.append(r)
+                    cols.append(idx)
+                    data.append(coef)
+            rhs = -con.expr.constant
+            if con.sense is Sense.LE:
+                row_lb[r], row_ub[r] = -np.inf, rhs
+            elif con.sense is Sense.GE:
+                row_lb[r], row_ub[r] = rhs, np.inf
+            else:
+                row_lb[r], row_ub[r] = rhs, rhs
+
+        a_matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._constraints), n)
+        )
+        var_lb = np.array([v.lb for v in self._vars])
+        var_ub = np.array([v.ub for v in self._vars])
+        integrality = np.array(
+            [1 if v.is_integer() else 0 for v in self._vars], dtype=np.int8
+        )
+        # Note: MatrixForm.offset stores the minimized-form constant, so
+        # objective_value computes sign * (c.x + offset) = original objective.
+        return MatrixForm(
+            c=c,
+            a_matrix=a_matrix,
+            row_lb=row_lb,
+            row_ub=row_ub,
+            var_lb=var_lb,
+            var_ub=var_ub,
+            integrality=integrality,
+            offset=offset,
+            sign=sign,
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Model size summary (variables by type, constraints, nonzeros)."""
+        by_type = {t: 0 for t in VarType}
+        for var in self._vars:
+            by_type[var.vartype] += 1
+        nnz = sum(len(c.expr.coeffs) for c in self._constraints)
+        return {
+            "binary": by_type[VarType.BINARY],
+            "integer": by_type[VarType.INTEGER],
+            "continuous": by_type[VarType.CONTINUOUS],
+            "constraints": len(self._constraints),
+            "nonzeros": nnz,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"[{s['binary']}b/{s['integer']}i/{s['continuous']}c], "
+            f"cons={s['constraints']}, nnz={s['nonzeros']})"
+        )

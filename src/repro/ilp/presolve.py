@@ -1,0 +1,207 @@
+"""Model presolve: cheap reductions applied before a solve.
+
+Real MILP solvers spend much of their effort in presolve; this module
+implements the classic safe reductions on our :class:`Model` so the
+pure-Python branch-and-bound backend starts from a smaller, tighter
+instance (and so tests can reason about the transformations explicitly):
+
+- **empty / tautological rows** (no variables, constant satisfies) drop;
+- **singleton rows** tighten the single variable's bounds, then drop;
+- **binary fixing**: bounds tightened into {0} or {1} fix the variable;
+- **duplicate rows** (identical normalized coefficient vectors with
+  compatible senses) keep only the tightest;
+- **fixed-variable substitution** folds ``lb == ub`` variables into row
+  constants.
+
+All reductions are *safe*: the reduced model has exactly the same set of
+feasible completions and optimal objective value.  :func:`presolve`
+returns a new model plus a report of what happened; solutions of the
+reduced model extend to the original by re-adding fixed variables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .expr import Constraint, LinExpr, Sense, VarType
+from .model import Model
+
+
+@dataclass
+class PresolveReport:
+    """What presolve changed."""
+
+    rows_dropped: int = 0
+    singleton_rows: int = 0
+    duplicate_rows: int = 0
+    vars_fixed: int = 0
+    bounds_tightened: int = 0
+    fixed_values: dict[str, float] = field(default_factory=dict)
+
+    def total_reductions(self) -> int:
+        return self.rows_dropped + self.vars_fixed + self.bounds_tightened
+
+
+class InfeasibleModelError(ValueError):
+    """Presolve proved the model infeasible."""
+
+
+def _tighten_from_singleton(
+    model: Model, con: Constraint, report: PresolveReport
+) -> None:
+    """Apply ``a*x (<=|>=|==) rhs`` to x's bounds."""
+    ((idx, coef),) = con.expr.coeffs.items()
+    var = model.variables[idx]
+    rhs = -con.expr.constant
+    bound = rhs / coef
+    senses: list[Sense]
+    if con.sense is Sense.EQ:
+        senses = [Sense.LE, Sense.GE]
+    else:
+        senses = [con.sense]
+    for sense in senses:
+        # a*x <= rhs: upper bound if a > 0 else lower bound (and dually).
+        upper = (sense is Sense.LE) == (coef > 0)
+        if upper:
+            if bound < var.ub - 1e-12:
+                var.ub = bound
+                report.bounds_tightened += 1
+        else:
+            if bound > var.lb + 1e-12:
+                var.lb = bound
+                report.bounds_tightened += 1
+    if var.is_integer():
+        var.lb = math.ceil(var.lb - 1e-9)
+        var.ub = math.floor(var.ub + 1e-9)
+    if var.lb > var.ub + 1e-9:
+        raise InfeasibleModelError(
+            f"singleton row on {var.name} empties its domain"
+        )
+
+
+def _row_signature(con: Constraint) -> tuple:
+    """Normalized coefficient signature for duplicate detection."""
+    items = sorted(con.expr.coeffs.items())
+    if not items:
+        return ()
+    # Scale so the first coefficient is +1 (sign-normalized).
+    scale = items[0][1]
+    return tuple((i, round(c / scale, 12)) for i, c in items)
+
+
+def presolve(model: Model) -> tuple[Model, PresolveReport]:
+    """Produce a reduced, equivalent model.
+
+    Raises :class:`InfeasibleModelError` when a reduction proves the
+    model infeasible outright.
+    """
+    report = PresolveReport()
+
+    # Pass 1: singleton rows tighten bounds on the ORIGINAL model's
+    # variables (Variable objects are shared), then get dropped.
+    survivors: list[Constraint] = []
+    for con in model.constraints:
+        nonzero = {i: c for i, c in con.expr.coeffs.items() if c != 0.0}
+        if not nonzero:
+            lhs = con.expr.constant
+            ok = (
+                (con.sense is Sense.LE and lhs <= 1e-9)
+                or (con.sense is Sense.GE and lhs >= -1e-9)
+                or (con.sense is Sense.EQ and abs(lhs) <= 1e-9)
+            )
+            if not ok:
+                raise InfeasibleModelError(
+                    f"constant constraint {con.name or con!r} is violated"
+                )
+            report.rows_dropped += 1
+            continue
+        if len(nonzero) == 1:
+            _tighten_from_singleton(model, con, report)
+            report.singleton_rows += 1
+            report.rows_dropped += 1
+            continue
+        survivors.append(con)
+
+    # Pass 2: collect fixed variables (including freshly fixed binaries).
+    fixed: dict[int, float] = {}
+    for var in model.variables:
+        if var.ub - var.lb <= 1e-9:
+            fixed[var.index] = var.lb
+            report.fixed_values[var.name] = var.lb
+    report.vars_fixed = len(fixed)
+
+    # Pass 3: rebuild with fixed variables substituted into constants.
+    reduced = Model(f"{model.name}-presolved")
+    index_map: dict[int, int] = {}
+    for var in model.variables:
+        if var.index in fixed:
+            continue
+        new = reduced.add_var(var.name, var.lb, var.ub, var.vartype)
+        index_map[var.index] = new.index
+
+    def translate(expr: LinExpr) -> LinExpr:
+        coeffs: dict[int, float] = {}
+        constant = expr.constant
+        for idx, coef in expr.coeffs.items():
+            if idx in fixed:
+                constant += coef * fixed[idx]
+            elif coef != 0.0:
+                coeffs[index_map[idx]] = coef
+        return LinExpr(coeffs, constant)
+
+    seen: dict[tuple, Constraint] = {}
+    for con in survivors:
+        expr = translate(con.expr)
+        if not expr.coeffs:
+            lhs = expr.constant
+            ok = (
+                (con.sense is Sense.LE and lhs <= 1e-9)
+                or (con.sense is Sense.GE and lhs >= -1e-9)
+                or (con.sense is Sense.EQ and abs(lhs) <= 1e-9)
+            )
+            if not ok:
+                raise InfeasibleModelError(
+                    f"constraint {con.name or con!r} violated after fixing"
+                )
+            report.rows_dropped += 1
+            continue
+        new_con = Constraint(expr, con.sense, con.name)
+        sig = (_row_signature(new_con), con.sense)
+        prior = seen.get(sig)
+        if prior is not None and prior.sense is con.sense:
+            # Keep the tighter of two parallel rows.
+            scale_new = sorted(expr.coeffs.items())[0][1]
+            scale_old = sorted(prior.expr.coeffs.items())[0][1]
+            rhs_new = -expr.constant / scale_new
+            rhs_old = -prior.expr.constant / scale_old
+            tighter_new = rhs_new < rhs_old if con.sense is Sense.LE else rhs_new > rhs_old
+            if con.sense is Sense.EQ:
+                if abs(rhs_new - rhs_old) > 1e-9:
+                    raise InfeasibleModelError(
+                        "conflicting duplicate equality rows"
+                    )
+                tighter_new = False
+            if tighter_new:
+                prior.expr.coeffs, prior.expr.constant = expr.coeffs, expr.constant
+            report.duplicate_rows += 1
+            report.rows_dropped += 1
+            continue
+        seen[sig] = new_con
+        reduced.add(new_con)
+
+    objective = translate(model.objective)
+    if model.objective_sense.value == "minimize":
+        reduced.minimize(objective)
+    else:
+        reduced.maximize(objective)
+    return reduced, report
+
+
+def extend_solution(
+    report: PresolveReport, reduced_values: dict[str, float]
+) -> dict[str, float]:
+    """Lift a reduced-model solution back to the original variable set."""
+    full = dict(reduced_values)
+    full.update(report.fixed_values)
+    return full

@@ -1,0 +1,110 @@
+"""SNN-to-MCA mapping: the paper's ILP formulations (area with axon
+sharing, SNU route minimization, PGO packet minimization), the SpikeHard
+MCC baseline, approximate baselines (greedy, KL, spectral), and the staged
+optimization pipeline."""
+
+from .axon_sharing import (
+    AreaModel,
+    FormulationOptions,
+    build_area_model,
+    canonicalize_mapping,
+)
+from .greedy import greedy_first_fit
+from .hierarchical import HierarchicalOptions, hierarchical_map, partition_regions
+from .incremental import RemapOptions, RemapResult, remap_incremental
+from .io import (
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+)
+from .latency import (
+    LatencyReport,
+    annotate_latency,
+    critical_path_latency,
+    effective_delays,
+    latency_report,
+)
+from .lns import LnsOptions, LnsResult, lns_area
+from .local_search import LocalSearchOptions, local_search
+from .kl_partition import kl_refine
+from .metrics import MappingMetrics, evaluate_mapping, improvement_pct
+from .precision import (
+    PrecisionAreaModel,
+    PrecisionSpec,
+    neuron_slices,
+    precision_area_overhead,
+    validate_sliced,
+)
+from .pgo import SpikeProfile, build_pgo_model, expected_global_packets
+from .pipeline import MappingPipeline, PipelineResult, StageRecord
+from .problem import MappingProblem
+from .snu import RouteModel, RouteModelOptions, RouteObjective, build_snu_model
+from .solution import Mapping
+from .spectral import spectral_mapping
+from .spikehard import (
+    MCC,
+    SpikeHardPacker,
+    SpikeHardResult,
+    form_mccs,
+    iterate_spikehard,
+    make_mcc,
+    singleton_mccs,
+)
+
+__all__ = [
+    "AreaModel",
+    "FormulationOptions",
+    "MCC",
+    "Mapping",
+    "MappingMetrics",
+    "RemapOptions",
+    "RemapResult",
+    "remap_incremental",
+    "MappingPipeline",
+    "MappingProblem",
+    "PipelineResult",
+    "PrecisionAreaModel",
+    "PrecisionSpec",
+    "neuron_slices",
+    "precision_area_overhead",
+    "validate_sliced",
+    "RouteModel",
+    "RouteModelOptions",
+    "RouteObjective",
+    "SpikeHardPacker",
+    "SpikeHardResult",
+    "SpikeProfile",
+    "StageRecord",
+    "build_area_model",
+    "build_pgo_model",
+    "build_snu_model",
+    "canonicalize_mapping",
+    "evaluate_mapping",
+    "expected_global_packets",
+    "form_mccs",
+    "HierarchicalOptions",
+    "LatencyReport",
+    "LnsOptions",
+    "LnsResult",
+    "LocalSearchOptions",
+    "annotate_latency",
+    "critical_path_latency",
+    "effective_delays",
+    "latency_report",
+    "lns_area",
+    "greedy_first_fit",
+    "hierarchical_map",
+    "load_mapping",
+    "local_search",
+    "mapping_from_dict",
+    "mapping_to_dict",
+    "partition_regions",
+    "save_mapping",
+    "improvement_pct",
+    "iterate_spikehard",
+    "kl_refine",
+    "make_mcc",
+    "singleton_mccs",
+    "spectral_mapping",
+]

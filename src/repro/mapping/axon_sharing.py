@@ -1,0 +1,237 @@
+"""The paper's core ILP formulation (Section IV-A/B).
+
+Variables (all binary):
+
+- ``x[i, j]`` — neuron ``i``'s output line is on crossbar ``j``;
+- ``s[k, j]`` — crossbar ``j`` receives neuron ``k`` as an axonal input
+  (created only for *source* neurons, those with fan-out > 0);
+- ``y[j]`` — crossbar ``j`` is enabled.
+
+Constraints (paper numbering):
+
+- (3) every neuron is placed exactly once;
+- (4) outputs per crossbar within ``N_j``, gated by ``y[j]``;
+- (5) ``s[k, j] <= sum_{i in succ(k)} x[i, j]`` — an axon is only routed
+  where some consumer lives;
+- (6) ``s[k, j] >= x[i, j]`` for every synapse ``k -> i`` — placing a
+  consumer forces the axon (this is the axon-*sharing* modelling: one
+  ``s`` no matter how many consumers share the word-line);
+- (7) distinct axon inputs per crossbar within ``A_j``, gated by ``y[j]``.
+
+Objective (8): ``min sum_j y[j] * C_j``.
+
+Options cover the ablations DESIGN.md calls out: symmetry breaking between
+identical slots, aggregated vs. per-edge form of constraint 6, inclusion
+of the (never-binding under these objectives) upper link (5), and
+warm-start construction from any valid mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ilp.expr import Variable, lin_sum
+from ..ilp.model import Model
+from ..ilp.result import SolveResult
+from .problem import MappingProblem
+from .solution import Mapping
+
+
+@dataclass(frozen=True)
+class FormulationOptions:
+    """Tunable aspects of the area formulation (defaults = paper-faithful)."""
+
+    symmetry_breaking: bool = True
+    disaggregate_sharing: bool = True  # per-edge constraint 6 (tighter LP)
+    include_upper_link: bool = True  # constraint 5
+    order_enabled_slots: bool = True  # y_j >= y_{j+1} within identical groups
+
+
+def x_name(i: int, j: int) -> str:
+    return f"x_{i}_{j}"
+
+
+def s_name(k: int, j: int) -> str:
+    return f"s_{k}_{j}"
+
+
+def y_name(j: int) -> str:
+    return f"y_{j}"
+
+
+def b_name(k: int, j: int) -> str:
+    return f"b_{k}_{j}"
+
+
+class AreaModel:
+    """The lowered area-optimization ILP plus its variable handles."""
+
+    def __init__(
+        self,
+        problem: MappingProblem,
+        options: FormulationOptions | None = None,
+    ) -> None:
+        self.problem = problem
+        self.options = options or FormulationOptions()
+        self.model = Model("area")
+        self.x: dict[tuple[int, int], Variable] = {}
+        self.s: dict[tuple[int, int], Variable] = {}
+        self.y: dict[int, Variable] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        prob = self.problem
+        model = self.model
+        opts = self.options
+        neurons = prob.network.neuron_ids()
+        slots = range(prob.num_slots)
+        sources = prob.sources()
+
+        for j in slots:
+            self.y[j] = model.add_binary(y_name(j))
+        for i in neurons:
+            for j in slots:
+                self.x[(i, j)] = model.add_binary(x_name(i, j))
+        for k in sources:
+            for j in slots:
+                self.s[(k, j)] = model.add_binary(s_name(k, j))
+
+        # (3) each neuron's output maps to exactly one crossbar.
+        for i in neurons:
+            model.add(
+                lin_sum(self.x[(i, j)] for j in slots) == 1,
+                name=f"place_{i}",
+            )
+
+        # (4) output-line capacity, gated by the enable variable.
+        for j in slots:
+            slot = prob.architecture.slot(j)
+            model.add(
+                lin_sum(self.x[(i, j)] for i in neurons)
+                <= slot.outputs * self.y[j],
+                name=f"outputs_{j}",
+            )
+
+        # (6) axon sharing: any consumer of k on j forces s[k, j].
+        if opts.disaggregate_sharing:
+            for k, i in prob.edges():
+                for j in slots:
+                    model.add(
+                        self.s[(k, j)] >= self.x[(i, j)],
+                        name=f"share_{k}_{i}_{j}",
+                    )
+        else:
+            # Aggregated form: |succ(k)| * s[k, j] >= sum of consumers on j.
+            for k in sources:
+                succ = prob.succs(k)
+                for j in slots:
+                    model.add(
+                        len(succ) * self.s[(k, j)]
+                        >= lin_sum(self.x[(i, j)] for i in sorted(succ)),
+                        name=f"share_agg_{k}_{j}",
+                    )
+
+        # (5) upper link: the axon may only be routed where a consumer is.
+        if opts.include_upper_link:
+            for k in sources:
+                succ = sorted(prob.succs(k))
+                for j in slots:
+                    model.add(
+                        self.s[(k, j)]
+                        <= lin_sum(self.x[(i, j)] for i in succ),
+                        name=f"uplink_{k}_{j}",
+                    )
+
+        # (7) input-line (word-line) capacity with true axon sharing.
+        for j in slots:
+            slot = prob.architecture.slot(j)
+            model.add(
+                lin_sum(self.s[(k, j)] for k in sources)
+                <= slot.inputs * self.y[j],
+                name=f"inputs_{j}",
+            )
+
+        # Symmetry breaking: identical slots are interchangeable; force
+        # enabled ones to be the lowest-indexed of each group.  Cheap rows
+        # that cut the search space by the product of group factorials.
+        if opts.symmetry_breaking and opts.order_enabled_slots:
+            for group in prob.architecture.identical_slot_groups():
+                for a, b in zip(group, group[1:]):
+                    model.add(
+                        self.y[a] >= self.y[b], name=f"sym_{a}_{b}"
+                    )
+
+        # (8) minimize enabled area.
+        model.minimize(
+            lin_sum(
+                prob.architecture.slot(j).area * self.y[j] for j in slots
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def warm_start_from(self, mapping: Mapping) -> dict[str, float]:
+        """Variable assignment (x, s, y all consistent) for a valid mapping.
+
+        With symmetry breaking enabled the mapping is first canonicalized:
+        enabled slots are compacted to the lowest indices of their identical
+        groups, preserving validity and objective value.
+        """
+        canonical = (
+            canonicalize_mapping(mapping)
+            if self.options.symmetry_breaking
+            else mapping
+        )
+        values: dict[str, float] = {}
+        for i, j in canonical.assignment.items():
+            values[x_name(i, j)] = 1.0
+        for j in canonical.enabled_slots():
+            values[y_name(j)] = 1.0
+            for k in canonical.axon_inputs(j):
+                values[s_name(k, j)] = 1.0
+        return values
+
+    def extract_mapping(self, result: SolveResult) -> Mapping:
+        """Recover the neuron placement from a solve result."""
+        if not result.status.has_solution() or result.values is None:
+            raise ValueError(f"no solution to extract (status {result.status})")
+        return self.mapping_from_values(result.values)
+
+    def mapping_from_values(self, values: dict[str, float]) -> Mapping:
+        """Recover a placement from a raw variable assignment (e.g. one
+        incumbent of a solve trace)."""
+        assignment: dict[int, int] = {}
+        for (i, j), var in self.x.items():
+            if values.get(var.name, 0.0) > 0.5:
+                if i in assignment:
+                    raise ValueError(f"neuron {i} placed twice in ILP solution")
+                assignment[i] = j
+        mapping = Mapping(self.problem, assignment)
+        issues = mapping.validate()
+        if issues:
+            raise AssertionError(f"ILP produced an invalid mapping: {issues[:3]}")
+        return mapping
+
+
+def canonicalize_mapping(mapping: Mapping) -> Mapping:
+    """Relocate enabled slots to the lowest indices within identical groups.
+
+    Produces an equivalent mapping (same area, routes and packets) that
+    satisfies the ``y_a >= y_b`` symmetry-breaking order.
+    """
+    arch = mapping.problem.architecture
+    relocation: dict[int, int] = {}
+    enabled = set(mapping.enabled_slots())
+    for group in arch.identical_slot_groups():
+        used = [j for j in group if j in enabled]
+        for new_j, old_j in zip(group, used):
+            relocation[old_j] = new_j
+    assignment = {i: relocation[j] for i, j in mapping.assignment.items()}
+    return Mapping(mapping.problem, assignment)
+
+
+def build_area_model(
+    problem: MappingProblem, options: FormulationOptions | None = None
+) -> AreaModel:
+    """Convenience constructor mirroring the other formulation builders."""
+    return AreaModel(problem, options)

@@ -1,0 +1,199 @@
+"""Incremental remapping after network edits.
+
+EONS-style workflows mutate networks continuously (add/remove neurons and
+synapses); re-solving the full area ILP after every mutation is wasteful
+when most of the placement is still valid.  This module repairs an
+existing mapping against an edited network:
+
+1. carry over the placement of every surviving neuron;
+2. place new neurons greedily (existing slots first, cheapest new slot
+   otherwise);
+3. repair any capacity overflow caused by changed connectivity (changed
+   axon sets can overflow word-lines even with no new neurons);
+4. optionally polish the *affected* neighbourhood with one exact-ILP
+   repair (the LNS repair primitive with everything untouched pinned).
+
+The result is always a valid mapping of the new network, typically
+reusing the vast majority of the old placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..snn.network import Network
+from .lns import _repair
+from .problem import MappingProblem
+from .solution import Mapping
+
+
+@dataclass(frozen=True)
+class RemapOptions:
+    """Repair behaviour."""
+
+    polish: bool = True  # exact-ILP repair of the affected neighbourhood
+    polish_time_limit: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.polish_time_limit <= 0:
+            raise ValueError("polish_time_limit must be positive")
+
+
+@dataclass(frozen=True)
+class RemapResult:
+    """The repaired mapping plus change accounting."""
+
+    mapping: Mapping
+    carried_over: int  # neurons that kept their slot
+    newly_placed: int  # neurons absent from the old mapping
+    relocated: int  # surviving neurons that had to move
+
+
+def _affected_neurons(
+    old_net: Network, new_net: Network
+) -> set[int]:
+    """Neurons whose incident structure changed between the versions."""
+    affected: set[int] = set()
+    old_ids = set(old_net.neuron_ids())
+    new_ids = set(new_net.neuron_ids())
+    affected |= new_ids - old_ids  # brand new
+    for nid in new_ids & old_ids:
+        if (
+            old_net.predecessors(nid) != new_net.predecessors(nid)
+            or old_net.successors(nid) != new_net.successors(nid)
+        ):
+            affected.add(nid)
+    return affected
+
+
+def remap_incremental(
+    old_mapping: Mapping,
+    new_network: Network,
+    options: RemapOptions | None = None,
+) -> RemapResult:
+    """Repair ``old_mapping`` for ``new_network`` (same architecture).
+
+    ``new_network`` must use compact ids (0..n-1); surviving neurons are
+    matched by id.  Raises ``RuntimeError`` if even greedy repair cannot
+    fit the edit (grow the pool in that case).
+    """
+    opts = options or RemapOptions()
+    problem = MappingProblem(new_network, old_mapping.problem.architecture)
+    old_net = old_mapping.problem.network
+    old_assignment = old_mapping.assignment
+
+    # Step 1-2: carry over + greedy placement of new neurons.
+    assignment: dict[int, int] = {}
+    new_neurons: list[int] = []
+    for nid in new_network.neuron_ids():
+        if nid in old_assignment:
+            assignment[nid] = old_assignment[nid]
+        else:
+            new_neurons.append(nid)
+    for nid in new_neurons:
+        assignment[nid] = _greedy_slot(problem, assignment, nid)
+
+    # Step 3: capacity repair (eviction loop).
+    relocated = _repair_overflow(problem, assignment)
+    candidate = Mapping(problem, assignment)
+    assert candidate.is_valid()
+
+    # Step 4: polish the affected neighbourhood with one exact repair.
+    if opts.polish:
+        affected = _affected_neurons(old_net, new_network)
+        affected &= set(new_network.neuron_ids())
+        if affected:
+            candidate = _repair(
+                problem, candidate, affected, opts.polish_time_limit
+            )
+
+    carried = sum(
+        1
+        for nid, j in candidate.assignment.items()
+        if old_assignment.get(nid) == j
+    )
+    moved = sum(
+        1
+        for nid, j in candidate.assignment.items()
+        if nid in old_assignment and old_assignment[nid] != j
+    )
+    return RemapResult(
+        mapping=candidate,
+        carried_over=carried,
+        newly_placed=len(new_neurons),
+        relocated=max(moved, relocated),
+    )
+
+
+def _greedy_slot(
+    problem: MappingProblem, assignment: dict[int, int], neuron: int
+) -> int:
+    """Cheapest slot that can host ``neuron`` given current placements."""
+    arch = problem.architecture
+    used = {}
+    for nid, j in assignment.items():
+        used.setdefault(j, set()).add(nid)
+
+    def fits(j: int) -> bool:
+        group = used.get(j, set()) | {neuron}
+        spec = arch.slot(j)
+        return (
+            len(group) <= spec.outputs
+            and problem.axon_demand(group) <= spec.inputs
+        )
+
+    open_slots = sorted(used)
+    for j in open_slots:
+        if fits(j):
+            return j
+    fresh = [s for s in arch.slots if s.index not in used and fits(s.index)]
+    if not fresh:
+        raise RuntimeError(
+            f"no slot can host new neuron {neuron}; grow the pool"
+        )
+    return min(fresh, key=lambda s: (s.area, s.index)).index
+
+
+def _repair_overflow(
+    problem: MappingProblem, assignment: dict[int, int]
+) -> int:
+    """Evict neurons from overflowing slots until every slot is valid.
+
+    Returns the number of evictions.  Mutates ``assignment`` in place.
+    """
+    moves = 0
+    for _ in range(4 * problem.num_neurons):
+        current = Mapping(problem, assignment)
+        bad = [
+            j for j in current.enabled_slots()
+            if (
+                len(current.neurons_on(j))
+                > problem.architecture.slot(j).outputs
+                or len(current.axon_inputs(j))
+                > problem.architecture.slot(j).inputs
+            )
+        ]
+        if not bad:
+            return moves
+        j = bad[0]
+        # Evict the member with the largest private axon demand.
+        members = sorted(
+            current.neurons_on(j), key=lambda i: -len(problem.preds(i))
+        )
+        evicted = False
+        for neuron in members:
+            try:
+                del assignment[neuron]
+                target = _greedy_slot(problem, assignment, neuron)
+            except RuntimeError:
+                assignment[neuron] = j
+                continue
+            if target != j:
+                assignment[neuron] = target
+                moves += 1
+                evicted = True
+                break
+            assignment[neuron] = j
+        if not evicted:
+            raise RuntimeError("cannot repair capacity overflow by eviction")
+    raise RuntimeError("overflow repair did not converge")

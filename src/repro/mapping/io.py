@@ -1,0 +1,102 @@
+"""Mapping serialization.
+
+Persists a placement (plus enough architecture metadata to validate it on
+load) so expensive solver runs can be cached and exchanged.  The format
+deliberately stores the *assignment*, not solver state: any tool that can
+produce a neuron->slot map can interoperate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..mca.architecture import Architecture
+from ..mca.crossbar import CrossbarSlot, CrossbarType
+from ..snn.io import network_from_dict, network_to_dict
+from ..snn.network import Network
+from .problem import MappingProblem
+from .solution import Mapping
+
+FORMAT_VERSION = 1
+
+
+def architecture_to_dict(arch: Architecture) -> dict[str, Any]:
+    """Serialize an architecture pool (types are stored per slot run)."""
+    runs: list[dict[str, Any]] = []
+    for slot in arch.slots:
+        if runs and _same_type(runs[-1], slot.ctype):
+            runs[-1]["count"] += 1
+        else:
+            runs.append(
+                {
+                    "inputs": slot.ctype.inputs,
+                    "outputs": slot.ctype.outputs,
+                    "overhead": slot.ctype.overhead,
+                    "count": 1,
+                }
+            )
+    return {"name": arch.name, "slot_runs": runs}
+
+
+def _same_type(run: dict[str, Any], ctype: CrossbarType) -> bool:
+    return (
+        run["inputs"] == ctype.inputs
+        and run["outputs"] == ctype.outputs
+        and run["overhead"] == ctype.overhead
+    )
+
+
+def architecture_from_dict(data: dict[str, Any]) -> Architecture:
+    slots: list[CrossbarSlot] = []
+    for run in data["slot_runs"]:
+        ctype = CrossbarType(run["inputs"], run["outputs"], run.get("overhead", 1.0))
+        for _ in range(run["count"]):
+            slots.append(CrossbarSlot(len(slots), ctype))
+    return Architecture(data.get("name", "loaded"), tuple(slots))
+
+
+def mapping_to_dict(mapping: Mapping) -> dict[str, Any]:
+    """Serialize a mapping with its network and architecture context."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "network": network_to_dict(mapping.problem.network),
+        "architecture": architecture_to_dict(mapping.problem.architecture),
+        "assignment": {str(i): j for i, j in sorted(mapping.assignment.items())},
+        "metrics": {
+            "area": mapping.area(),
+            "total_routes": mapping.total_routes(),
+            "global_routes": mapping.global_routes(),
+        },
+    }
+
+
+def mapping_from_dict(data: dict[str, Any]) -> Mapping:
+    """Deserialize and re-validate a mapping (raises if invalid)."""
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported mapping format version {version}")
+    network: Network = network_from_dict(data["network"])
+    arch = architecture_from_dict(data["architecture"])
+    problem = MappingProblem(network, arch)
+    assignment = {int(i): int(j) for i, j in data["assignment"].items()}
+    mapping = Mapping(problem, assignment)
+    issues = mapping.validate()
+    if issues:
+        raise ValueError(f"stored mapping is invalid: {issues[:3]}")
+    stored = data.get("metrics", {})
+    if stored and abs(stored.get("area", mapping.area()) - mapping.area()) > 1e-6:
+        raise ValueError(
+            "stored area metric disagrees with the recomputed mapping; "
+            "the file was edited inconsistently"
+        )
+    return mapping
+
+
+def save_mapping(mapping: Mapping, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(mapping_to_dict(mapping), indent=2))
+
+
+def load_mapping(path: str | Path) -> Mapping:
+    return mapping_from_dict(json.loads(Path(path).read_text()))

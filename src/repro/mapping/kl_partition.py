@@ -1,0 +1,113 @@
+"""Kernighan-Lin-style partitioning baseline (Balaji et al. [22] flavour).
+
+The related-work mappers partition the SNN into clusters that each fit one
+(homogeneous) crossbar, minimizing the sum of cut costs.  This module
+reproduces that family: a greedy seed partition refined by KL-style moves
+and swaps that reduce the number of *global routes* while respecting both
+capacity dimensions with true axon-sharing accounting.
+
+It serves as the approximate, polynomial-time comparison point: fast, but
+homogeneous-minded (clusters are sized for the smallest slot that fits)
+and sub-optimal in area versus the ILP.
+"""
+
+from __future__ import annotations
+
+from .greedy import greedy_first_fit
+from .problem import MappingProblem
+from .solution import Mapping
+
+
+def _global_routes_delta(
+    problem: MappingProblem,
+    assignment: dict[int, int],
+    neuron: int,
+    new_slot: int,
+) -> int:
+    """Change in global-route count if ``neuron`` moves to ``new_slot``.
+
+    Recomputes only the routes incident to the moved neuron: routes from
+    its predecessors into its old/new crossbars, and its own routes toward
+    crossbars holding its successors.
+    """
+    old_slot = assignment[neuron]
+    if old_slot == new_slot:
+        return 0
+
+    def incident_globals(slot_of_neuron: int) -> int:
+        count = 0
+        # Routes feeding this neuron: one per (pred, crossbar-of-neuron)
+        # pair that is not already required by a co-located consumer.
+        for k in problem.preds(neuron):
+            others = any(
+                assignment[i] == slot_of_neuron
+                for i in problem.succs(k)
+                if i != neuron
+            )
+            if not others and assignment.get(k) != slot_of_neuron:
+                count += 1
+        # Routes this neuron emits: one per crossbar hosting a successor.
+        targets = {assignment[i] for i in problem.succs(neuron)}
+        count += sum(1 for t in targets if t != slot_of_neuron)
+        return count
+
+    before = incident_globals(old_slot)
+    assignment[neuron] = new_slot
+    after = incident_globals(new_slot)
+    assignment[neuron] = old_slot
+    return after - before
+
+
+def _capacity_ok(
+    problem: MappingProblem, assignment: dict[int, int], slot: int
+) -> bool:
+    members = frozenset(i for i, j in assignment.items() if j == slot)
+    spec = problem.architecture.slot(slot)
+    if len(members) > spec.outputs:
+        return False
+    return problem.axon_demand(members) <= spec.inputs
+
+
+def kl_refine(
+    problem: MappingProblem,
+    initial: Mapping | None = None,
+    max_passes: int = 8,
+) -> Mapping:
+    """Refine a mapping with first-improvement KL moves.
+
+    Each pass tries to move every neuron to every other enabled crossbar;
+    a move is committed when it strictly reduces global routes and keeps
+    both capacity dimensions valid.  Stops at a pass with no improvement.
+    """
+    if max_passes < 1:
+        raise ValueError("max_passes must be >= 1")
+    base = initial if initial is not None else greedy_first_fit(problem)
+    assignment = dict(base.assignment)
+    enabled = sorted(set(assignment.values()))
+
+    for _ in range(max_passes):
+        improved = False
+        for neuron in problem.network.neuron_ids():
+            current = assignment[neuron]
+            for target in enabled:
+                if target == current:
+                    continue
+                delta = _global_routes_delta(problem, assignment, neuron, target)
+                if delta >= 0:
+                    continue
+                assignment[neuron] = target
+                if _capacity_ok(problem, assignment, target) and _capacity_ok(
+                    problem, assignment, current
+                ):
+                    improved = True
+                    break
+                assignment[neuron] = current
+        if not improved:
+            break
+
+    # Moves may have emptied crossbars; Mapping() recomputes enabled set.
+    mapping = Mapping(problem, assignment)
+    issues = mapping.validate()
+    if issues:  # pragma: no cover - moves are capacity-checked
+        raise AssertionError(f"KL refinement broke validity: {issues}")
+    return mapping

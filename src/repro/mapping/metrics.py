@@ -1,0 +1,66 @@
+"""Mapping quality metrics and comparisons.
+
+Aggregates every paper metric for one mapping into a single record and
+provides the relative-improvement arithmetic used throughout Section V
+("improvement is relative to ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping as MappingT
+
+from .solution import Mapping
+
+
+@dataclass(frozen=True)
+class MappingMetrics:
+    """All paper metrics of one mapping (packets only when profiled)."""
+
+    area: float
+    memristors: int
+    enabled_crossbars: int
+    total_routes: int
+    local_routes: int
+    global_routes: int
+    local_packets: int | None = None
+    global_packets: int | None = None
+
+    @property
+    def total_packets(self) -> int | None:
+        if self.local_packets is None or self.global_packets is None:
+            return None
+        return self.local_packets + self.global_packets
+
+
+def evaluate_mapping(
+    mapping: Mapping, spike_counts: MappingT[int, int] | None = None
+) -> MappingMetrics:
+    """Compute the full metric record for a mapping."""
+    local_packets = global_packets = None
+    if spike_counts is not None:
+        local_packets, global_packets = mapping.packet_count(spike_counts)
+    return MappingMetrics(
+        area=mapping.area(),
+        memristors=mapping.memristor_count(),
+        enabled_crossbars=len(mapping.enabled_slots()),
+        total_routes=mapping.total_routes(),
+        local_routes=mapping.local_routes(),
+        global_routes=mapping.global_routes(),
+        local_packets=local_packets,
+        global_packets=global_packets,
+    )
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Relative reduction in percent: 100 * (baseline - improved) / baseline.
+
+    Positive = ``improved`` is better (smaller).  A zero baseline with a
+    zero improved value is 0% (no change); a zero baseline otherwise is
+    undefined and raises.
+    """
+    if baseline == 0:
+        if improved == 0:
+            return 0.0
+        raise ZeroDivisionError("improvement relative to a zero baseline")
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,88 @@
+"""Profile-Guided Optimization for runtime packets (Section IV-D).
+
+PGO is the weighted variant of the SNU formulation: each route from source
+``k`` costs its profiled spike count ``W[k]`` instead of 1, so the solver
+minimizes *anticipated chip-router traffic* (objective 12):
+
+    min  sum_{i,j}  s[i,j] * W_i  -  b[i,j] * W_i
+
+Sources that never fired in the profile contribute nothing and are
+eliminated from the objective (and need no ``b`` variables), which is why
+the paper observes 1-3 orders of magnitude lower solver time than SNU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping as MappingT
+
+from .problem import MappingProblem
+from .snu import RouteModel, RouteModelOptions, RouteObjective
+from .solution import Mapping
+
+
+@dataclass(frozen=True)
+class SpikeProfile:
+    """Per-neuron spike counts gathered from profiling runs (``W[i]``)."""
+
+    counts: dict[int, int]
+    duration: int = 0  # total profiled timesteps (bookkeeping only)
+    num_samples: int = 0
+
+    def __post_init__(self) -> None:
+        for nid, count in self.counts.items():
+            if count < 0:
+                raise ValueError(f"neuron {nid} has negative spike count")
+
+    @property
+    def total_spikes(self) -> int:
+        return sum(self.counts.values())
+
+    def active_fraction(self) -> float:
+        """Share of profiled neurons that fired at least once."""
+        if not self.counts:
+            return 0.0
+        active = sum(1 for c in self.counts.values() if c > 0)
+        return active / len(self.counts)
+
+    def hot_sources(self, problem: MappingProblem) -> list[int]:
+        """Sources with nonzero profile weight — the PGO objective support."""
+        return [k for k in problem.sources() if self.counts.get(k, 0) > 0]
+
+
+def build_pgo_model(
+    problem: MappingProblem,
+    base_mapping: Mapping,
+    profile: SpikeProfile | MappingT[int, int],
+    options: RouteModelOptions | None = None,
+) -> RouteModel:
+    """PGO post-optimization over ``base_mapping``'s enabled crossbars.
+
+    Accepts either a :class:`SpikeProfile` or a raw neuron->count mapping.
+    The enabled-crossbar set and area budget are frozen exactly as in SNU,
+    so packet gains never cost area.
+    """
+    counts = profile.counts if isinstance(profile, SpikeProfile) else dict(profile)
+    opts = options or RouteModelOptions(objective=RouteObjective.GLOBAL)
+    if opts.area_budget is None:
+        opts = RouteModelOptions(
+            objective=opts.objective,
+            include_b_lower=opts.include_b_lower,
+            include_upper_link=opts.include_upper_link,
+            area_budget=base_mapping.area(),
+        )
+    return RouteModel(
+        problem,
+        base_mapping.enabled_slots(),
+        opts,
+        weights=counts,
+    )
+
+
+def expected_global_packets(
+    mapping: Mapping, profile: SpikeProfile | MappingT[int, int]
+) -> int:
+    """Objective-12 value of a mapping under a profile (global packets)."""
+    counts = profile.counts if isinstance(profile, SpikeProfile) else profile
+    _, global_ = mapping.packet_count(counts)
+    return global_

@@ -1,0 +1,152 @@
+"""The staged optimization pipeline used by the paper's evaluation.
+
+Section V's experiments compose the formulations in a fixed order:
+
+1. **area** — axon-sharing area optimization (warm-started by greedy
+   first-fit);
+2. **snu** — routes minimized over the area solution's frozen crossbars;
+3. **pgo** — packets minimized over the same frozen crossbars using a
+   spike profile ("compared to the best-area-then-route optimized
+   solutions").
+
+:class:`MappingPipeline` runs any prefix of that sequence with per-stage
+solver budgets, recording the mapping, metrics and solver effort of every
+stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping as MappingT
+
+from ..ilp.highs_backend import HighsBackend, HighsOptions
+from ..ilp.result import SolveResult
+from .axon_sharing import AreaModel, FormulationOptions
+from .greedy import greedy_first_fit
+from .metrics import MappingMetrics, evaluate_mapping
+from .pgo import SpikeProfile, build_pgo_model
+from .problem import MappingProblem
+from .snu import RouteObjective, build_snu_model
+from .solution import Mapping
+
+STAGES = ("area", "snu", "pgo")
+
+
+@dataclass
+class StageRecord:
+    """One pipeline stage's outcome."""
+
+    name: str
+    mapping: Mapping
+    metrics: MappingMetrics
+    solve_result: SolveResult | None = None
+
+    @property
+    def det_time(self) -> float:
+        return self.solve_result.det_time if self.solve_result else 0.0
+
+
+@dataclass
+class PipelineResult:
+    """Every stage record, keyed by stage name, in execution order."""
+
+    stages: dict[str, StageRecord] = field(default_factory=dict)
+
+    def final(self) -> StageRecord:
+        if not self.stages:
+            raise ValueError("pipeline produced no stages")
+        return next(reversed(self.stages.values()))
+
+    def total_det_time(self) -> float:
+        return sum(record.det_time for record in self.stages.values())
+
+
+class MappingPipeline:
+    """area -> snu -> pgo with per-stage HiGHS budgets."""
+
+    def __init__(
+        self,
+        problem: MappingProblem,
+        area_time_limit: float | None = 30.0,
+        route_time_limit: float | None = 30.0,
+        formulation: FormulationOptions | None = None,
+    ) -> None:
+        self.problem = problem
+        self.area_time_limit = area_time_limit
+        self.route_time_limit = route_time_limit
+        self.formulation = formulation or FormulationOptions()
+
+    def run(
+        self,
+        stages: tuple[str, ...] = STAGES,
+        profile: SpikeProfile | MappingT[int, int] | None = None,
+        initial: Mapping | None = None,
+    ) -> PipelineResult:
+        """Execute the requested stage prefix.
+
+        Stages must be a prefix-ordered subset of ("area", "snu", "pgo");
+        "pgo" requires ``profile``.
+        """
+        unknown = [s for s in stages if s not in STAGES]
+        if unknown:
+            raise ValueError(f"unknown stages {unknown}; valid: {STAGES}")
+        order = [s for s in STAGES if s in stages]
+        if "pgo" in order and profile is None:
+            raise ValueError("the pgo stage requires a spike profile")
+
+        result = PipelineResult()
+        current = initial if initial is not None else greedy_first_fit(self.problem)
+
+        if "area" in order:
+            current, solve = self._run_area(current)
+            result.stages["area"] = StageRecord(
+                "area", current, self._metrics(current, profile), solve
+            )
+        if "snu" in order:
+            current, solve = self._run_snu(current)
+            result.stages["snu"] = StageRecord(
+                "snu", current, self._metrics(current, profile), solve
+            )
+        if "pgo" in order:
+            assert profile is not None
+            current, solve = self._run_pgo(current, profile)
+            result.stages["pgo"] = StageRecord(
+                "pgo", current, self._metrics(current, profile), solve
+            )
+        if not result.stages:
+            result.stages["greedy"] = StageRecord(
+                "greedy", current, self._metrics(current, profile), None
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _metrics(self, mapping, profile) -> MappingMetrics:
+        counts = None
+        if profile is not None:
+            counts = profile.counts if isinstance(profile, SpikeProfile) else profile
+        return evaluate_mapping(mapping, counts)
+
+    def _run_area(self, warm: Mapping) -> tuple[Mapping, SolveResult]:
+        handle = AreaModel(self.problem, self.formulation)
+        backend = HighsBackend(HighsOptions(time_limit=self.area_time_limit))
+        solve = backend.solve(handle.model, warm_start=handle.warm_start_from(warm))
+        return handle.extract_mapping(solve), solve
+
+    def _run_snu(self, base: Mapping) -> tuple[Mapping, SolveResult]:
+        handle = build_snu_model(self.problem, base, RouteObjective.GLOBAL)
+        backend = HighsBackend(HighsOptions(time_limit=self.route_time_limit))
+        solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
+        mapping = handle.extract_mapping(solve)
+        # The SNU stage must never regress area (paper Figs. 5/6 premise).
+        assert mapping.area() <= base.area() + 1e-9
+        return mapping, solve
+
+    def _run_pgo(
+        self, base: Mapping, profile: SpikeProfile | MappingT[int, int]
+    ) -> tuple[Mapping, SolveResult]:
+        handle = build_pgo_model(self.problem, base, profile)
+        backend = HighsBackend(HighsOptions(time_limit=self.route_time_limit))
+        solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
+        mapping = handle.extract_mapping(solve)
+        assert mapping.area() <= base.area() + 1e-9
+        return mapping, solve

@@ -1,0 +1,130 @@
+"""Weight-precision-aware area mapping (bit-slicing extension).
+
+The paper notes SpikeHard's axon miscounting means "neither inter-crossbar
+connections nor network weights can be modeled with reasonable accuracy"
+(§III) — implying the axon-sharing framework *can* model weights.  This
+module realizes that: devices store ``cell_bits`` of conductance
+resolution, so a synapse quantized to ``weight_bits`` must be **bit-
+sliced** across ``ceil(weight_bits / cell_bits)`` physical columns
+(the standard ReRAM technique).
+
+Consequences for the ILP, relative to :mod:`repro.mapping.axon_sharing`:
+
+- constraint 4 weights each neuron by its slice count
+  (``sum_i slices_i * x[i, j] <= N_j * y[j]``) — output lines are no
+  longer one per neuron;
+- constraints 3, 5-7 and objective 8 are unchanged (slices share the
+  neuron's input word-lines, so axon accounting is untouched).
+
+The slice count per neuron is the *maximum* slice requirement over its
+incoming synapses (all of a neuron's columns are programmed to the same
+resolution in practice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ilp.expr import lin_sum
+from ..ilp.result import SolveResult
+from .axon_sharing import AreaModel, FormulationOptions
+from .problem import MappingProblem
+from .solution import Mapping
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Weight-resolution requirements."""
+
+    weight_bits: int = 8  # quantization of synapse weights
+    cell_bits: int = 2  # conductance bits per memristor device
+
+    def __post_init__(self) -> None:
+        if self.weight_bits < 1 or self.cell_bits < 1:
+            raise ValueError("bit widths must be positive")
+        if self.cell_bits > self.weight_bits:
+            raise ValueError("cell_bits cannot exceed weight_bits")
+
+    @property
+    def slices(self) -> int:
+        """Physical columns per logical neuron output."""
+        return math.ceil(self.weight_bits / self.cell_bits)
+
+
+def neuron_slices(problem: MappingProblem, spec: PrecisionSpec) -> dict[int, int]:
+    """Slice requirement per neuron.
+
+    Neurons without incoming synapses hold no weights: one column
+    suffices (the output driver still needs a bit-line).
+    """
+    out: dict[int, int] = {}
+    for i in problem.network.neuron_ids():
+        out[i] = spec.slices if problem.preds(i) else 1
+    return out
+
+
+class PrecisionAreaModel(AreaModel):
+    """Area model with bit-sliced output-capacity accounting."""
+
+    def __init__(
+        self,
+        problem: MappingProblem,
+        spec: PrecisionSpec,
+        options: FormulationOptions | None = None,
+    ) -> None:
+        self.spec = spec
+        self._slices = neuron_slices(problem, spec)
+        super().__init__(problem, options)
+        self._replace_output_capacity()
+
+    def _replace_output_capacity(self) -> None:
+        """Rebuild constraint 4 with per-neuron slice weights.
+
+        The base class already added the unweighted rows; rather than
+        reach into the model to delete them (they remain valid but
+        looser), we add the tighter sliced rows alongside.
+        """
+        prob = self.problem
+        neurons = prob.network.neuron_ids()
+        for j in range(prob.num_slots):
+            slot = prob.architecture.slot(j)
+            self.model.add(
+                lin_sum(
+                    self._slices[i] * self.x[(i, j)] for i in neurons
+                )
+                <= slot.outputs * self.y[j],
+                name=f"sliced_outputs_{j}",
+            )
+
+    def extract_mapping(self, result: SolveResult) -> Mapping:
+        mapping = super().extract_mapping(result)
+        issues = validate_sliced(mapping, self._slices)
+        if issues:
+            raise AssertionError(f"sliced capacity violated: {issues[:3]}")
+        return mapping
+
+
+def validate_sliced(mapping: Mapping, slices: dict[int, int]) -> list[str]:
+    """Check bit-sliced output capacity of a mapping."""
+    violations: list[str] = []
+    arch = mapping.problem.architecture
+    for j in mapping.enabled_slots():
+        demand = sum(slices[i] for i in mapping.neurons_on(j))
+        if demand > arch.slot(j).outputs:
+            violations.append(
+                f"slot {j}: {demand} bit-sliced columns exceed "
+                f"{arch.slot(j).outputs} output lines"
+            )
+    return violations
+
+
+def precision_area_overhead(
+    problem: MappingProblem,
+    base_mapping_area: float,
+    sliced_mapping_area: float,
+) -> float:
+    """Relative area cost of the requested precision (>= 0)."""
+    if base_mapping_area <= 0:
+        raise ValueError("base mapping area must be positive")
+    return (sliced_mapping_area - base_mapping_area) / base_mapping_area

@@ -1,0 +1,96 @@
+"""The SNN-to-MCA mapping problem instance.
+
+Bundles a compact network with a target architecture and caches the
+structures every formulation needs: predecessor/successor sets (the
+connectivity matrix ``m[i, k]``) and the set of *source* neurons (those
+with outgoing synapses — the only ``k`` for which axon variables
+``s[k, j]`` can ever be 1, a sparsification the paper's PGO discussion
+relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mca.architecture import Architecture
+from ..snn.network import Network
+
+
+@dataclass(frozen=True)
+class MappingProblem:
+    """One (network, architecture) mapping instance."""
+
+    network: Network
+    architecture: Architecture
+    _preds: dict[int, frozenset[int]] = field(init=False, repr=False)
+    _succs: dict[int, frozenset[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.network.num_neurons == 0:
+            raise ValueError("cannot map an empty network")
+        if not self.network.is_compact():
+            raise ValueError(
+                "mapping requires compact neuron ids 0..n-1; call network.compact()"
+            )
+        if self.architecture.num_slots == 0:
+            raise ValueError("architecture has no crossbar slots")
+        max_fan_in = max(
+            (self.network.fan_in(i) for i in self.network.neuron_ids()), default=0
+        )
+        widest = max(slot.inputs for slot in self.architecture.slots)
+        if max_fan_in > widest:
+            raise ValueError(
+                f"network max fan-in {max_fan_in} exceeds the widest crossbar "
+                f"input dimension {widest}; no valid mapping exists"
+            )
+        object.__setattr__(
+            self,
+            "_preds",
+            {
+                i: frozenset(self.network.predecessors(i))
+                for i in self.network.neuron_ids()
+            },
+        )
+        object.__setattr__(
+            self,
+            "_succs",
+            {
+                i: frozenset(self.network.successors(i))
+                for i in self.network.neuron_ids()
+            },
+        )
+
+    @property
+    def num_neurons(self) -> int:
+        return self.network.num_neurons
+
+    @property
+    def num_slots(self) -> int:
+        return self.architecture.num_slots
+
+    def preds(self, i: int) -> frozenset[int]:
+        """``{k : m[i, k] = 1}`` — neurons feeding neuron ``i``."""
+        return self._preds[i]
+
+    def succs(self, k: int) -> frozenset[int]:
+        """Neurons that take input from ``k``."""
+        return self._succs[k]
+
+    def sources(self) -> list[int]:
+        """Neurons with fan-out > 0 — the only candidates for s[k, j] = 1."""
+        return [k for k in self.network.neuron_ids() if self._succs[k]]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (k, i) pairs with a synapse k -> i, deterministic order."""
+        return [(s.pre, s.post) for s in self.network.synapses()]
+
+    def axon_demand(self, neurons: frozenset[int] | set[int]) -> int:
+        """Distinct axonal inputs required to host ``neurons`` together.
+
+        This is the axon-*sharing* count: ``|union of preds|`` — the
+        quantity SpikeHard over-estimates by summing per-group demands.
+        """
+        demand: set[int] = set()
+        for i in neurons:
+            demand |= self._preds[i]
+        return len(demand)

@@ -1,0 +1,162 @@
+"""Mapping solutions: neuron placements plus every derived metric.
+
+A :class:`Mapping` is an assignment of every neuron to a crossbar slot.
+All paper metrics derive from it:
+
+- **area** (objective 8): summed ``C_j`` of enabled slots;
+- **routes** (objective 9): total distinct axonal inputs over crossbars,
+  i.e. ``sum_j |Inputs_j|`` — the realized ``sum s[k, j]``;
+- **global routes** (objective 11): routes whose source neuron lives on a
+  different crossbar (``sum s - b``);
+- **packets** (objective 12): routes weighted by profiled spike counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping as MappingT
+
+from .problem import MappingProblem
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A complete placement of neurons onto crossbar slots."""
+
+    problem: MappingProblem
+    assignment: dict[int, int]
+    _inputs_by_slot: dict[int, frozenset[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        missing = set(self.problem.network.neuron_ids()) - set(self.assignment)
+        if missing:
+            raise ValueError(f"assignment missing neurons {sorted(missing)[:5]}")
+        extra = set(self.assignment) - set(self.problem.network.neuron_ids())
+        if extra:
+            raise ValueError(f"assignment names unknown neurons {sorted(extra)[:5]}")
+        bad = {
+            j for j in self.assignment.values()
+            if not 0 <= j < self.problem.num_slots
+        }
+        if bad:
+            raise ValueError(f"assignment targets unknown slots {sorted(bad)}")
+        inputs: dict[int, set[int]] = {}
+        for i, j in self.assignment.items():
+            inputs.setdefault(j, set()).update(self.problem.preds(i))
+        object.__setattr__(
+            self,
+            "_inputs_by_slot",
+            {j: frozenset(ks) for j, ks in inputs.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def neurons_on(self, slot: int) -> frozenset[int]:
+        """Neurons whose output line is on crossbar ``slot``."""
+        return frozenset(
+            i for i, j in self.assignment.items() if j == slot
+        )
+
+    def axon_inputs(self, slot: int) -> frozenset[int]:
+        """Distinct axonal inputs crossbar ``slot`` receives (``Inputs_j``)."""
+        return self._inputs_by_slot.get(slot, frozenset())
+
+    def enabled_slots(self) -> list[int]:
+        """Slots hosting at least one neuron, ascending."""
+        return sorted(set(self.assignment.values()))
+
+    # ------------------------------------------------------------------
+    # paper metrics
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Objective 8: summed area cost of enabled crossbars."""
+        arch = self.problem.architecture
+        return sum(arch.slot(j).area for j in self.enabled_slots())
+
+    def memristor_count(self) -> int:
+        """Enabled-crossbar device count (the paper's area unit)."""
+        arch = self.problem.architecture
+        return sum(arch.slot(j).ctype.memristors for j in self.enabled_slots())
+
+    def total_routes(self) -> int:
+        """Objective 9: ``sum_{k,j} s[k, j]`` — all axonal route endpoints."""
+        return sum(len(self.axon_inputs(j)) for j in self.enabled_slots())
+
+    def local_routes(self) -> int:
+        """``sum b[k, j]``: axon inputs whose source lives on the same slot."""
+        count = 0
+        for j in self.enabled_slots():
+            inputs = self.axon_inputs(j)
+            count += sum(1 for k in inputs if self.assignment[k] == j)
+        return count
+
+    def global_routes(self) -> int:
+        """Objective 11: inter-crossbar routes (``sum s - b``)."""
+        return self.total_routes() - self.local_routes()
+
+    def packet_count(self, spike_counts: MappingT[int, int]) -> tuple[int, int]:
+        """(local, global) runtime packets under a spike profile.
+
+        Objective 12's value is the global component: each spike of ``k``
+        sends one packet per target crossbar, and the packet to ``k``'s own
+        crossbar never crosses the router network.
+        """
+        local = 0
+        global_ = 0
+        for j in self.enabled_slots():
+            for k in self.axon_inputs(j):
+                fires = spike_counts.get(k, 0)
+                if self.assignment[k] == j:
+                    local += fires
+                else:
+                    global_ += fires
+        return local, global_
+
+    def crossbar_histogram(self) -> dict[str, int]:
+        """Enabled crossbar count per dimension label (paper Fig. 3b-f)."""
+        arch = self.problem.architecture
+        hist: dict[str, int] = {}
+        for j in self.enabled_slots():
+            label = arch.slot(j).ctype.label
+            hist[label] = hist.get(label, 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Capacity violations (empty list = valid mapping).
+
+        Checks constraint 4 (outputs per slot <= N_j) and constraint 7
+        with true axon sharing (distinct inputs per slot <= A_j).
+        """
+        arch = self.problem.architecture
+        violations: list[str] = []
+        for j in self.enabled_slots():
+            slot = arch.slot(j)
+            outputs = len(self.neurons_on(j))
+            inputs = len(self.axon_inputs(j))
+            if outputs > slot.outputs:
+                violations.append(
+                    f"slot {j} ({slot.ctype.label}): {outputs} neurons exceed "
+                    f"{slot.outputs} output lines"
+                )
+            if inputs > slot.inputs:
+                violations.append(
+                    f"slot {j} ({slot.ctype.label}): {inputs} axons exceed "
+                    f"{slot.inputs} input lines"
+                )
+        return violations
+
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        hist = ", ".join(f"{n}x{lbl}" for lbl, n in sorted(self.crossbar_histogram().items()))
+        return (
+            f"area={self.area():g} over {len(self.enabled_slots())} crossbars "
+            f"[{hist}], routes={self.total_routes()} "
+            f"(global {self.global_routes()})"
+        )

@@ -1,0 +1,115 @@
+"""Spectral-clustering baseline (TraNNsformer [23] flavour).
+
+Clusters the SNN by the low eigenvectors of the symmetrized graph
+Laplacian, then repairs clusters to crossbar capacities and assigns them
+to slots.  Like the other approximate baselines it is homogeneous-minded:
+clusters target a single crossbar dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.vq import kmeans2
+from scipy.linalg import eigh
+
+from .problem import MappingProblem
+from .solution import Mapping
+
+
+def _spectral_embedding(problem: MappingProblem, dims: int) -> np.ndarray:
+    """Rows = neurons, columns = the ``dims`` smallest nontrivial
+    eigenvectors of the normalized symmetrized Laplacian."""
+    n = problem.num_neurons
+    adj = np.zeros((n, n))
+    for k, i in problem.edges():
+        adj[k, i] = 1.0
+        adj[i, k] = 1.0
+    degree = adj.sum(axis=1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
+    lap = np.eye(n) - (inv_sqrt[:, None] * adj * inv_sqrt[None, :])
+    # Dense eigh is fine at mapping scales (n <= a few hundred).
+    _, vectors = eigh(lap)
+    return vectors[:, 1 : dims + 1]
+
+
+def spectral_mapping(
+    problem: MappingProblem,
+    num_clusters: int | None = None,
+    seed: int = 0,
+) -> Mapping:
+    """Cluster spectrally, repair to capacities, assign clusters to slots.
+
+    ``num_clusters`` defaults to the minimum crossbar count by output
+    capacity of the architecture's largest slot type.
+    """
+    arch = problem.architecture
+    biggest = max(arch.types(), key=lambda t: t.outputs)
+    if num_clusters is None:
+        num_clusters = max(1, int(np.ceil(problem.num_neurons / biggest.outputs)))
+    num_clusters = min(num_clusters, problem.num_neurons)
+
+    dims = min(max(2, num_clusters), problem.num_neurons - 1)
+    embedding = _spectral_embedding(problem, dims)
+    _, labels = kmeans2(embedding, num_clusters, minit="++", seed=seed)
+
+    clusters: list[set[int]] = [set() for _ in range(num_clusters)]
+    for neuron, label in enumerate(labels):
+        clusters[int(label)].add(neuron)
+    clusters = [c for c in clusters if c]
+
+    # Capacity repair: split any cluster exceeding the biggest slot's
+    # output or input dimension (axon-shared demand).
+    repaired: list[set[int]] = []
+    for cluster in clusters:
+        repaired.extend(_split_to_fit(problem, cluster, biggest.outputs, biggest.inputs))
+
+    # Assign clusters to concrete slots, cheapest fitting slot first.
+    assignment: dict[int, int] = {}
+    used: set[int] = set()
+    for cluster in sorted(repaired, key=lambda c: -len(c)):
+        demand_in = problem.axon_demand(cluster)
+        candidates = [
+            s for s in arch.slots
+            if s.index not in used
+            and s.outputs >= len(cluster)
+            and s.inputs >= demand_in
+        ]
+        if not candidates:
+            raise RuntimeError(
+                f"spectral mapping: no free slot fits a cluster of "
+                f"{len(cluster)} neurons / {demand_in} axons"
+            )
+        best = min(candidates, key=lambda s: (s.area, s.index))
+        used.add(best.index)
+        for neuron in cluster:
+            assignment[neuron] = best.index
+
+    mapping = Mapping(problem, assignment)
+    issues = mapping.validate()
+    if issues:  # pragma: no cover - clusters are capacity-repaired
+        raise AssertionError(f"spectral mapping invalid: {issues}")
+    return mapping
+
+
+def _split_to_fit(
+    problem: MappingProblem, cluster: set[int], max_outputs: int, max_inputs: int
+) -> list[set[int]]:
+    """Greedily split a cluster until both dimensions fit."""
+    pieces: list[set[int]] = []
+    remaining = sorted(cluster)
+    current: set[int] = set()
+    for neuron in remaining:
+        candidate = current | {neuron}
+        if (
+            len(candidate) > max_outputs
+            or problem.axon_demand(candidate) > max_inputs
+        ):
+            if current:
+                pieces.append(current)
+            current = {neuron}
+        else:
+            current = candidate
+    if current:
+        pieces.append(current)
+    return pieces

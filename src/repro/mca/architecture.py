@@ -1,0 +1,173 @@
+"""Memristor crossbar architecture descriptions.
+
+An :class:`Architecture` is a finite pool of crossbar *slots* the ILP can
+enable — the index set ``j`` with dimensions ``(A_j, N_j)`` and costs
+``C_j``.  Builders cover the paper's two configurations:
+
+- **homogeneous**: identical square crossbars (16x16 in §V-C, the smallest
+  power-of-two size fitting the most fan-in-intense network of Table I);
+- **heterogeneous**: the Table II dimension set — power-of-two square bases
+  4x4..32x32 plus *multi-macro* vertically stacked variants (2x/4x/8x)
+  that trade taller input dimensions for the same output width, capped at
+  32 input channels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .crossbar import CrossbarSlot, CrossbarType
+
+#: Paper §V-B: base square dimensions supported by [41]-[43].
+BASE_DIMENSIONS = (4, 8, 16, 32)
+#: Paper §V-B: multi-macro vertical stacking factors from [11].
+MACRO_FACTORS = (2, 4, 8)
+#: Paper §V-B: crossbars above 32 input channels are excluded.
+MAX_INPUT_CHANNELS = 32
+
+
+def table_ii_types(
+    base_dimensions: Sequence[int] = BASE_DIMENSIONS,
+    macro_factors: Sequence[int] = MACRO_FACTORS,
+    max_inputs: int = MAX_INPUT_CHANNELS,
+    overhead: float = 1.0,
+) -> list[CrossbarType]:
+    """The Table II crossbar dimension set.
+
+    Each base ``b x b`` square contributes stacked variants
+    ``(b * f) x b`` for every macro factor ``f``, excluding anything whose
+    input dimension exceeds ``max_inputs``.
+    """
+    types: set[CrossbarType] = set()
+    for base in base_dimensions:
+        if base <= max_inputs:
+            types.add(CrossbarType(base, base, overhead))
+        for factor in macro_factors:
+            stacked_inputs = base * factor
+            if stacked_inputs <= max_inputs:
+                types.add(CrossbarType(stacked_inputs, base, overhead))
+    return sorted(types)
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A named, finite pool of crossbar slots."""
+
+    name: str
+    slots: tuple[CrossbarSlot, ...]
+
+    def __post_init__(self) -> None:
+        for pos, slot in enumerate(self.slots):
+            if slot.index != pos:
+                raise ValueError(
+                    f"slot at position {pos} has index {slot.index}; "
+                    "slot indices must be contiguous"
+                )
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+    def slot(self, index: int) -> CrossbarSlot:
+        return self.slots[index]
+
+    def types(self) -> list[CrossbarType]:
+        """Distinct crossbar types present, sorted."""
+        return sorted({slot.ctype for slot in self.slots})
+
+    def slots_of_type(self, ctype: CrossbarType) -> list[CrossbarSlot]:
+        return [slot for slot in self.slots if slot.ctype == ctype]
+
+    def total_output_capacity(self) -> int:
+        return sum(slot.outputs for slot in self.slots)
+
+    def total_area(self) -> float:
+        return sum(slot.area for slot in self.slots)
+
+    def is_homogeneous(self) -> bool:
+        return len(self.types()) <= 1
+
+    def identical_slot_groups(self) -> list[list[int]]:
+        """Slot indices grouped by type — the symmetry classes the ILP's
+        symmetry-breaking constraints order."""
+        groups: dict[CrossbarType, list[int]] = {}
+        for slot in self.slots:
+            groups.setdefault(slot.ctype, []).append(slot.index)
+        return [sorted(v) for _, v in sorted(groups.items())]
+
+    def __repr__(self) -> str:
+        counts: dict[str, int] = {}
+        for slot in self.slots:
+            counts[slot.ctype.label] = counts.get(slot.ctype.label, 0) + 1
+        inventory = ", ".join(f"{n}x {lbl}" for lbl, n in sorted(counts.items()))
+        return f"Architecture({self.name!r}, {inventory})"
+
+
+def _make_slots(types_with_counts: Iterable[tuple[CrossbarType, int]]) -> tuple[CrossbarSlot, ...]:
+    slots: list[CrossbarSlot] = []
+    for ctype, count in types_with_counts:
+        if count < 0:
+            raise ValueError("slot counts must be non-negative")
+        for _ in range(count):
+            slots.append(CrossbarSlot(len(slots), ctype))
+    return tuple(slots)
+
+
+def homogeneous_architecture(
+    num_neurons: int,
+    dimension: int = 16,
+    slack: float = 1.5,
+    overhead: float = 1.0,
+    name: str | None = None,
+) -> Architecture:
+    """Homogeneous pool of ``dimension x dimension`` crossbars.
+
+    The pool holds ``ceil(slack * n / dimension)`` slots — enough output
+    capacity to host every neuron with ``slack`` headroom so the packing is
+    never artificially constrained (the optimizer decides how many slots to
+    *enable*).
+    """
+    if num_neurons < 1:
+        raise ValueError("num_neurons must be positive")
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1 or the network cannot fit")
+    count = math.ceil(slack * num_neurons / dimension)
+    ctype = CrossbarType(dimension, dimension, overhead)
+    arch_name = name or f"homogeneous-{ctype.label}"
+    return Architecture(arch_name, _make_slots([(ctype, count)]))
+
+
+def heterogeneous_architecture(
+    num_neurons: int,
+    types: Sequence[CrossbarType] | None = None,
+    slack: float = 1.0,
+    max_slots_per_type: int = 64,
+    name: str | None = None,
+) -> Architecture:
+    """Heterogeneous pool over the Table II types.
+
+    Every type receives enough slots to host the whole network alone
+    (``ceil(slack * n / outputs)``, capped), so the solver's choice of
+    sizes is unconstrained by pool composition — matching the paper's
+    "arbitrarily heterogeneous" premise while keeping the ILP finite.
+    """
+    if num_neurons < 1:
+        raise ValueError("num_neurons must be positive")
+    chosen = list(types) if types is not None else table_ii_types()
+    if not chosen:
+        raise ValueError("need at least one crossbar type")
+    with_counts = []
+    for ctype in sorted(chosen):
+        count = min(max_slots_per_type, math.ceil(slack * num_neurons / ctype.outputs))
+        with_counts.append((ctype, count))
+    return Architecture(name or "heterogeneous-tableII", _make_slots(with_counts))
+
+
+def custom_architecture(
+    types_with_counts: Sequence[tuple[CrossbarType, int]],
+    name: str = "custom",
+) -> Architecture:
+    """Arbitrary pool from explicit (type, count) pairs."""
+    return Architecture(name, _make_slots(types_with_counts))

@@ -1,0 +1,76 @@
+"""Crossbar types and instances.
+
+A crossbar type is the ``(inputs, outputs)`` dimension pair the ILP sees as
+``(A_j, N_j)``: word-lines (axonal inputs) by bit-lines (neuron outputs).
+Area defaults to the memristor count ``inputs * outputs`` — the paper's
+Section V-D convention ("we only consider memristor count") — with an
+optional per-type overhead factor standing in for peripheral hardware
+(the ``C_j`` of objective 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class CrossbarType:
+    """A crossbar dimension: ``inputs`` word-lines x ``outputs`` bit-lines."""
+
+    inputs: int
+    outputs: int
+    overhead: float = 1.0  # multiplicative area overhead (C_j = overhead * In*Out)
+
+    def __post_init__(self) -> None:
+        if self.inputs < 1 or self.outputs < 1:
+            raise ValueError("crossbar dimensions must be positive")
+        if self.overhead <= 0:
+            raise ValueError("overhead factor must be positive")
+
+    @property
+    def memristors(self) -> int:
+        """Raw device count of the array."""
+        return self.inputs * self.outputs
+
+    @property
+    def area(self) -> float:
+        """Area cost ``C_j`` used by the area objective."""
+        return self.overhead * self.memristors
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``InxOut`` dimension label (paper Fig. 3 style)."""
+        return f"{self.inputs}x{self.outputs}"
+
+    def fits(self, num_outputs: int, num_inputs: int) -> bool:
+        """Can this type host ``num_outputs`` neurons with ``num_inputs`` axons?"""
+        return num_outputs <= self.outputs and num_inputs <= self.inputs
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class CrossbarSlot:
+    """One concrete crossbar position ``j`` in an architecture's pool."""
+
+    index: int
+    ctype: CrossbarType
+
+    @property
+    def inputs(self) -> int:
+        """``A_j``: available axonal input lines."""
+        return self.ctype.inputs
+
+    @property
+    def outputs(self) -> int:
+        """``N_j``: available neuron output lines."""
+        return self.ctype.outputs
+
+    @property
+    def area(self) -> float:
+        """``C_j``: area cost if this slot is enabled."""
+        return self.ctype.area
+
+    def __str__(self) -> str:
+        return f"xbar[{self.index}]:{self.ctype.label}"

@@ -1,0 +1,84 @@
+"""First-order area / energy accounting.
+
+The paper evaluates area as memristor count (§V-D) and motivates route /
+packet minimization by energy: every global packet crosses chip routers.
+This module turns a mapping plus a traffic report into one comparable
+cost summary.  Coefficients are deliberately simple, order-of-magnitude
+figures (set your own for a specific process); all paper comparisons are
+relative, so only ratios matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .architecture import Architecture
+from .processor import TrafficReport
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients (picojoules, order-of-magnitude)."""
+
+    memristor_static_pj: float = 0.01  # leakage per device per timestep
+    local_packet_pj: float = 0.1  # crossbar-internal delivery
+    router_hop_pj: float = 1.0  # one packet crossing one mesh link
+    router_inject_pj: float = 0.5  # NI injection/ejection per global packet
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("memristor_static_pj", self.memristor_static_pj),
+            ("local_packet_pj", self.local_packet_pj),
+            ("router_hop_pj", self.router_hop_pj),
+            ("router_inject_pj", self.router_inject_pj),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Area and energy of one mapped execution."""
+
+    enabled_crossbars: int
+    area_memristors: float
+    static_energy_pj: float
+    communication_energy_pj: float
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.static_energy_pj + self.communication_energy_pj
+
+
+def enabled_area(
+    architecture: Architecture, assignment: Mapping[int, int]
+) -> tuple[int, float]:
+    """(enabled crossbar count, summed area C_j) for a placement."""
+    enabled = sorted(set(assignment.values()))
+    area = sum(architecture.slot(j).area for j in enabled)
+    return len(enabled), area
+
+
+def cost_summary(
+    architecture: Architecture,
+    assignment: Mapping[int, int],
+    traffic: TrafficReport,
+    duration: int,
+    model: EnergyModel | None = None,
+) -> CostSummary:
+    """Combine placement area and runtime traffic into one summary."""
+    model = model or EnergyModel()
+    count, area = enabled_area(architecture, assignment)
+    static = model.memristor_static_pj * area * duration
+    communication = (
+        model.local_packet_pj * traffic.local_packets
+        + model.router_inject_pj * traffic.global_packets
+        + model.router_hop_pj * traffic.hop_packets
+    )
+    return CostSummary(
+        enabled_crossbars=count,
+        area_memristors=area,
+        static_energy_pj=static,
+        communication_energy_pj=communication,
+    )

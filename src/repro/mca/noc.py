@@ -1,0 +1,93 @@
+"""2D-mesh network-on-chip model.
+
+The paper counts inter-crossbar routes and packets (its SNU / PGO metrics)
+without committing to a topology; this module supplies the obvious physical
+substrate — crossbars at the tiles of a 2D mesh with dimension-ordered
+(XY) routing — so energy and congestion reports can weight global packets
+by actual hop distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MeshPosition:
+    x: int
+    y: int
+
+
+class MeshNoC:
+    """A width x height mesh with one crossbar per tile (row-major)."""
+
+    def __init__(self, num_tiles: int, width: int | None = None) -> None:
+        if num_tiles < 1:
+            raise ValueError("need at least one tile")
+        self.num_tiles = num_tiles
+        self.width = width or max(1, math.ceil(math.sqrt(num_tiles)))
+        self.height = math.ceil(num_tiles / self.width)
+
+    def position(self, tile: int) -> MeshPosition:
+        if not 0 <= tile < self.num_tiles:
+            raise IndexError(f"tile {tile} out of range")
+        return MeshPosition(tile % self.width, tile // self.width)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan (XY-routing) hop count between two tiles."""
+        a, b = self.position(src), self.position(dst)
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Tile sequence of the XY route (inclusive of both endpoints)."""
+        a, b = self.position(src), self.position(dst)
+        path = [src]
+        x, y = a.x, a.y
+        while x != b.x:
+            x += 1 if b.x > x else -1
+            path.append(y * self.width + x)
+        while y != b.y:
+            y += 1 if b.y > y else -1
+            path.append(y * self.width + x)
+        return path
+
+
+@dataclass
+class LinkLoad:
+    """Per-link packet counts accumulated over a simulation."""
+
+    loads: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def add_route(self, tiles: list[int], packets: int = 1) -> None:
+        for a, b in zip(tiles, tiles[1:]):
+            key = (a, b)
+            self.loads[key] = self.loads.get(key, 0) + packets
+
+    @property
+    def total_link_traversals(self) -> int:
+        return sum(self.loads.values())
+
+    @property
+    def max_link_load(self) -> int:
+        """Peak per-link load — the congestion bottleneck."""
+        return max(self.loads.values(), default=0)
+
+
+def hop_weighted_packets(
+    noc: MeshNoC, packet_counts: dict[tuple[int, int], int]
+) -> tuple[int, LinkLoad]:
+    """Expand crossbar-to-crossbar packet counts into link loads.
+
+    ``packet_counts`` maps ``(src_tile, dst_tile)`` to packets sent.
+    Returns total hop-packets (energy proxy) and the per-link load map.
+    """
+    load = LinkLoad()
+    total_hops = 0
+    for (src, dst), packets in packet_counts.items():
+        if src == dst:
+            continue
+        route = noc.route(src, dst)
+        load.add_route(route, packets)
+        total_hops += (len(route) - 1) * packets
+    return total_hops, load

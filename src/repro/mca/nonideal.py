@@ -1,0 +1,153 @@
+"""Memristor non-ideality models.
+
+The paper motivates small crossbars with "non-idealities that limit
+crossbar dimensions" (§II-B) but evaluates on ideal arrays.  This module
+supplies the missing physical layer so mapped networks can be *executed
+under non-ideal analog behaviour* and the accuracy cost of crossbar-size
+choices can be quantified:
+
+- **conductance quantization** — weights snap to a finite number of
+  conductance levels per device;
+- **programming variation** — lognormal multiplicative error applied once
+  when a weight is programmed;
+- **read noise** — per-access Gaussian noise (modelled as a per-synapse
+  perturbation drawn per run, the standard fast approximation);
+- **IR drop** — wire resistance attenuates currents with distance from
+  the drivers; longer word-lines (bigger crossbars) lose more, which is
+  exactly the effect that caps practical crossbar dimensions;
+- **stuck-at faults** — a fraction of devices frozen at min/max
+  conductance.
+
+The entry point :func:`apply_nonidealities` rewrites a mapped network's
+synapse weights according to the crossbar each synapse lands in, returning
+a perturbed network that runs on the ordinary simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping as MappingT
+
+import numpy as np
+
+from ..snn.network import Network
+
+
+@dataclass(frozen=True)
+class NonidealityModel:
+    """Device / array non-ideality parameters."""
+
+    conductance_levels: int = 16  # distinct programmable levels per device
+    programming_sigma: float = 0.0  # lognormal sigma of write variation
+    read_noise_sigma: float = 0.0  # gaussian sigma (relative) per run
+    wire_resistance: float = 0.0  # IR-drop coefficient per crossbar column
+    stuck_at_fraction: float = 0.0  # fraction of devices stuck at 0 or max
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.conductance_levels < 2:
+            raise ValueError("need at least 2 conductance levels")
+        for name in ("programming_sigma", "read_noise_sigma", "wire_resistance"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.stuck_at_fraction < 1.0:
+            raise ValueError("stuck_at_fraction must be in [0, 1)")
+
+
+def quantize_weight(weight: float, max_abs: float, levels: int) -> float:
+    """Snap a weight to the nearest of ``levels`` signed conductance steps.
+
+    Uses a symmetric uniform quantizer over [-max_abs, max_abs]; zero is
+    always representable (devices can be left unprogrammed).
+    """
+    if max_abs <= 0:
+        return 0.0
+    step = max_abs / (levels - 1)
+    return float(np.clip(round(weight / step) * step, -max_abs, max_abs))
+
+
+def _ir_drop_factor(column_position: int, num_columns: int, coeff: float) -> float:
+    """Attenuation of the column at ``column_position`` (0 = nearest driver).
+
+    First-order model: relative current loss grows linearly with distance
+    along the word-line, scaled by the wire-resistance coefficient.  Wider
+    crossbars therefore degrade more — the §II-B scaling limit.
+    """
+    if num_columns <= 1 or coeff <= 0:
+        return 1.0
+    distance = column_position / (num_columns - 1)
+    return max(0.0, 1.0 - coeff * distance)
+
+
+def apply_nonidealities(
+    network: Network,
+    assignment: MappingT[int, int],
+    crossbar_outputs: MappingT[int, int],
+    model: NonidealityModel,
+) -> Network:
+    """Return a copy of ``network`` with weights degraded per placement.
+
+    ``assignment`` maps neuron -> crossbar; ``crossbar_outputs`` maps
+    crossbar -> its output-line count (used by the IR-drop model: a
+    neuron's column index within its crossbar determines attenuation).
+    """
+    rng = np.random.default_rng(model.seed)
+    degraded = network.copy(f"{network.name}-nonideal")
+    max_abs = max((abs(s.weight) for s in network.synapses()), default=0.0)
+
+    # Deterministic column positions: neurons sorted by id per crossbar.
+    column_of: dict[int, int] = {}
+    by_crossbar: dict[int, list[int]] = {}
+    for nid, j in sorted(assignment.items()):
+        by_crossbar.setdefault(j, []).append(nid)
+    for j, members in by_crossbar.items():
+        for pos, nid in enumerate(sorted(members)):
+            column_of[nid] = pos
+
+    for syn in network.synapses():
+        weight = quantize_weight(syn.weight, max_abs, model.conductance_levels)
+        if model.programming_sigma > 0:
+            weight *= float(rng.lognormal(0.0, model.programming_sigma))
+        if model.read_noise_sigma > 0:
+            weight *= 1.0 + float(rng.normal(0.0, model.read_noise_sigma))
+        j = assignment[syn.post]
+        num_cols = crossbar_outputs.get(j, 1)
+        weight *= _ir_drop_factor(column_of[syn.post], num_cols, model.wire_resistance)
+        if model.stuck_at_fraction > 0 and rng.random() < model.stuck_at_fraction:
+            weight = 0.0 if rng.random() < 0.5 else float(np.sign(weight) or 1.0) * max_abs
+        degraded.replace_synapse(replace(syn, weight=weight))
+    return degraded
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """How far a degraded execution drifted from the ideal one."""
+
+    ideal_spikes: int
+    degraded_spikes: int
+    spike_count_error: float  # relative |ideal - degraded| / max(ideal, 1)
+    raster_jaccard: float  # overlap of (t, neuron) spike sets
+
+
+def fidelity(
+    network: Network,
+    degraded: Network,
+    input_spikes: MappingT[int, list[int]],
+    duration: int,
+) -> FidelityReport:
+    """Run both networks on identical input and compare spike behaviour."""
+    from ..snn.simulator import Simulator
+
+    ideal = Simulator(network).run(duration, input_spikes=input_spikes)
+    noisy = Simulator(degraded).run(duration, input_spikes=input_spikes)
+    set_a = set(ideal.spikes)
+    set_b = set(noisy.spikes)
+    union = len(set_a | set_b)
+    jaccard = (len(set_a & set_b) / union) if union else 1.0
+    return FidelityReport(
+        ideal_spikes=ideal.total_spikes,
+        degraded_spikes=noisy.total_spikes,
+        spike_count_error=abs(ideal.total_spikes - noisy.total_spikes)
+        / max(ideal.total_spikes, 1),
+        raster_jaccard=jaccard,
+    )

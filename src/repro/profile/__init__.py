@@ -1,0 +1,24 @@
+"""PGO substrate: synthetic SmartPixel-like dataset, the 1%/99% profile
+split, spike-profile collection and mapped-packet evaluation."""
+
+from .profiler import PacketEvaluation, collect_profile, evaluate_packets
+from .workloads import hotspot_frames, noise_frames, stroke_frames
+from .smartpixel import (
+    PixelSample,
+    SmartPixelConfig,
+    generate_dataset,
+    split_dataset,
+)
+
+__all__ = [
+    "PacketEvaluation",
+    "PixelSample",
+    "SmartPixelConfig",
+    "collect_profile",
+    "evaluate_packets",
+    "generate_dataset",
+    "hotspot_frames",
+    "noise_frames",
+    "stroke_frames",
+    "split_dataset",
+]

@@ -1,0 +1,115 @@
+"""Additional synthetic workloads for profile-robustness studies.
+
+Fig. 9's premise is that spiking activity is regular enough for a 1%
+profile to predict the other 99%.  That holds *within* a workload; these
+generators produce frames with deliberately different spatial statistics
+so PGO's transfer behaviour across workload shift can be measured:
+
+- :func:`stroke_frames` — short digit-like strokes (multiple segments,
+  local structure everywhere);
+- :func:`hotspot_frames` — a fixed set of recurring cluster positions
+  (maximally regular: PGO's best case);
+- :func:`noise_frames` — uniform uncorrelated noise (no structure:
+  PGO's worst case).
+
+All generators return :class:`~repro.profile.smartpixel.PixelSample`
+lists, so they drop into the profiler and evaluator unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .smartpixel import PixelSample
+
+
+def _normalize(frame: np.ndarray) -> np.ndarray:
+    peak = frame.max()
+    return frame / peak if peak > 0 else frame
+
+
+def stroke_frames(
+    rows: int = 8,
+    cols: int = 8,
+    num_samples: int = 100,
+    segments: int = 2,
+    seed: int = 0,
+) -> list[PixelSample]:
+    """Frames of connected random strokes; label = number of lit quadrants."""
+    if rows < 2 or cols < 2:
+        raise ValueError("pixel array must be at least 2x2")
+    if segments < 1:
+        raise ValueError("need at least one stroke segment")
+    rng = np.random.default_rng(seed)
+    samples: list[PixelSample] = []
+    for _ in range(num_samples):
+        frame = np.zeros((rows, cols))
+        r, c = int(rng.integers(rows)), int(rng.integers(cols))
+        for _ in range(segments * 4):
+            frame[r, c] += 1.0
+            r = int(np.clip(r + rng.integers(-1, 2), 0, rows - 1))
+            c = int(np.clip(c + rng.integers(-1, 2), 0, cols - 1))
+        quads = [
+            frame[: rows // 2, : cols // 2].sum() > 0,
+            frame[: rows // 2, cols // 2 :].sum() > 0,
+            frame[rows // 2 :, : cols // 2].sum() > 0,
+            frame[rows // 2 :, cols // 2 :].sum() > 0,
+        ]
+        label = int(sum(quads)) - 1
+        samples.append(PixelSample(frame=_normalize(frame), label=max(label, 0)))
+    return samples
+
+
+def hotspot_frames(
+    rows: int = 8,
+    cols: int = 8,
+    num_samples: int = 100,
+    num_hotspots: int = 3,
+    jitter: float = 0.5,
+    seed: int = 0,
+) -> list[PixelSample]:
+    """Frames lighting one of a few fixed hotspots; label = hotspot id.
+
+    The most PGO-friendly distribution: the same pixels (hence the same
+    neurons and synapses) are hot in every sample.
+    """
+    if num_hotspots < 1:
+        raise ValueError("need at least one hotspot")
+    rng = np.random.default_rng(seed)
+    centres = [
+        (int(rng.integers(rows)), int(rng.integers(cols)))
+        for _ in range(num_hotspots)
+    ]
+    row_axis = np.arange(rows)[:, None]
+    col_axis = np.arange(cols)[None, :]
+    samples: list[PixelSample] = []
+    for _ in range(num_samples):
+        label = int(rng.integers(num_hotspots))
+        r0, c0 = centres[label]
+        r = r0 + rng.normal(0, jitter)
+        c = c0 + rng.normal(0, jitter)
+        frame = np.exp(-(((row_axis - r) ** 2 + (col_axis - c) ** 2) / 2.0))
+        samples.append(PixelSample(frame=_normalize(frame), label=label))
+    return samples
+
+
+def noise_frames(
+    rows: int = 8,
+    cols: int = 8,
+    num_samples: int = 100,
+    density: float = 0.2,
+    seed: int = 0,
+) -> list[PixelSample]:
+    """Structure-free frames: each pixel lit independently; label always 0.
+
+    PGO's adversarial case — no synapse is consistently hotter than
+    another beyond sampling noise.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    samples: list[PixelSample] = []
+    for _ in range(num_samples):
+        frame = (rng.random((rows, cols)) < density) * rng.random((rows, cols))
+        samples.append(PixelSample(frame=_normalize(frame), label=0))
+    return samples

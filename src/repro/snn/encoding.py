@@ -1,0 +1,83 @@
+"""Spike-train encoders for sensor frames.
+
+The paper's networks consume SmartPixel detector frames "converted into
+spike train format" (§V-A).  This module provides the two standard
+encodings used in the TENNLab ecosystem: rate coding and time-to-first-
+spike (temporal) coding, plus a helper to encode a whole 2D frame onto a
+network's input neurons.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def rate_encode(value: float, window: int) -> list[int]:
+    """Encode ``value`` in [0, 1] as evenly spaced spikes over ``window``.
+
+    A value of 1 spikes every timestep; 0 never spikes.  Spikes are spread
+    deterministically (no Poisson noise) so profiles are reproducible.
+    """
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"rate_encode expects value in [0, 1], got {value}")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    count = int(round(value * window))
+    if count == 0:
+        return []
+    # Place spike k at floor(k * window / count) — evenly spread, start at 0.
+    return sorted({(k * window) // count for k in range(count)})
+
+
+def ttfs_encode(value: float, window: int) -> list[int]:
+    """Time-to-first-spike: larger values spike earlier; zero never spikes."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"ttfs_encode expects value in [0, 1], got {value}")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if value == 0.0:
+        return []
+    t = min(window - 1, int(round((1.0 - value) * (window - 1))))
+    return [t]
+
+
+def encode_frame(
+    frame: np.ndarray,
+    input_ids: Sequence[int],
+    window: int,
+    method: str = "rate",
+) -> dict[int, list[int]]:
+    """Encode a 2D (or flat) frame onto the given input neurons.
+
+    The frame is flattened, normalized to [0, 1] by its max (a zero frame
+    stays zero), and pixel ``p`` drives ``input_ids[p]``.  The frame must
+    not have more pixels than there are input neurons; excess input neurons
+    stay silent.
+    """
+    flat = np.asarray(frame, dtype=float).ravel()
+    if flat.size > len(input_ids):
+        raise ValueError(
+            f"frame has {flat.size} pixels but only {len(input_ids)} input neurons"
+        )
+    peak = flat.max() if flat.size else 0.0
+    if peak > 0:
+        flat = flat / peak
+    encoder = {"rate": rate_encode, "ttfs": ttfs_encode}.get(method)
+    if encoder is None:
+        raise ValueError(f"unknown encoding method {method!r}")
+    spikes: dict[int, list[int]] = {}
+    for pixel, value in enumerate(flat):
+        train = encoder(float(value), window)
+        if train:
+            spikes[input_ids[pixel]] = train
+    return spikes
+
+
+def decode_rate(spike_counts: Mapping[int, int], output_ids: Sequence[int]) -> int:
+    """Classify by the most active output neuron (ties -> lowest id)."""
+    if not output_ids:
+        raise ValueError("no output neurons to decode from")
+    best = max(output_ids, key=lambda nid: (spike_counts.get(nid, 0), -nid))
+    return list(output_ids).index(best)

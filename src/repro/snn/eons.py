@@ -1,0 +1,252 @@
+"""EONS-style evolutionary optimizer for spiking networks.
+
+Reimplements the core loop of Evolutionary Optimization for Neuromorphic
+Systems (Schuman et al. [37], [38]), which the paper used (inside TENNLab)
+to train its benchmark networks: a population of candidate SNNs evolves
+under tournament selection with structural mutations (add/remove neuron or
+synapse), parametric mutations (perturb weight/threshold/delay), and graph
+crossover.  The fitness function is arbitrary — the SmartPixel experiment
+in :mod:`repro.profile` supplies a classification-accuracy fitness.
+
+This is a faithful small-scale EONS, not a performance-tuned one; the
+reproduction's Table-I twins come from :func:`repro.snn.generators.
+statistical_twin`, while this module demonstrates the full train-from-
+scratch path end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from .network import Network
+
+FitnessFn = Callable[[Network], float]
+
+
+@dataclass(frozen=True)
+class EonsConfig:
+    """Evolution hyperparameters (defaults suit the examples/tests)."""
+
+    population_size: int = 20
+    num_inputs: int = 4
+    num_outputs: int = 2
+    initial_hidden: int = 6
+    initial_synapses: int = 24
+    max_neurons: int = 64
+    max_fan_in: int = 16
+    tournament_size: int = 3
+    elite_count: int = 2
+    crossover_rate: float = 0.5
+    structural_mutation_rate: float = 0.5
+    parametric_mutation_rate: float = 0.8
+    weight_sigma: float = 0.3
+    max_delay: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.elite_count >= self.population_size:
+            raise ValueError("elite_count must be < population_size")
+        if self.num_inputs < 1 or self.num_outputs < 1:
+            raise ValueError("need at least one input and one output neuron")
+
+
+@dataclass
+class EonsResult:
+    """Best network found plus the per-generation fitness history."""
+
+    best: Network
+    best_fitness: float
+    history: list[float] = field(default_factory=list)
+
+
+class Eons:
+    """Evolutionary optimizer over :class:`Network` genomes."""
+
+    def __init__(self, config: EonsConfig | None = None) -> None:
+        self.config = config or EonsConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # population seeding
+    # ------------------------------------------------------------------
+    def random_genome(self) -> Network:
+        """A random valid genome with fixed IO neurons and random hidden."""
+        cfg = self.config
+        net = Network("eons-genome")
+        for i in range(cfg.num_inputs):
+            net.add_neuron(i, is_input=True)
+        for i in range(cfg.num_outputs):
+            net.add_neuron(cfg.num_inputs + i, is_output=True)
+        for _ in range(cfg.initial_hidden):
+            net.add_neuron(threshold=float(self._rng.uniform(0.5, 2.0)))
+        ids = net.neuron_ids()
+        attempts = 0
+        while net.num_synapses < cfg.initial_synapses and attempts < 50 * cfg.initial_synapses:
+            attempts += 1
+            pre = int(self._rng.choice(ids))
+            post = int(self._rng.choice(ids))
+            if pre == post or net.has_synapse(pre, post):
+                continue
+            if net.neuron(post).is_input or net.neuron(pre).is_output:
+                continue
+            if net.fan_in(post) >= cfg.max_fan_in:
+                continue
+            net.add_synapse(pre, post, weight=self._weight(), delay=self._delay())
+        return net
+
+    def _weight(self) -> float:
+        sign = -1.0 if self._rng.random() < 0.2 else 1.0
+        return sign * float(self._rng.uniform(0.3, 1.2))
+
+    def _delay(self) -> int:
+        return int(self._rng.integers(1, self.config.max_delay + 1))
+
+    # ------------------------------------------------------------------
+    # genetic operators
+    # ------------------------------------------------------------------
+    def mutate(self, genome: Network) -> Network:
+        """Apply one structural and/or parametric mutation (copy-on-write)."""
+        cfg = self.config
+        net = genome.copy()
+        if self._rng.random() < cfg.structural_mutation_rate:
+            op = self._rng.choice(["add_syn", "del_syn", "add_neuron", "del_neuron"])
+            if op == "add_syn":
+                self._mutate_add_synapse(net)
+            elif op == "del_syn":
+                self._mutate_del_synapse(net)
+            elif op == "add_neuron" and net.num_neurons < cfg.max_neurons:
+                self._mutate_add_neuron(net)
+            elif op == "del_neuron":
+                self._mutate_del_neuron(net)
+        if self._rng.random() < cfg.parametric_mutation_rate:
+            self._mutate_parameters(net)
+        return net
+
+    def _mutate_add_synapse(self, net: Network) -> None:
+        ids = net.neuron_ids()
+        for _ in range(20):
+            pre = int(self._rng.choice(ids))
+            post = int(self._rng.choice(ids))
+            if pre == post or net.has_synapse(pre, post):
+                continue
+            if net.neuron(post).is_input or net.neuron(pre).is_output:
+                continue
+            if net.fan_in(post) >= self.config.max_fan_in:
+                continue
+            net.add_synapse(pre, post, weight=self._weight(), delay=self._delay())
+            return
+
+    def _mutate_del_synapse(self, net: Network) -> None:
+        synapses = list(net.synapses())
+        if synapses:
+            victim = synapses[int(self._rng.integers(len(synapses)))]
+            net.remove_synapse(victim.pre, victim.post)
+
+    def _mutate_add_neuron(self, net: Network) -> None:
+        new = net.add_neuron(threshold=float(self._rng.uniform(0.5, 2.0)))
+        # Splice into the graph so the neuron is immediately reachable.
+        ids = [nid for nid in net.neuron_ids() if nid != new.id]
+        pre = int(self._rng.choice(ids))
+        post = int(self._rng.choice(ids))
+        if not net.neuron(pre).is_output and not net.has_synapse(pre, new.id):
+            net.add_synapse(pre, new.id, weight=self._weight(), delay=self._delay())
+        if (
+            not net.neuron(post).is_input
+            and not net.has_synapse(new.id, post)
+            and net.fan_in(post) < self.config.max_fan_in
+        ):
+            net.add_synapse(new.id, post, weight=self._weight(), delay=self._delay())
+
+    def _mutate_del_neuron(self, net: Network) -> None:
+        hidden = [
+            n.id for n in net.neurons() if not n.is_input and not n.is_output
+        ]
+        if hidden:
+            net.remove_neuron(int(self._rng.choice(hidden)))
+
+    def _mutate_parameters(self, net: Network) -> None:
+        cfg = self.config
+        synapses = list(net.synapses())
+        if synapses:
+            syn = synapses[int(self._rng.integers(len(synapses)))]
+            net.replace_synapse(
+                replace(
+                    syn,
+                    weight=syn.weight + float(self._rng.normal(0, cfg.weight_sigma)),
+                )
+            )
+        neurons = [n for n in net.neurons() if not n.is_input]
+        if neurons:
+            neuron = neurons[int(self._rng.integers(len(neurons)))]
+            new_threshold = max(0.1, neuron.threshold + float(self._rng.normal(0, 0.2)))
+            net.replace_neuron(replace(neuron, threshold=new_threshold))
+
+    def crossover(self, a: Network, b: Network) -> Network:
+        """Edge-union crossover: child inherits each parent edge with p=0.5.
+
+        The child keeps parent A's neuron set (plus any B neurons needed by
+        inherited B edges), preserving the fixed IO convention.
+        """
+        child = a.copy()
+        for syn in b.synapses():
+            if self._rng.random() >= 0.5:
+                continue
+            for endpoint in (syn.pre, syn.post):
+                if not child.has_neuron(endpoint):
+                    if child.num_neurons >= self.config.max_neurons:
+                        break
+                    src = b.neuron(endpoint)
+                    child.add_neuron(
+                        endpoint, src.threshold, src.leak, src.is_input, src.is_output
+                    )
+            else:
+                if (
+                    child.has_neuron(syn.pre)
+                    and child.has_neuron(syn.post)
+                    and not child.has_synapse(syn.pre, syn.post)
+                    and child.fan_in(syn.post) < self.config.max_fan_in
+                ):
+                    child.add_synapse(syn.pre, syn.post, syn.weight, syn.delay)
+        return child
+
+    # ------------------------------------------------------------------
+    # evolution loop
+    # ------------------------------------------------------------------
+    def evolve(self, fitness: FitnessFn, generations: int = 20) -> EonsResult:
+        """Run the evolutionary loop; higher fitness is better."""
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        cfg = self.config
+        population = [self.random_genome() for _ in range(cfg.population_size)]
+        scores = [fitness(g) for g in population]
+        history: list[float] = []
+
+        for _ in range(generations):
+            order = np.argsort(scores)[::-1]
+            elites = [population[int(i)] for i in order[: cfg.elite_count]]
+            next_pop: list[Network] = list(elites)
+            while len(next_pop) < cfg.population_size:
+                parent_a = self._tournament(population, scores)
+                if self._rng.random() < cfg.crossover_rate:
+                    parent_b = self._tournament(population, scores)
+                    child = self.crossover(parent_a, parent_b)
+                else:
+                    child = parent_a.copy()
+                next_pop.append(self.mutate(child))
+            population = next_pop
+            scores = [fitness(g) for g in population]
+            history.append(max(scores))
+
+        best_idx = int(np.argmax(scores))
+        best, _ = population[best_idx].compact()
+        return EonsResult(best=best, best_fitness=scores[best_idx], history=history)
+
+    def _tournament(self, population: list[Network], scores: list[float]) -> Network:
+        picks = self._rng.integers(len(population), size=self.config.tournament_size)
+        winner = max(picks, key=lambda i: scores[int(i)])
+        return population[int(winner)]

@@ -1,0 +1,384 @@
+"""SNN topology generators.
+
+The paper's five benchmark networks (Table I) are pre-trained EONS
+checkpoints that were never released.  The mapping ILP only consumes
+network *structure* (the connectivity matrix), so this module provides:
+
+- :func:`random_network` / :func:`layered_network` — generic generators
+  for tests and examples;
+- :func:`statistical_twin` — synthesizes a network matching a Table-I row:
+  exact node and edge counts, exact maximum fan-in, and in-/out-degree
+  distributions tuned to the reported Gini sparsity indices.
+
+Twin generation works in two steps: degree sequences are drawn from the
+power-family ``w(p) = p^alpha`` whose Gini coefficient is
+``alpha / (alpha + 2)`` (so ``alpha = 2g / (1 - g)`` hits a target ``g``),
+then edges are realized with a configuration model repaired by edge swaps
+to remove self-loops and duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Network
+
+
+@dataclass(frozen=True)
+class TwinSpec:
+    """Target attributes for :func:`statistical_twin` (one Table-I row)."""
+
+    name: str
+    node_count: int
+    edge_count: int
+    max_fan_in: int
+    gini_incoming: float
+    gini_outgoing: float
+
+    def scaled(self, factor: float) -> "TwinSpec":
+        """Proportionally shrink node/edge counts (benchmark-sized twins)."""
+        if not 0 < factor <= 1:
+            raise ValueError("scale factor must be in (0, 1]")
+        nodes = max(8, int(round(self.node_count * factor)))
+        edges = max(nodes, int(round(self.edge_count * factor)))
+        cap = min(self.max_fan_in, nodes - 1)
+        return TwinSpec(
+            name=self.name,
+            node_count=nodes,
+            edge_count=min(edges, nodes * cap),
+            max_fan_in=cap,
+            gini_incoming=self.gini_incoming,
+            gini_outgoing=self.gini_outgoing,
+        )
+
+
+def gini_degree_sequence(
+    n: int,
+    total: int,
+    gini: float,
+    rng: np.random.Generator,
+    cap: int | None = None,
+    force_max: bool = False,
+) -> np.ndarray:
+    """Integer degree sequence of length ``n`` summing to ``total``.
+
+    Drawn from the ``p^alpha`` power family to approximate the requested
+    Gini coefficient, rounded by largest remainder so the sum is exact.
+    ``cap`` bounds every entry; with ``force_max`` the largest entry is
+    pushed to exactly ``cap`` (Table I reports exact max fan-in).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if not 0.0 <= gini < 1.0:
+        raise ValueError("gini must be in [0, 1)")
+    if cap is not None and cap * n < total:
+        raise ValueError(f"cap {cap} too small: {n} nodes cannot hold {total}")
+
+    alpha = 2.0 * gini / (1.0 - gini)
+    positions = (np.arange(1, n + 1)) / n
+    weights = positions ** alpha
+    rng.shuffle(weights)
+    target = weights * (total / weights.sum())
+
+    degrees = np.floor(target).astype(int)
+    remainder = total - degrees.sum()
+    # Largest-remainder rounding.
+    frac_order = np.argsort(-(target - degrees))
+    degrees[frac_order[:remainder]] += 1
+
+    if cap is not None:
+        degrees = _redistribute_over_cap(degrees, cap, rng)
+        if force_max and total >= cap and degrees.max() < cap:
+            _force_entry_to_cap(degrees, cap, rng)
+    return degrees
+
+
+def _redistribute_over_cap(
+    degrees: np.ndarray, cap: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Clip entries above ``cap``, moving the excess to under-cap entries."""
+    degrees = degrees.copy()
+    excess = int(np.maximum(degrees - cap, 0).sum())
+    degrees = np.minimum(degrees, cap)
+    while excess > 0:
+        room = np.flatnonzero(degrees < cap)
+        pick = rng.choice(room, size=min(excess, room.size), replace=False)
+        degrees[pick] += 1
+        excess -= pick.size
+    return degrees
+
+
+def _force_entry_to_cap(degrees: np.ndarray, cap: int, rng: np.random.Generator) -> None:
+    """Raise the largest entry to ``cap``, stealing from other entries."""
+    top = int(np.argmax(degrees))
+    needed = cap - int(degrees[top])
+    while needed > 0:
+        donors = np.flatnonzero((degrees > 0) & (np.arange(degrees.size) != top))
+        if donors.size == 0:
+            break
+        donor = int(rng.choice(donors))
+        degrees[donor] -= 1
+        degrees[top] += 1
+        needed -= 1
+
+
+def realize_degree_sequences(
+    out_degrees: np.ndarray,
+    in_degrees: np.ndarray,
+    rng: np.random.Generator,
+    max_repair_rounds: int = 200,
+    in_cap: int | None = None,
+) -> set[tuple[int, int]]:
+    """Configuration-model edge set without self-loops or duplicates.
+
+    Stubs are shuffled and paired; conflicting pairs are repaired by degree-
+    preserving edge swaps.  When a dense, highly skewed sequence leaves
+    unswappable conflicts (possible on very small scaled-down twins), the
+    conflict's stub is *retargeted* to a different endpoint — preserving
+    node and edge counts exactly while perturbing one degree, with
+    ``in_cap`` still enforced.  Raises ``RuntimeError`` only if even that
+    is impossible (the graph is essentially complete).
+    """
+    if out_degrees.sum() != in_degrees.sum():
+        raise ValueError("out- and in-degree sums differ")
+    out_stubs = np.repeat(np.arange(out_degrees.size), out_degrees)
+    in_stubs = np.repeat(np.arange(in_degrees.size), in_degrees)
+    rng.shuffle(out_stubs)
+    rng.shuffle(in_stubs)
+
+    edges: set[tuple[int, int]] = set()
+    conflicts: list[tuple[int, int]] = []
+    for pre, post in zip(out_stubs.tolist(), in_stubs.tolist()):
+        if pre != post and (pre, post) not in edges:
+            edges.add((pre, post))
+        else:
+            conflicts.append((pre, post))
+
+    for _ in range(max_repair_rounds):
+        if not conflicts:
+            return edges
+        still: list[tuple[int, int]] = []
+        edge_list = list(edges)
+        for pre, post in conflicts:
+            swapped = False
+            order = rng.permutation(len(edge_list))
+            for k in order[: min(100, len(edge_list))]:
+                a, b = edge_list[int(k)]
+                # Swap partners: (pre,post)+(a,b) -> (pre,b)+(a,post).
+                if (
+                    pre != b and a != post
+                    and (pre, b) not in edges and (a, post) not in edges
+                    and (a, b) in edges
+                ):
+                    edges.remove((a, b))
+                    edges.add((pre, b))
+                    edges.add((a, post))
+                    swapped = True
+                    break
+            if not swapped:
+                still.append((pre, post))
+        conflicts = still
+        edge_list = list(edges)
+
+    if conflicts:
+        _retarget_conflicts(conflicts, edges, out_degrees.size, rng, in_cap)
+    return edges
+
+
+def _retarget_conflicts(
+    conflicts: list[tuple[int, int]],
+    edges: set[tuple[int, int]],
+    num_nodes: int,
+    rng: np.random.Generator,
+    in_cap: int | None,
+) -> None:
+    """Realize leftover conflicting stubs by moving one endpoint.
+
+    Preserves edge count exactly; shifts one in-degree (or out-degree) by
+    one per conflict.  Respects ``in_cap`` on the receiving node.
+    """
+    realized_in = np.zeros(num_nodes, dtype=int)
+    for _, post in edges:
+        realized_in[post] += 1
+    for pre, post in conflicts:
+        candidates = [
+            b for b in rng.permutation(num_nodes)
+            if b != pre
+            and (pre, int(b)) not in edges
+            and (in_cap is None or realized_in[int(b)] < in_cap)
+        ]
+        if candidates:
+            b = int(candidates[0])
+            edges.add((pre, b))
+            realized_in[b] += 1
+            continue
+        # pre saturates every allowed target: move the out side instead.
+        if in_cap is None or realized_in[post] < in_cap:
+            alt_sources = [
+                a for a in rng.permutation(num_nodes)
+                if a != post and (int(a), post) not in edges
+            ]
+            if alt_sources:
+                edges.add((int(alt_sources[0]), post))
+                realized_in[post] += 1
+                continue
+        # Last resort: place the edge anywhere feasible.
+        placed = False
+        for a in rng.permutation(num_nodes):
+            for b in rng.permutation(num_nodes):
+                a_i, b_i = int(a), int(b)
+                if (
+                    a_i != b_i
+                    and (a_i, b_i) not in edges
+                    and (in_cap is None or realized_in[b_i] < in_cap)
+                ):
+                    edges.add((a_i, b_i))
+                    realized_in[b_i] += 1
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            raise RuntimeError(
+                f"cannot realize stub ({pre}, {post}): graph is saturated"
+            )
+
+
+def _finalize(
+    edges: set[tuple[int, int]],
+    n: int,
+    name: str,
+    rng: np.random.Generator,
+    inhibitory_fraction: float = 0.2,
+    max_delay: int = 3,
+) -> Network:
+    """Build a Network from an edge set; zero-degree roles become IO."""
+    net = Network(name)
+    in_deg = np.zeros(n, dtype=int)
+    out_deg = np.zeros(n, dtype=int)
+    for pre, post in edges:
+        out_deg[pre] += 1
+        in_deg[post] += 1
+    # Zero-in-degree nodes are natural inputs (and zero-out-degree nodes
+    # outputs); dense graphs may have none, so top up with the least-
+    # connected nodes until at least ~10% of the network is IO-marked.
+    quota = min(n, max(4, n // 10))
+    inputs = {nid for nid in range(n) if in_deg[nid] == 0}
+    for nid in sorted(range(n), key=lambda v: (in_deg[v], v)):
+        if len(inputs) >= quota:
+            break
+        inputs.add(nid)
+    outputs = {nid for nid in range(n) if out_deg[nid] == 0}
+    for nid in sorted(range(n), key=lambda v: (out_deg[v], v)):
+        if len(outputs) >= quota:
+            break
+        outputs.add(nid)
+    for nid in range(n):
+        net.add_neuron(
+            nid,
+            threshold=1.0,
+            leak=1.0,
+            is_input=nid in inputs,
+            is_output=nid in outputs,
+        )
+    for pre, post in sorted(edges):
+        sign = -1.0 if rng.random() < inhibitory_fraction else 1.0
+        weight = sign * float(rng.uniform(0.4, 1.2))
+        delay = int(rng.integers(1, max_delay + 1))
+        net.add_synapse(pre, post, weight=weight, delay=delay)
+    return net
+
+
+def statistical_twin(spec: TwinSpec, seed: int = 0) -> Network:
+    """Generate a structural twin of a Table-I network (see module docs)."""
+    if spec.edge_count > spec.node_count * spec.max_fan_in:
+        raise ValueError("edge count exceeds node_count * max_fan_in")
+    rng = np.random.default_rng(seed)
+    in_deg = gini_degree_sequence(
+        spec.node_count,
+        spec.edge_count,
+        spec.gini_incoming,
+        rng,
+        cap=spec.max_fan_in,
+        force_max=True,
+    )
+    out_deg = gini_degree_sequence(
+        spec.node_count,
+        spec.edge_count,
+        spec.gini_outgoing,
+        rng,
+        cap=spec.node_count - 1,
+    )
+    edges = realize_degree_sequences(out_deg, in_deg, rng, in_cap=spec.max_fan_in)
+    return _finalize(edges, spec.node_count, spec.name, rng)
+
+
+def random_network(
+    num_neurons: int,
+    num_synapses: int,
+    seed: int = 0,
+    max_fan_in: int | None = None,
+    name: str = "random",
+) -> Network:
+    """Uniform random sparse digraph with an optional fan-in cap."""
+    if num_neurons < 2:
+        raise ValueError("need at least 2 neurons")
+    limit = num_neurons * (num_neurons - 1)
+    if max_fan_in is not None:
+        limit = min(limit, num_neurons * max_fan_in)
+    if num_synapses > limit:
+        raise ValueError(f"cannot place {num_synapses} synapses (limit {limit})")
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    in_deg = np.zeros(num_neurons, dtype=int)
+    while len(edges) < num_synapses:
+        pre = int(rng.integers(num_neurons))
+        post = int(rng.integers(num_neurons))
+        if pre == post or (pre, post) in edges:
+            continue
+        if max_fan_in is not None and in_deg[post] >= max_fan_in:
+            continue
+        edges.add((pre, post))
+        in_deg[post] += 1
+    return _finalize(edges, num_neurons, name, rng)
+
+
+def layered_network(
+    layer_sizes: list[int],
+    connection_prob: float = 0.3,
+    seed: int = 0,
+    name: str = "layered",
+) -> Network:
+    """Feed-forward layered SNN (each layer connects forward with prob p)."""
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least two layers")
+    if not 0.0 < connection_prob <= 1.0:
+        raise ValueError("connection_prob must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    offsets = np.cumsum([0] + layer_sizes)
+    n = int(offsets[-1])
+    for layer in range(len(layer_sizes) - 1):
+        pres = range(offsets[layer], offsets[layer + 1])
+        posts = range(offsets[layer + 1], offsets[layer + 2])
+        for pre in pres:
+            targets = [p for p in posts if rng.random() < connection_prob]
+            if not targets:  # keep every neuron connected forward
+                targets = [int(rng.choice(list(posts)))]
+            for post in targets:
+                edges.add((pre, post))
+    net = _finalize(edges, n, name, rng)
+    # Layered nets mark IO by layer, not by degree.
+    for nid in range(n):
+        neuron = net.neuron(nid)
+        is_input = nid < offsets[1]
+        is_output = nid >= offsets[-2]
+        if neuron.is_input != is_input or neuron.is_output != is_output:
+            from dataclasses import replace
+
+            net.replace_neuron(replace(neuron, is_input=is_input, is_output=is_output))
+    return net

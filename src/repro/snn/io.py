@@ -1,0 +1,77 @@
+"""Network serialization (TENNLab-flavoured JSON).
+
+The on-disk format mirrors the TENNLab network JSON layout closely enough
+to feel familiar: a ``Nodes`` array with per-neuron parameters and an
+``Edges`` array with ``from``/``to``/``weight``/``delay``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .network import Network
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """Serialize to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "nodes": [
+            {
+                "id": n.id,
+                "threshold": n.threshold,
+                "leak": n.leak,
+                "input": n.is_input,
+                "output": n.is_output,
+            }
+            for n in network.neurons()
+        ],
+        "edges": [
+            {
+                "from": s.pre,
+                "to": s.post,
+                "weight": s.weight,
+                "delay": s.delay,
+            }
+            for s in network.synapses()
+        ],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> Network:
+    """Deserialize a dict produced by :func:`network_to_dict`."""
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version {version}")
+    net = Network(data.get("name", "network"))
+    for node in data["nodes"]:
+        net.add_neuron(
+            node["id"],
+            threshold=node.get("threshold", 1.0),
+            leak=node.get("leak", 1.0),
+            is_input=node.get("input", False),
+            is_output=node.get("output", False),
+        )
+    for edge in data["edges"]:
+        net.add_synapse(
+            edge["from"],
+            edge["to"],
+            weight=edge.get("weight", 1.0),
+            delay=edge.get("delay", 1),
+        )
+    return net
+
+
+def save_network(network: Network, path: str | Path) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: str | Path) -> Network:
+    """Read a network from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,161 @@
+"""Discrete-time leaky-integrate-and-fire SNN simulator.
+
+This is the simulation substrate the paper added to the TENNLab framework:
+it executes a :class:`~repro.snn.network.Network` over discrete timesteps,
+honouring synaptic delays, and records per-neuron spike counts — the
+profile data ``W[i]`` consumed by the PGO formulation (§IV-D) and the spike
+streams consumed by the multi-crossbar processor model
+(:mod:`repro.mca.processor`).
+
+Dynamics per timestep (TENNLab RISP-style):
+
+1. membrane potentials decay by each neuron's ``leak`` factor,
+2. charges scheduled for this timestep (delayed synaptic deliveries and
+   external injections) are accumulated,
+3. every neuron at or above threshold fires: the spike is recorded,
+   outgoing charges are scheduled at ``t + delay``, and the potential
+   resets to zero.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .network import Network
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run.
+
+    ``spikes`` is the raster as ``(timestep, neuron_id)`` pairs in firing
+    order; ``spike_counts`` aggregates them per neuron (every neuron id
+    appears, silent neurons with count 0).
+    """
+
+    duration: int
+    spikes: list[tuple[int, int]] = field(default_factory=list)
+    spike_counts: dict[int, int] = field(default_factory=dict)
+    final_potentials: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_spikes(self) -> int:
+        return len(self.spikes)
+
+    def spikes_of(self, neuron_id: int) -> list[int]:
+        """Firing times of one neuron."""
+        return [t for t, nid in self.spikes if nid == neuron_id]
+
+    def spike_train(self, neuron_id: int) -> list[int]:
+        """0/1 train of length ``duration`` for one neuron."""
+        train = [0] * self.duration
+        for t in self.spikes_of(neuron_id):
+            train[t] = 1
+        return train
+
+
+class Simulator:
+    """Executes a network over discrete timesteps."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        # Cache outgoing synapse tuples for the hot loop.
+        self._out_syn: dict[int, list[tuple[int, float, int]]] = {
+            nid: [
+                (post, network.synapse(nid, post).weight,
+                 network.synapse(nid, post).delay)
+                for post in sorted(network.successors(nid))
+            ]
+            for nid in network.neuron_ids()
+        }
+
+    def run(
+        self,
+        duration: int,
+        input_spikes: Mapping[int, Iterable[int]] | None = None,
+        input_charges: Iterable[tuple[int, int, float]] | None = None,
+    ) -> SimulationResult:
+        """Simulate for ``duration`` timesteps.
+
+        Parameters
+        ----------
+        input_spikes:
+            neuron id -> timesteps at which an external spike arrives; each
+            arrival injects exactly the neuron's threshold, forcing a fire
+            (the usual TENNLab input convention).
+        input_charges:
+            arbitrary ``(neuron_id, timestep, amount)`` injections for
+            sub-threshold stimulation.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        net = self.network
+        pending: dict[int, dict[int, float]] = defaultdict(dict)  # t -> {nid: charge}
+
+        def inject(nid: int, t: int, amount: float) -> None:
+            if not net.has_neuron(nid):
+                raise KeyError(f"input targets unknown neuron {nid}")
+            if 0 <= t < duration:
+                slot = pending[t]
+                slot[nid] = slot.get(nid, 0.0) + amount
+
+        if input_spikes:
+            for nid, times in input_spikes.items():
+                thr = net.neuron(nid).threshold
+                for t in times:
+                    inject(nid, t, thr)
+        if input_charges:
+            for nid, t, amount in input_charges:
+                inject(nid, t, amount)
+
+        potentials = {nid: 0.0 for nid in net.neuron_ids()}
+        leaks = {n.id: n.leak for n in net.neurons()}
+        thresholds = {n.id: n.threshold for n in net.neurons()}
+        result = SimulationResult(duration=duration)
+        counts = {nid: 0 for nid in net.neuron_ids()}
+
+        for t in range(duration):
+            for nid, leak in leaks.items():
+                if leak != 1.0:
+                    potentials[nid] *= leak
+            for nid, charge in pending.pop(t, {}).items():
+                potentials[nid] += charge
+            # Deterministic firing order by neuron id.
+            fired = [
+                nid for nid in potentials
+                if potentials[nid] >= thresholds[nid] - 1e-12
+            ]
+            for nid in sorted(fired):
+                result.spikes.append((t, nid))
+                counts[nid] += 1
+                potentials[nid] = 0.0
+                for post, weight, delay in self._out_syn[nid]:
+                    target_t = t + delay
+                    if target_t < duration:
+                        slot = pending[target_t]
+                        slot[post] = slot.get(post, 0.0) + weight
+
+        result.spike_counts = counts
+        result.final_potentials = dict(potentials)
+        return result
+
+
+def spike_profile(
+    network: Network,
+    samples: Iterable[Mapping[int, Iterable[int]]],
+    duration: int,
+) -> dict[int, int]:
+    """Aggregate per-neuron spike counts over many input samples.
+
+    This is the PGO profile ``W[i]`` of §IV-D: the number of times each
+    neuron fired across the profiling dataset.
+    """
+    sim = Simulator(network)
+    totals = {nid: 0 for nid in network.neuron_ids()}
+    for sample in samples:
+        result = sim.run(duration, input_spikes=sample)
+        for nid, count in result.spike_counts.items():
+            totals[nid] += count
+    return totals

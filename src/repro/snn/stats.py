@@ -1,0 +1,92 @@
+"""Network attribute statistics (paper Table I).
+
+Implements the columns of Table I: node/edge counts, maximum fan-in, edge
+density, and the incoming/outgoing *Gini sparsity index* of Goswami et al.
+[40] — the Gini coefficient of the in-/out-degree distribution, which the
+paper uses to quantify structural sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Network
+
+
+def gini_index(values) -> float:
+    """Gini coefficient of a non-negative sample.
+
+    ``G = sum_ij |x_i - x_j| / (2 n^2 mean)``; 0 = perfectly uniform,
+    -> 1 = maximally concentrated.  Zero-mean samples return 0.
+    """
+    x = np.sort(np.asarray(values, dtype=float))
+    if x.size == 0:
+        return 0.0
+    if np.any(x < 0):
+        raise ValueError("Gini index requires non-negative values")
+    total = x.sum()
+    if total == 0:
+        return 0.0
+    n = x.size
+    # Equivalent O(n log n) form using the sorted cumulative sum.
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * x).sum() - (n + 1) * total) / (n * total))
+
+
+def edge_density(network: Network) -> float:
+    """Directed edge density E / (N * (N - 1)) (self-loops excluded)."""
+    n = network.num_neurons
+    if n < 2:
+        return 0.0
+    return network.num_synapses / (n * (n - 1))
+
+
+def max_fan_in(network: Network) -> int:
+    """Largest in-degree — the minimum crossbar input width needed."""
+    return max((network.fan_in(i) for i in network.neuron_ids()), default=0)
+
+
+def max_fan_out(network: Network) -> int:
+    return max((network.fan_out(i) for i in network.neuron_ids()), default=0)
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """One row of Table I."""
+
+    name: str
+    node_count: int
+    edge_count: int
+    max_fan_in: int
+    edge_density: float
+    gini_incoming: float
+    gini_outgoing: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.node_count,
+            self.edge_count,
+            self.max_fan_in,
+            self.edge_density,
+            self.gini_incoming,
+            self.gini_outgoing,
+        )
+
+
+def network_stats(network: Network) -> NetworkStats:
+    """Compute the full Table-I attribute row for a network."""
+    ids = network.neuron_ids()
+    in_degrees = [network.fan_in(i) for i in ids]
+    out_degrees = [network.fan_out(i) for i in ids]
+    return NetworkStats(
+        name=network.name,
+        node_count=network.num_neurons,
+        edge_count=network.num_synapses,
+        max_fan_in=max(in_degrees, default=0),
+        edge_density=edge_density(network),
+        gini_incoming=gini_index(in_degrees),
+        gini_outgoing=gini_index(out_degrees),
+    )

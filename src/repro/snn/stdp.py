@@ -1,0 +1,142 @@
+"""Spike-timing-dependent plasticity (STDP).
+
+The paper's background (§II-A, [15]) grounds SNN training in STDP.  The
+reproduction's benchmark networks come from EONS, but on-chip learning is
+the other half of the neuromorphic story, so the simulator supports the
+classic pair-based rule:
+
+- **potentiation**: when a post-synaptic neuron fires at ``t`` and its
+  pre-synaptic partner fired at ``t_pre <= t``, the weight grows by
+  ``a_plus * exp(-(t - t_pre) / tau)``;
+- **depression**: when a pre-synaptic neuron fires at ``t`` after its
+  post-synaptic partner fired at ``t_post < t``, the weight shrinks by
+  ``a_minus * exp(-(t - t_post) / tau)``;
+- weights clip to ``[w_min, w_max]``.
+
+:func:`run_stdp` executes the same discrete-time LIF dynamics as
+:class:`repro.snn.simulator.Simulator` (same firing order, same delay
+handling — cross-checked by tests) with the plasticity rule applied
+online, returning both the spike record and the adapted network.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from .network import Network
+from .simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class StdpConfig:
+    """Pair-based STDP parameters."""
+
+    a_plus: float = 0.05
+    a_minus: float = 0.05
+    tau: float = 4.0  # timesteps
+    w_min: float = -2.0
+    w_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.a_plus < 0 or self.a_minus < 0:
+            raise ValueError("learning rates must be non-negative")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.w_min > self.w_max:
+            raise ValueError("w_min must not exceed w_max")
+
+
+def run_stdp(
+    network: Network,
+    duration: int,
+    config: StdpConfig,
+    input_spikes: Mapping[int, Iterable[int]] | None = None,
+) -> tuple[SimulationResult, Network]:
+    """Simulate with online STDP; returns (record, adapted network copy).
+
+    The input network is left untouched; weight updates land in the
+    returned copy.  Spike *dynamics* use the weights as they evolve, so
+    learning influences later activity within the same run (online rule).
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    net = network.copy(f"{network.name}-stdp")
+    pending: dict[int, dict[int, float]] = defaultdict(dict)
+    if input_spikes:
+        for nid, times in input_spikes.items():
+            thr = net.neuron(nid).threshold
+            for t in times:
+                if 0 <= t < duration:
+                    slot = pending[t]
+                    slot[nid] = slot.get(nid, 0.0) + thr
+
+    potentials = {nid: 0.0 for nid in net.neuron_ids()}
+    leaks = {n.id: n.leak for n in net.neurons()}
+    thresholds = {n.id: n.threshold for n in net.neurons()}
+    last_spike: dict[int, int] = {}
+    result = SimulationResult(duration=duration)
+    counts = {nid: 0 for nid in net.neuron_ids()}
+
+    def potentiate(post: int, t: int) -> None:
+        for pre in sorted(net.predecessors(post)):
+            t_pre = last_spike.get(pre)
+            if t_pre is None or t_pre > t:
+                continue
+            syn = net.synapse(pre, post)
+            delta = config.a_plus * math.exp(-(t - t_pre) / config.tau)
+            new_w = min(config.w_max, syn.weight + delta)
+            net.replace_synapse(replace(syn, weight=new_w))
+
+    def depress(pre: int, t: int) -> None:
+        for post in sorted(net.successors(pre)):
+            t_post = last_spike.get(post)
+            if t_post is None or t_post >= t:
+                continue
+            syn = net.synapse(pre, post)
+            delta = config.a_minus * math.exp(-(t - t_post) / config.tau)
+            new_w = max(config.w_min, syn.weight - delta)
+            net.replace_synapse(replace(syn, weight=new_w))
+
+    for t in range(duration):
+        for nid, leak in leaks.items():
+            if leak != 1.0:
+                potentials[nid] *= leak
+        for nid, charge in pending.pop(t, {}).items():
+            potentials[nid] += charge
+        fired = sorted(
+            nid for nid in potentials
+            if potentials[nid] >= thresholds[nid] - 1e-12
+        )
+        for nid in fired:
+            result.spikes.append((t, nid))
+            counts[nid] += 1
+            potentials[nid] = 0.0
+            # Plasticity first (uses pre-spike weights' timing state) ...
+            potentiate(nid, t)
+            depress(nid, t)
+            last_spike[nid] = t
+            # ... then deliver outgoing charges with the updated weights.
+            for post in sorted(net.successors(nid)):
+                syn = net.synapse(nid, post)
+                target_t = t + syn.delay
+                if target_t < duration:
+                    slot = pending[target_t]
+                    slot[post] = slot.get(post, 0.0) + syn.weight
+
+    result.spike_counts = counts
+    result.final_potentials = dict(potentials)
+    return result, net
+
+
+def weight_drift(before: Network, after: Network) -> dict[tuple[int, int], float]:
+    """Per-synapse weight change between two structurally equal networks."""
+    drift: dict[tuple[int, int], float] = {}
+    for syn in before.synapses():
+        new = after.synapse(syn.pre, syn.post)
+        delta = new.weight - syn.weight
+        if abs(delta) > 1e-12:
+            drift[(syn.pre, syn.post)] = delta
+    return drift

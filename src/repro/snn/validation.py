@@ -1,0 +1,149 @@
+"""Network linting: structural problems worth flagging before mapping.
+
+The mapping ILP happily places pathological networks (dead neurons still
+occupy crossbar columns; unreachable subgraphs still cost area).  The
+linter surfaces those issues so users can prune before paying hardware
+for them — mirroring the paper's emphasis that sparsity/pruning quality
+directly drives area.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from .network import Network
+
+
+class LintLevel(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding, with a stable code for programmatic filtering."""
+
+    level: LintLevel
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.level.value}] {self.code}: {self.message}"
+
+
+def _reachable_from(network: Network, seeds: set[int], forward: bool) -> set[int]:
+    step = network.successors if forward else network.predecessors
+    seen = set(seeds)
+    queue = deque(seeds)
+    while queue:
+        nid = queue.popleft()
+        for nxt in step(nid):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
+
+
+def lint_network(network: Network) -> list[LintIssue]:
+    """Run every check; returns findings sorted by (level, code)."""
+    issues: list[LintIssue] = []
+    ids = network.neuron_ids()
+    inputs = set(network.input_ids())
+    outputs = set(network.output_ids())
+
+    if not ids:
+        return [LintIssue(LintLevel.ERROR, "empty", "network has no neurons")]
+    if not inputs:
+        issues.append(
+            LintIssue(LintLevel.ERROR, "no-inputs", "no neuron is marked as input")
+        )
+    if not outputs:
+        issues.append(
+            LintIssue(LintLevel.ERROR, "no-outputs", "no neuron is marked as output")
+        )
+
+    if inputs:
+        reachable = _reachable_from(network, inputs, forward=True)
+        dead = sorted(set(ids) - reachable)
+        if dead:
+            issues.append(
+                LintIssue(
+                    LintLevel.WARNING,
+                    "unreachable",
+                    f"{len(dead)} neuron(s) unreachable from any input "
+                    f"(e.g. {dead[:5]}) — they still cost crossbar columns",
+                )
+            )
+    if outputs:
+        useful = _reachable_from(network, outputs, forward=False)
+        inert = sorted(set(ids) - useful)
+        if inert:
+            issues.append(
+                LintIssue(
+                    LintLevel.WARNING,
+                    "inert",
+                    f"{len(inert)} neuron(s) cannot influence any output "
+                    f"(e.g. {inert[:5]})",
+                )
+            )
+
+    zero_weight = [
+        (s.pre, s.post) for s in network.synapses() if s.weight == 0.0
+    ]
+    if zero_weight:
+        issues.append(
+            LintIssue(
+                LintLevel.WARNING,
+                "zero-weight",
+                f"{len(zero_weight)} synapse(s) carry zero weight "
+                f"(e.g. {zero_weight[:5]}) — prunable for free",
+            )
+        )
+
+    self_loops = [
+        (s.pre, s.post) for s in network.synapses() if s.pre == s.post
+    ]
+    if self_loops:
+        issues.append(
+            LintIssue(
+                LintLevel.WARNING,
+                "self-loop",
+                f"{len(self_loops)} self-loop(s) (e.g. {self_loops[:5]})",
+            )
+        )
+
+    never_fire = []
+    for neuron in network.neurons():
+        if neuron.is_input:
+            continue
+        positive = sum(
+            max(network.synapse(pre, neuron.id).weight, 0.0)
+            for pre in network.predecessors(neuron.id)
+        )
+        if positive < neuron.threshold and network.neuron(neuron.id).leak == 1.0:
+            # Perfect integrator: can still accumulate over time unless
+            # it has NO positive drive at all.
+            if positive == 0.0:
+                never_fire.append(neuron.id)
+        elif positive < neuron.threshold and neuron.leak < 1.0:
+            # Leaky and under-driven per step: may never reach threshold
+            # if leak loses more than one step's drive can replace.
+            if positive * (1.0 / max(1.0 - neuron.leak, 1e-9)) < neuron.threshold:
+                never_fire.append(neuron.id)
+    if never_fire:
+        issues.append(
+            LintIssue(
+                LintLevel.WARNING,
+                "never-fires",
+                f"{len(never_fire)} neuron(s) can never reach threshold "
+                f"(e.g. {sorted(never_fire)[:5]})",
+            )
+        )
+
+    return sorted(issues, key=lambda i: (i.level.value, i.code))
+
+
+def has_errors(issues: list[LintIssue]) -> bool:
+    return any(i.level is LintLevel.ERROR for i in issues)

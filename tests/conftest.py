@@ -1,0 +1,68 @@
+"""Shared fixtures: small deterministic networks and architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import (
+    custom_architecture,
+    heterogeneous_architecture,
+    homogeneous_architecture,
+)
+from repro.mca.crossbar import CrossbarType
+from repro.snn.network import Network
+from repro.snn.generators import random_network
+
+
+@pytest.fixture
+def chain_network() -> Network:
+    """0 -> 1 -> 2 -> 3, unit weights, delay 1."""
+    net = Network("chain")
+    for i in range(4):
+        net.add_neuron(i, is_input=(i == 0), is_output=(i == 3))
+    for i in range(3):
+        net.add_synapse(i, i + 1, weight=1.0, delay=1)
+    return net
+
+
+@pytest.fixture
+def shared_axon_network() -> Network:
+    """The paper's Fig. 1 motif: one source feeding two consumers.
+
+    Neuron 0 drives neurons 1 and 2; placing 1 and 2 on one crossbar must
+    cost a single input line (axon sharing), not two.
+    """
+    net = Network("shared-axon")
+    for i in range(3):
+        net.add_neuron(i, is_input=(i == 0), is_output=(i != 0))
+    net.add_synapse(0, 1)
+    net.add_synapse(0, 2)
+    return net
+
+
+@pytest.fixture
+def small_random_network() -> Network:
+    return random_network(12, 24, seed=5, max_fan_in=6, name="small")
+
+
+@pytest.fixture
+def tiny_problem(small_random_network) -> MappingProblem:
+    arch = homogeneous_architecture(small_random_network.num_neurons, dimension=8)
+    return MappingProblem(small_random_network, arch)
+
+
+@pytest.fixture
+def tiny_het_problem(small_random_network) -> MappingProblem:
+    arch = heterogeneous_architecture(
+        small_random_network.num_neurons,
+        types=[CrossbarType(4, 4), CrossbarType(8, 4), CrossbarType(8, 8)],
+        max_slots_per_type=6,
+    )
+    return MappingProblem(small_random_network, arch)
+
+
+@pytest.fixture
+def two_slot_arch():
+    """Two 4x4 crossbars — enough for the hand-checkable examples."""
+    return custom_architecture([(CrossbarType(4, 4), 2)], name="two-4x4")

@@ -1,0 +1,36 @@
+"""Tests for the ablation exhibit."""
+
+import pytest
+
+from repro.experiments.ablation import VARIANTS, run_ablation
+from repro.experiments.runner import ExperimentConfig
+
+TINY = ExperimentConfig(scale=0.08, area_time_limit=4.0, het_slots_per_type=10)
+
+
+class TestAblationExhibit:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation(TINY, network_name="E")
+
+    def test_all_variants_reported(self, result):
+        assert len(result.rows) == len(VARIANTS)
+        labels = {row[0] for row in result.rows}
+        assert labels == set(VARIANTS)
+
+    def test_optimum_invariant_across_variants(self, result):
+        objectives = {row[1] for row in result.rows}
+        assert len(objectives) == 1, objectives
+        assert "share one optimum" in result.report
+
+    def test_knobs_change_model_size(self, result):
+        by_label = {row[0]: row for row in result.rows}
+        base = by_label["baseline (paper-faithful)"]
+        aggregated = by_label["aggregated sharing (6)"]
+        no_link = by_label["no upper link (5)"]
+        # rows column is index 3.
+        assert aggregated[3] < base[3]
+        assert no_link[3] < base[3]
+
+    def test_variable_count_constant(self, result):
+        assert len({row[2] for row in result.rows}) == 1

@@ -1,0 +1,69 @@
+"""Smoke tests: every figure exhibit runs end to end at miniature scale.
+
+These use aggressively small networks and solver budgets (a few seconds
+each) — shape assertions live in benchmarks/, correctness in the module
+tests; here we only require that each exhibit executes and reports.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+TINY = ExperimentConfig(
+    scale=0.08,
+    area_time_limit=2.0,
+    route_time_limit=2.0,
+    trace_slices=3,
+    num_samples=40,
+    het_slots_per_type=10,
+)
+
+
+@pytest.mark.slow
+class TestExhibitSmoke:
+    def test_fig2_single_network(self):
+        from repro.experiments.fig2 import run_network
+
+        row = run_network("E", TINY)
+        assert row.axon_homo_area <= row.mcc_homo_area + 1e-9
+        assert row.axon_het_area <= row.mcc_het_area + 1e-9
+        assert row.axon_het_area < row.axon_homo_area
+
+    def test_fig3_single_network(self):
+        from repro.experiments.fig3 import run_network
+
+        res = run_network("E", TINY)
+        assert res.best_mapping.is_valid()
+        rows = res.histogram_rows()
+        assert rows
+        assert sum(pct for _, pct, _ in rows) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig5_fig6_single_network(self):
+        from repro.experiments.common import het_problem, homo_problem
+        from repro.experiments.fig5 import snu_over_area_optimal
+        from repro.experiments.networks import paper_network
+
+        network = paper_network("E", scale=TINY.scale)
+        for problem in (homo_problem(network, TINY), het_problem(network, TINY)):
+            row = snu_over_area_optimal("E", problem, TINY)
+            assert row.routes_after <= row.routes_before
+
+    def test_fig7_frontier(self):
+        from repro.experiments.common import homo_problem
+        from repro.experiments.fig7 import evolution_frontier, hypothetical_bound
+        from repro.experiments.networks import paper_network
+
+        problem = homo_problem(paper_network("E", scale=TINY.scale), TINY)
+        points = evolution_frontier(problem, TINY)
+        assert points
+        assert all(p.routes_snu_opt <= p.routes_area_opt for p in points)
+        bound_area, bound_routes = hypothetical_bound(problem)
+        assert bound_area > 0 and bound_routes > 0
+
+    def test_fig9_single_network(self):
+        from repro.experiments.fig9 import run_network
+
+        row = run_network("E", TINY)
+        assert row.snu_packets_mean >= 0
+        assert row.pgo_packets_mean >= 0
+        assert row.pgo_det > 0 and row.snu_det > 0

@@ -1,0 +1,82 @@
+"""Row-structure and derived-property tests for the figure modules.
+
+These run no solver: they exercise the pure computation on the dataclass
+records (improvement percentages, break-even ratios, histograms).
+"""
+
+import pytest
+
+from repro.experiments.fig2 import Fig2Row
+from repro.experiments.fig5 import SnuRow
+from repro.experiments.fig9 import Fig9Row, _pixel_grid_for
+
+
+class TestFig2Row:
+    ROW = Fig2Row(
+        network="A",
+        mcc_homo_area=1536.0,
+        axon_homo_area=1024.0,
+        mcc_het_area=464.0,
+        axon_het_area=448.0,
+        mcc_homo_det=100.0,
+        axon_homo_det=250.0,
+        mcc_het_det=80.0,
+        axon_het_det=120.0,
+    )
+
+    def test_homo_improvement(self):
+        assert self.ROW.axon_homo_improvement == pytest.approx(33.33, abs=0.01)
+
+    def test_het_improvement_relative_to_mcc_homo(self):
+        assert self.ROW.axon_het_improvement == pytest.approx(70.83, abs=0.01)
+
+    def test_het_further_relative_to_axon_homo(self):
+        assert self.ROW.het_further_improvement == pytest.approx(56.25, abs=0.01)
+
+    def test_breakeven_ratios(self):
+        assert self.ROW.homo_breakeven == pytest.approx(2.5)
+        assert self.ROW.het_breakeven == pytest.approx(1.5)
+
+
+class TestSnuRow:
+    def test_improvement(self):
+        row = SnuRow("A", area=1024.0, routes_before=50, routes_after=40, det_time=1.0)
+        assert row.improvement == pytest.approx(20.0)
+
+    def test_zero_routes_is_zero_improvement(self):
+        row = SnuRow("A", area=1.0, routes_before=0, routes_after=0, det_time=1.0)
+        assert row.improvement == 0.0
+
+
+class TestFig9Row:
+    ROW = Fig9Row(
+        network="A",
+        snu_packets_mean=100.0,
+        snu_packets_std=5.0,
+        pgo_packets_mean=90.0,
+        pgo_packets_std=6.0,
+        snu_det=1000.0,
+        pgo_det=10.0,
+        snu_wall=1.0,
+        pgo_wall=0.1,
+    )
+
+    def test_packet_gain(self):
+        assert self.ROW.packet_gain == pytest.approx(10.0)
+
+    def test_solver_speedup(self):
+        assert self.ROW.solver_speedup == pytest.approx(100.0)
+
+    def test_zero_packets_graceful(self):
+        row = Fig9Row("A", 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+        assert row.packet_gain == 0.0
+
+
+class TestPixelGrid:
+    def test_square_from_inputs(self):
+        assert _pixel_grid_for(16) == (4, 4)
+        assert _pixel_grid_for(17) == (4, 4)
+        assert _pixel_grid_for(9) == (3, 3)
+
+    def test_minimum_two(self):
+        assert _pixel_grid_for(1) == (2, 2)

@@ -1,0 +1,86 @@
+"""Tests for the experiment harness: twin networks, config, reporting."""
+
+import pytest
+
+from repro.experiments.networks import (
+    NETWORK_NAMES,
+    PAPER_NETWORK_SPECS,
+    all_paper_networks,
+    paper_network,
+)
+from repro.experiments.runner import (
+    EXHIBITS,
+    ExperimentConfig,
+    format_table,
+    run_exhibit,
+)
+from repro.snn.stats import network_stats
+
+
+class TestPaperNetworks:
+    def test_all_five_networks(self):
+        assert NETWORK_NAMES == ("A", "B", "C", "D", "E")
+        nets = all_paper_networks(scale=0.1)
+        assert set(nets) == set(NETWORK_NAMES)
+
+    def test_full_scale_matches_table1(self):
+        for name, spec in PAPER_NETWORK_SPECS.items():
+            stats = network_stats(paper_network(name))
+            assert stats.node_count == spec.node_count
+            assert stats.edge_count == spec.edge_count
+            assert stats.max_fan_in == spec.max_fan_in
+
+    def test_deterministic_regeneration(self):
+        a = paper_network("B", scale=0.2)
+        b = paper_network("B", scale=0.2)
+        assert list(a.synapses()) == list(b.synapses())
+
+    def test_seed_override(self):
+        a = paper_network("C", scale=0.2)
+        b = paper_network("C", scale=0.2, seed=999)
+        assert list(a.synapses()) != list(b.synapses())
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            paper_network("Z")
+
+
+class TestConfig:
+    def test_full_scale_variant(self):
+        config = ExperimentConfig().full_scale()
+        assert config.scale == 1.0
+        assert config.area_time_limit >= 3600.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExperimentConfig().scale = 0.5  # type: ignore[misc]
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [("a", 1.23456), ("bb", 7)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text  # 4 significant digits
+        assert lines[0].startswith("name")
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestRunExhibit:
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(KeyError):
+            run_exhibit("fig99", ExperimentConfig())
+
+    def test_exhibit_registry_complete(self):
+        assert set(EXHIBITS) == {
+            "table1", "table2", "ablation", "fig2", "fig3", "fig5", "fig6",
+            "fig7", "fig8", "fig9",
+        }
+
+    def test_table_exhibits_run(self):
+        config = ExperimentConfig(scale=0.1)
+        assert "GiniIn" in run_exhibit("table1", config)
+        assert "32x32" in run_exhibit("table2", config)

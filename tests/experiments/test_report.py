@@ -1,0 +1,72 @@
+"""Tests for the terminal report renderers."""
+
+import pytest
+
+from repro.experiments.report import (
+    percent_bar,
+    scatter_strip,
+    sparkline,
+    trend_line,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_extremes_hit_ends(self):
+        line = sparkline([0, 100, 50])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+
+class TestTrendLine:
+    def test_includes_label_and_endpoints(self):
+        line = trend_line("area", [464, 448], unit="memristors")
+        assert line.startswith("area:")
+        assert "464" in line and "448" in line
+        assert "memristors" in line
+
+    def test_empty_series(self):
+        assert "(no data)" in trend_line("x", [])
+
+
+class TestScatterStrip:
+    def test_grid_dimensions(self):
+        strip = scatter_strip([0, 1, 2], [0, 1, 4], width=20, height=5)
+        lines = strip.splitlines()
+        assert len(lines) == 6  # grid + axis caption
+        assert all(len(row) == 20 for row in lines[:-1])
+        assert strip.count("*") >= 1
+
+    def test_corners_plotted(self):
+        strip = scatter_strip([0, 10], [0, 10], width=10, height=4)
+        lines = strip.splitlines()
+        assert lines[0][-1] == "*"  # max x, max y -> top right
+        assert lines[-2][0] == "*"  # min x, min y -> bottom left
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_strip([1], [1, 2])
+        with pytest.raises(ValueError):
+            scatter_strip([1], [1], width=1)
+        assert scatter_strip([], []) == "(no points)"
+
+
+class TestPercentBar:
+    def test_full_and_empty(self):
+        assert percent_bar(1.0, width=4) == "[####] 100%"
+        assert percent_bar(0.0, width=4) == "[----] 0%"
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            percent_bar(1.5)

@@ -1,0 +1,110 @@
+"""Tests for infeasibility diagnosis (IIS deletion filter)."""
+
+import pytest
+
+from repro.ilp.diagnostics import explain_infeasibility, find_iis
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+
+
+def conflicting_pair_model():
+    """x >= 0.7 and x <= 0.3 conflict; everything else is innocent."""
+    m = Model("conflict")
+    x = m.add_binary("x")
+    y = m.add_binary("y")
+    m.add(x >= 0.7, name="lo")
+    m.add(x <= 0.3, name="hi")
+    m.add(y <= 1, name="innocent1")
+    m.add(x + y <= 2, name="innocent2")
+    m.minimize(x + y)
+    return m
+
+
+class TestFindIis:
+    def test_core_is_the_conflicting_pair(self):
+        result = find_iis(conflicting_pair_model())
+        assert sorted(result.names()) == ["hi", "lo"]
+
+    def test_core_is_infeasible_alone(self):
+        model = conflicting_pair_model()
+        result = find_iis(model)
+        from repro.ilp.diagnostics import _is_infeasible, _rebuild
+
+        assert _is_infeasible(_rebuild(model, result.core), 5.0)
+
+    def test_core_is_irreducible(self):
+        model = conflicting_pair_model()
+        result = find_iis(model)
+        from repro.ilp.diagnostics import _is_infeasible, _rebuild
+
+        for skip in range(len(result.core)):
+            subset = [c for i, c in enumerate(result.core) if i != skip]
+            assert not _is_infeasible(_rebuild(model, subset), 5.0)
+
+    def test_feasible_model_rejected(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x <= 1, name="ok")
+        m.minimize(x)
+        with pytest.raises(ValueError, match="feasible"):
+            find_iis(m)
+
+    def test_size_cap(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        for i, x in enumerate(xs):
+            m.add(x <= 1, name=f"c{i}")
+        m.minimize(lin_sum(xs))
+        with pytest.raises(ValueError, match="capped"):
+            find_iis(m, max_constraints=2)
+
+    def test_overdetermined_conflict_shrinks_to_a_pair(self):
+        # x+y >= 2 forces x = y = 1, so EITHER ban alone conflicts with
+        # it: the irreducible core is a pair, not all three rows.
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add(x + y >= 2, name="need_both")
+        m.add(x <= 0, name="ban_x")
+        m.add(y <= 0, name="ban_y")
+        m.minimize(x)
+        result = find_iis(m)
+        names = sorted(result.names())
+        assert len(names) == 2
+        assert "need_both" in names
+        assert names[0] in ("ban_x", "ban_y")
+
+
+class TestExplain:
+    def test_message_names_core(self):
+        text = explain_infeasibility(conflicting_pair_model())
+        assert "lo" in text and "hi" in text
+        assert "unsatisfiable" in text
+
+    def test_feasible_message(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x <= 1)
+        m.minimize(x)
+        assert "no diagnosis" in explain_infeasibility(m)
+
+
+class TestMappingDiagnosis:
+    def test_undersized_pool_explained(self):
+        """A mapping model made infeasible by an area budget too tight."""
+        from repro.mapping.problem import MappingProblem
+        from repro.mapping.snu import RouteModel, RouteModelOptions
+        from repro.mca.architecture import custom_architecture
+        from repro.mca.crossbar import CrossbarType
+        from repro.snn.generators import random_network
+
+        net = random_network(6, 10, seed=6, max_fan_in=4)
+        arch = custom_architecture([(CrossbarType(8, 8), 2)])
+        problem = MappingProblem(net, arch)
+        handle = RouteModel(
+            problem,
+            [0, 1],
+            RouteModelOptions(area_budget=10.0),  # below one slot's area
+        )
+        result = find_iis(handle.model)
+        assert "area_budget" in result.names()

@@ -1,0 +1,129 @@
+"""Tests for the ILP presolve reductions."""
+
+import pytest
+
+from repro.ilp.expr import lin_sum
+from repro.ilp.highs_backend import HighsBackend
+from repro.ilp.model import Model
+from repro.ilp.presolve import (
+    InfeasibleModelError,
+    extend_solution,
+    presolve,
+)
+
+
+class TestSingletonRows:
+    def test_upper_bound_tightened(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        m.add(2 * x <= 7)
+        m.minimize(-x)
+        reduced, report = presolve(m)
+        assert report.singleton_rows == 1
+        assert reduced.var("x").ub == 3  # floor(7/2)
+
+    def test_negative_coefficient_flips_sense(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        m.add(-x <= -4)  # x >= 4
+        m.minimize(x)
+        reduced, _ = presolve(m)
+        assert reduced.var("x").lb == 4
+
+    def test_equality_singleton_fixes(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add(x == 6)
+        m.add(x + y <= 9)
+        m.minimize(y - x)
+        reduced, report = presolve(m)
+        assert "x" in report.fixed_values
+        assert report.fixed_values["x"] == 6
+        assert not reduced.has_var("x")
+        # x folded into the row: y <= 3.
+        res = HighsBackend().solve(reduced)
+        assert res.values["y"] <= 3 + 1e-9
+
+    def test_empty_domain_detected(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(x >= 0.4)
+        m.add(x <= 0.6)
+        m.minimize(x)
+        with pytest.raises(InfeasibleModelError):
+            presolve(m)
+
+
+class TestRowCleanup:
+    def test_tautological_row_dropped(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add(lin_sum([]) <= 5)  # 0 <= 5
+        m.add(x <= 1)
+        m.minimize(x)
+        _, report = presolve(m)
+        assert report.rows_dropped >= 1
+
+    def test_violated_constant_row_detected(self):
+        m = Model()
+        m.add_binary("x")
+        m.add(lin_sum([1]) <= 0)  # 1 <= 0
+        m.minimize(lin_sum([]))
+        with pytest.raises(InfeasibleModelError):
+            presolve(m)
+
+    def test_duplicate_rows_keep_tightest(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add(x + y <= 2)
+        m.add(x + y <= 1)
+        m.minimize(-x - y)
+        reduced, report = presolve(m)
+        assert report.duplicate_rows == 1
+        res = HighsBackend().solve(reduced)
+        assert res.objective == pytest.approx(-1.0)
+
+    def test_conflicting_duplicate_equalities(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add(x + y == 1)
+        m.add(x + y == 2)
+        m.minimize(x)
+        with pytest.raises(InfeasibleModelError):
+            presolve(m)
+
+
+class TestEquivalence:
+    def knapsackish(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        m.add(lin_sum(w * x for w, x in zip([3, 4, 5, 8, 2], xs)) <= 11)
+        m.add(xs[0] == 1)  # forces substitution
+        m.add(xs[1] <= 0)  # forces fixing to 0
+        m.maximize(lin_sum(v * x for v, x in zip([4, 5, 6, 10, 1], xs)))
+        return m
+
+    def test_same_optimum_after_presolve(self):
+        original = self.knapsackish()
+        reduced, report = presolve(original)
+        res_orig = HighsBackend().solve(self.knapsackish())
+        res_red = HighsBackend().solve(reduced)
+        assert res_red.objective == pytest.approx(res_orig.objective)
+        assert report.vars_fixed >= 2
+
+    def test_extend_solution_restores_fixed(self):
+        reduced, report = presolve(self.knapsackish())
+        res = HighsBackend().solve(reduced)
+        full = extend_solution(report, res.values)
+        assert full["x0"] == 1.0
+        assert full["x1"] == 0.0
+        # Extended assignment is feasible in the original model.
+        assert self.knapsackish().check_feasible(full) == []
+
+    def test_presolve_shrinks_model(self):
+        reduced, _ = presolve(self.knapsackish())
+        assert reduced.num_vars < 5
+        assert reduced.num_constraints <= 1

@@ -1,0 +1,158 @@
+"""Tests for the core area ILP (constraints 3-7, objective 8).
+
+Includes a brute-force cross-check: on tiny instances the ILP optimum must
+equal exhaustive enumeration over all placements, and the Fig.-1 motif
+must show axon sharing costing one input line, not two.
+"""
+
+import itertools
+
+import pytest
+
+from repro.ilp.bnb_backend import BnBBackend
+from repro.ilp.highs_backend import HighsBackend
+from repro.ilp.result import SolveStatus
+from repro.mapping.axon_sharing import (
+    AreaModel,
+    FormulationOptions,
+    canonicalize_mapping,
+)
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mapping.solution import Mapping
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+from repro.snn.network import Network
+
+
+def brute_force_min_area(problem: MappingProblem) -> float:
+    """Exhaustive minimum area over all valid placements (tiny inputs)."""
+    neurons = problem.network.neuron_ids()
+    best = float("inf")
+    for combo in itertools.product(range(problem.num_slots), repeat=len(neurons)):
+        mapping = Mapping(problem, dict(zip(neurons, combo)))
+        if mapping.is_valid():
+            best = min(best, mapping.area())
+    return best
+
+
+def fig1_problem():
+    """The paper's Fig. 1 motif scaled to force the sharing decision.
+
+    Source 0 feeds consumers 1..3; a 4x4 crossbar can host all three
+    consumers plus the source only because they share 0's word-line.
+    """
+    net = Network("fig1")
+    for i in range(4):
+        net.add_neuron(i, is_input=(i == 0))
+    for consumer in (1, 2, 3):
+        net.add_synapse(0, consumer)
+    arch = custom_architecture([(CrossbarType(2, 4), 2)])
+    return MappingProblem(net, arch)
+
+
+class TestAreaModelStructure:
+    def test_variable_counts(self, tiny_problem):
+        handle = AreaModel(tiny_problem)
+        n = tiny_problem.num_neurons
+        j = tiny_problem.num_slots
+        sources = len(tiny_problem.sources())
+        assert len(handle.x) == n * j
+        assert len(handle.s) == sources * j
+        assert len(handle.y) == j
+
+    def test_symmetry_breaking_rows_present(self, tiny_problem):
+        with_sym = AreaModel(tiny_problem, FormulationOptions(symmetry_breaking=True))
+        without = AreaModel(tiny_problem, FormulationOptions(symmetry_breaking=False))
+        assert with_sym.model.num_constraints > without.model.num_constraints
+
+
+class TestAreaOptimality:
+    def test_matches_brute_force(self):
+        net = random_network(5, 8, seed=3, max_fan_in=3)
+        arch = custom_architecture(
+            [(CrossbarType(4, 4), 2), (CrossbarType(8, 8), 1)]
+        )
+        problem = MappingProblem(net, arch)
+        handle = AreaModel(problem)
+        result = HighsBackend().solve(handle.model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(brute_force_min_area(problem))
+
+    def test_backends_agree(self):
+        net = random_network(5, 8, seed=4, max_fan_in=3)
+        arch = custom_architecture([(CrossbarType(4, 4), 3)])
+        problem = MappingProblem(net, arch)
+        handle = AreaModel(problem)
+        highs = HighsBackend().solve(handle.model)
+        bnb = BnBBackend().solve(handle.model)
+        assert highs.objective == pytest.approx(bnb.objective)
+
+    def test_fig1_axon_sharing_fits_one_crossbar(self):
+        problem = fig1_problem()
+        handle = AreaModel(problem)
+        result = HighsBackend().solve(handle.model)
+        assert result.status is SolveStatus.OPTIMAL
+        mapping = handle.extract_mapping(result)
+        # All four neurons share slot 0: axon 0 occupies ONE input line.
+        assert len(mapping.enabled_slots()) == 1
+        assert mapping.axon_inputs(mapping.enabled_slots()[0]) == {0}
+
+    def test_extracted_mapping_always_valid(self, tiny_het_problem):
+        handle = AreaModel(tiny_het_problem)
+        result = HighsBackend().solve(handle.model)
+        mapping = handle.extract_mapping(result)
+        assert mapping.is_valid()
+        assert mapping.area() == pytest.approx(result.objective)
+
+    def test_aggregated_sharing_same_optimum(self, tiny_problem):
+        tight = AreaModel(tiny_problem, FormulationOptions(disaggregate_sharing=True))
+        loose = AreaModel(tiny_problem, FormulationOptions(disaggregate_sharing=False))
+        r1 = HighsBackend().solve(tight.model)
+        r2 = HighsBackend().solve(loose.model)
+        assert r1.objective == pytest.approx(r2.objective)
+
+    def test_without_upper_link_same_optimum(self, tiny_problem):
+        with_link = AreaModel(tiny_problem, FormulationOptions(include_upper_link=True))
+        without = AreaModel(tiny_problem, FormulationOptions(include_upper_link=False))
+        r1 = HighsBackend().solve(with_link.model)
+        r2 = HighsBackend().solve(without.model)
+        assert r1.objective == pytest.approx(r2.objective)
+
+    def test_symmetry_breaking_preserves_optimum(self, tiny_het_problem):
+        a = AreaModel(tiny_het_problem, FormulationOptions(symmetry_breaking=True))
+        b = AreaModel(tiny_het_problem, FormulationOptions(symmetry_breaking=False))
+        r1 = HighsBackend().solve(a.model)
+        r2 = HighsBackend().solve(b.model)
+        assert r1.objective == pytest.approx(r2.objective)
+
+
+class TestWarmStart:
+    def test_warm_start_is_feasible(self, tiny_het_problem):
+        handle = AreaModel(tiny_het_problem)
+        warm = handle.warm_start_from(greedy_first_fit(tiny_het_problem))
+        assert handle.model.check_feasible(warm) == []
+
+    def test_warm_start_bounds_solution(self, tiny_het_problem):
+        handle = AreaModel(tiny_het_problem)
+        greedy = greedy_first_fit(tiny_het_problem)
+        warm = handle.warm_start_from(greedy)
+        result = HighsBackend().solve(handle.model, warm_start=warm)
+        assert result.objective <= greedy.area() + 1e-9
+
+    def test_canonicalize_preserves_metrics(self, tiny_het_problem):
+        greedy = greedy_first_fit(tiny_het_problem)
+        canon = canonicalize_mapping(greedy)
+        assert canon.area() == pytest.approx(greedy.area())
+        assert canon.total_routes() == greedy.total_routes()
+        assert canon.global_routes() == greedy.global_routes()
+        assert canon.is_valid()
+
+    def test_canonical_enabled_slots_are_group_prefixes(self, tiny_het_problem):
+        greedy = greedy_first_fit(tiny_het_problem)
+        canon = canonicalize_mapping(greedy)
+        enabled = set(canon.enabled_slots())
+        for group in tiny_het_problem.architecture.identical_slot_groups():
+            used = [j for j in group if j in enabled]
+            assert used == group[: len(used)]

@@ -1,0 +1,161 @@
+"""Tests for the baselines: greedy, SpikeHard, KL refinement, spectral."""
+
+import pytest
+
+from repro.ilp.highs_backend import HighsBackend
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.kl_partition import kl_refine
+from repro.mapping.problem import MappingProblem
+from repro.mapping.spectral import spectral_mapping
+from repro.mapping.spikehard import (
+    SpikeHardPacker,
+    form_mccs,
+    iterate_spikehard,
+    make_mcc,
+    singleton_mccs,
+)
+from repro.mca.architecture import custom_architecture, homogeneous_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+from repro.snn.network import Network
+
+
+@pytest.fixture
+def problem():
+    net = random_network(16, 32, seed=9, max_fan_in=6)
+    arch = homogeneous_architecture(16, dimension=8, slack=3.0)
+    return MappingProblem(net, arch)
+
+
+class TestGreedy:
+    def test_produces_valid_mapping(self, problem):
+        mapping = greedy_first_fit(problem)
+        assert mapping.is_valid()
+
+    def test_all_orderings_valid(self, problem):
+        for order in ("bfs", "fan_in", "id"):
+            assert greedy_first_fit(problem, order=order).is_valid()
+
+    def test_unknown_order_rejected(self, problem):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            greedy_first_fit(problem, order="zigzag")
+
+    def test_deterministic(self, problem):
+        a = greedy_first_fit(problem)
+        b = greedy_first_fit(problem)
+        assert a.assignment == b.assignment
+
+    def test_raises_when_pool_exhausted(self):
+        net = random_network(10, 20, seed=2, max_fan_in=4)
+        arch = custom_architecture([(CrossbarType(4, 4), 1)])
+        prob = MappingProblem(net, arch)
+        with pytest.raises(RuntimeError, match="greedy packing failed"):
+            greedy_first_fit(prob)
+
+
+class TestSpikeHard:
+    def test_mcc_dimensions(self, problem):
+        mcc = make_mcc(problem, frozenset([0, 1]))
+        assert mcc.outputs == 2
+        assert mcc.inputs == problem.axon_demand({0, 1})
+
+    def test_empty_mcc_rejected(self):
+        from repro.mapping.spikehard import MCC
+
+        with pytest.raises(ValueError):
+            MCC(frozenset(), 0, 0)
+
+    def test_form_mccs_partitions_neurons(self, problem):
+        initial = greedy_first_fit(problem)
+        mccs = form_mccs(problem, initial)
+        covered = sorted(n for m in mccs for n in m.neurons)
+        assert covered == problem.network.neuron_ids()
+
+    def test_mccs_respect_initial_crossbars(self, problem):
+        initial = greedy_first_fit(problem)
+        for mcc in form_mccs(problem, initial):
+            slots = {initial.assignment[n] for n in mcc.neurons}
+            assert len(slots) == 1
+
+    def test_singleton_mccs(self, problem):
+        mccs = singleton_mccs(problem)
+        assert len(mccs) == problem.num_neurons
+        assert all(m.outputs == 1 for m in mccs)
+
+    def test_packing_produces_valid_mapping(self, problem):
+        result = SpikeHardPacker(problem).pack(
+            form_mccs(problem, greedy_first_fit(problem))
+        )
+        assert result.mapping.is_valid()
+
+    def test_double_counting_never_beats_axon_sharing(self, problem):
+        """SpikeHard's area can never be below the exact optimum."""
+        sh = iterate_spikehard(problem)
+        handle = AreaModel(problem)
+        exact = HighsBackend().solve(
+            handle.model,
+            warm_start=handle.warm_start_from(greedy_first_fit(problem)),
+        )
+        assert sh.mapping.area() >= exact.objective - 1e-9
+
+    def test_iteration_monotone_until_convergence(self, problem):
+        result = iterate_spikehard(problem, max_iterations=6)
+        improving = result.area_history[: result.iterations]
+        assert improving == sorted(improving, reverse=True)
+
+    def test_singleton_start_is_pessimistic(self):
+        """Fig.-1 motif: singleton MCCs double-count the shared axon."""
+        net = Network("fig1")
+        for i in range(4):
+            net.add_neuron(i, is_input=(i == 0))
+        for consumer in (1, 2, 3):
+            net.add_synapse(0, consumer)
+        arch = custom_architecture([(CrossbarType(2, 4), 4)])
+        problem = MappingProblem(net, arch)
+        packer = SpikeHardPacker(problem)
+        singleton_result = packer.pack(singleton_mccs(problem))
+        # Exact optimum: everything in ONE 2x4 crossbar (shared axon).
+        handle = AreaModel(problem)
+        exact = HighsBackend().solve(handle.model)
+        assert exact.objective == pytest.approx(8.0)
+        # Singletons claim 1 input line *each* for the same axon: the three
+        # consumers alone need 3 summed input lines > 2 per crossbar.
+        assert singleton_result.mapping.area() > exact.objective
+
+    def test_max_iterations_validated(self, problem):
+        with pytest.raises(ValueError):
+            iterate_spikehard(problem, max_iterations=0)
+
+
+class TestKlRefine:
+    def test_never_increases_global_routes(self, problem):
+        initial = greedy_first_fit(problem)
+        refined = kl_refine(problem, initial)
+        assert refined.global_routes() <= initial.global_routes()
+        assert refined.is_valid()
+
+    def test_area_never_increases(self, problem):
+        initial = greedy_first_fit(problem)
+        refined = kl_refine(problem, initial)
+        assert refined.area() <= initial.area() + 1e-9
+
+    def test_max_passes_validated(self, problem):
+        with pytest.raises(ValueError):
+            kl_refine(problem, max_passes=0)
+
+
+class TestSpectral:
+    def test_produces_valid_mapping(self, problem):
+        mapping = spectral_mapping(problem, seed=3)
+        assert mapping.is_valid()
+
+    def test_respects_cluster_count_hint(self, problem):
+        mapping = spectral_mapping(problem, num_clusters=4, seed=3)
+        assert mapping.is_valid()
+        assert len(mapping.enabled_slots()) >= 1
+
+    def test_deterministic_given_seed(self, problem):
+        a = spectral_mapping(problem, seed=5)
+        b = spectral_mapping(problem, seed=5)
+        assert a.assignment == b.assignment

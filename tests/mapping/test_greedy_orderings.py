@@ -1,0 +1,68 @@
+"""Deeper tests of the greedy packer's ordering strategies and summaries."""
+
+import pytest
+
+from repro.mapping.greedy import _bfs_order, greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import layered_network, random_network
+
+
+@pytest.fixture
+def problem():
+    net = random_network(18, 36, seed=61, max_fan_in=6)
+    arch = heterogeneous_architecture(
+        18,
+        types=[CrossbarType(4, 4), CrossbarType(8, 4), CrossbarType(8, 8)],
+        max_slots_per_type=8,
+    )
+    return MappingProblem(net, arch)
+
+
+class TestBfsOrder:
+    def test_visits_every_neuron_once(self, problem):
+        order = _bfs_order(problem)
+        assert sorted(order) == problem.network.neuron_ids()
+
+    def test_starts_at_max_degree(self, problem):
+        net = problem.network
+        order = _bfs_order(problem)
+        degrees = {i: net.fan_in(i) + net.fan_out(i) for i in net.neuron_ids()}
+        assert degrees[order[0]] == max(degrees.values())
+
+    def test_covers_disconnected_components(self):
+        net = layered_network([3, 3], connection_prob=1.0, seed=0)
+        # Add an isolated neuron: BFS must still reach it.
+        net.add_neuron(99)
+        compact, _ = net.compact()
+        arch = heterogeneous_architecture(compact.num_neurons)
+        order = _bfs_order(MappingProblem(compact, arch))
+        assert sorted(order) == compact.neuron_ids()
+
+
+class TestOrderingQuality:
+    def test_bfs_not_worse_than_id_on_locality(self, problem):
+        """BFS keeps neighbourhoods together, which should not produce
+        MORE global routes than arbitrary id order on this fixture."""
+        bfs = greedy_first_fit(problem, order="bfs")
+        by_id = greedy_first_fit(problem, order="id")
+        assert bfs.global_routes() <= by_id.global_routes() * 1.5
+
+    def test_fan_in_order_valid_and_complete(self, problem):
+        mapping = greedy_first_fit(problem, order="fan_in")
+        assert mapping.is_valid()
+        assert len(mapping.assignment) == problem.num_neurons
+
+
+class TestSummaries:
+    def test_summary_mentions_histogram(self, problem):
+        mapping = greedy_first_fit(problem)
+        text = mapping.summary()
+        for label, count in mapping.crossbar_histogram().items():
+            assert f"{count}x{label}" in text
+
+    def test_histogram_counts_sum_to_enabled(self, problem):
+        mapping = greedy_first_fit(problem)
+        hist = mapping.crossbar_histogram()
+        assert sum(hist.values()) == len(mapping.enabled_slots())

@@ -1,0 +1,108 @@
+"""Tests for incremental remapping after network edits."""
+
+import pytest
+
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.incremental import RemapOptions, remap_incremental
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+@pytest.fixture
+def base():
+    net = random_network(16, 32, seed=40, max_fan_in=6)
+    arch = heterogeneous_architecture(
+        24,  # headroom for growth edits
+        types=[CrossbarType(4, 4), CrossbarType(8, 4), CrossbarType(8, 8)],
+        max_slots_per_type=10,
+    )
+    problem = MappingProblem(net, arch)
+    return net, greedy_first_fit(problem)
+
+
+class TestOptions:
+    def test_polish_time_validated(self):
+        with pytest.raises(ValueError):
+            RemapOptions(polish_time_limit=0.0)
+
+
+class TestEdits:
+    def test_identity_edit_keeps_everything(self, base):
+        net, mapping = base
+        result = remap_incremental(mapping, net.copy(), RemapOptions(polish=False))
+        assert result.mapping.is_valid()
+        assert result.newly_placed == 0
+        assert result.carried_over == net.num_neurons
+
+    def test_add_synapse(self, base):
+        net, mapping = base
+        edited = net.copy()
+        # Find a missing pair with room under the fan-in cap.
+        for pre in edited.neuron_ids():
+            for post in edited.neuron_ids():
+                if pre != post and not edited.has_synapse(pre, post) and edited.fan_in(post) < 6:
+                    edited.add_synapse(pre, post, weight=0.5)
+                    break
+            else:
+                continue
+            break
+        result = remap_incremental(mapping, edited)
+        assert result.mapping.is_valid()
+        assert result.mapping.problem.network is edited
+
+    def test_add_neuron_with_edges(self, base):
+        net, mapping = base
+        edited = net.copy()
+        new = edited.add_neuron(16)
+        edited.add_synapse(0, new.id, weight=0.7)
+        edited.add_synapse(new.id, 5, weight=0.4)
+        result = remap_incremental(mapping, edited)
+        assert result.mapping.is_valid()
+        assert result.newly_placed == 1
+        assert new.id in result.mapping.assignment
+
+    def test_remove_neuron(self, base):
+        net, mapping = base
+        edited = net.copy()
+        edited.remove_neuron(7)
+        compact, _ = edited.compact()
+        # Removing a neuron breaks id compactness; re-add as hole-free net.
+        result = remap_incremental(mapping, compact, RemapOptions(polish=False))
+        assert result.mapping.is_valid()
+        assert result.mapping.problem.num_neurons == 15
+
+    def test_most_placement_survives_small_edit(self, base):
+        net, mapping = base
+        edited = net.copy()
+        new = edited.add_neuron()
+        edited.add_synapse(1, new.id, weight=0.5)
+        result = remap_incremental(mapping, edited, RemapOptions(polish=False))
+        # At least 80% of old placements survive a one-neuron edit.
+        assert result.carried_over >= int(0.8 * net.num_neurons)
+
+    def test_polish_never_hurts_area(self, base):
+        net, mapping = base
+        edited = net.copy()
+        new = edited.add_neuron()
+        edited.add_synapse(2, new.id, weight=0.5)
+        rough = remap_incremental(mapping, edited, RemapOptions(polish=False))
+        polished = remap_incremental(
+            mapping, edited, RemapOptions(polish=True, polish_time_limit=3.0)
+        )
+        assert polished.mapping.area() <= rough.mapping.area() + 1e-9
+
+    def test_pool_exhaustion_raises(self):
+        net = random_network(8, 16, seed=4, max_fan_in=4)
+        from repro.mca.architecture import custom_architecture
+
+        arch = custom_architecture([(CrossbarType(8, 8), 1)])
+        problem = MappingProblem(net, arch)
+        mapping = greedy_first_fit(problem)
+        edited = net.copy()
+        # Add neurons past the single slot's output capacity.
+        fresh = edited.add_neuron()
+        edited.add_synapse(0, fresh.id, weight=0.5)
+        with pytest.raises(RuntimeError):
+            remap_incremental(mapping, edited, RemapOptions(polish=False))

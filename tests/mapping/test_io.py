@@ -1,0 +1,87 @@
+"""Tests for mapping/architecture serialization."""
+
+import json
+
+import pytest
+
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.io import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+)
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import (
+    custom_architecture,
+    heterogeneous_architecture,
+)
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+@pytest.fixture
+def mapping():
+    net = random_network(12, 24, seed=30, max_fan_in=6)
+    arch = heterogeneous_architecture(
+        12, types=[CrossbarType(8, 4), CrossbarType(8, 8)], max_slots_per_type=5
+    )
+    return greedy_first_fit(MappingProblem(net, arch))
+
+
+class TestArchitectureRoundTrip:
+    def test_round_trip_preserves_slots(self):
+        arch = custom_architecture(
+            [(CrossbarType(4, 4), 3), (CrossbarType(16, 8, overhead=1.2), 2)],
+            name="mixed",
+        )
+        back = architecture_from_dict(architecture_to_dict(arch))
+        assert back.name == "mixed"
+        assert back.num_slots == arch.num_slots
+        for a, b in zip(arch.slots, back.slots):
+            assert a.ctype == b.ctype
+
+    def test_runs_compress_identical_types(self):
+        arch = custom_architecture([(CrossbarType(4, 4), 5)])
+        data = architecture_to_dict(arch)
+        assert len(data["slot_runs"]) == 1
+        assert data["slot_runs"][0]["count"] == 5
+
+
+class TestMappingRoundTrip:
+    def test_dict_round_trip(self, mapping):
+        back = mapping_from_dict(mapping_to_dict(mapping))
+        assert back.assignment == mapping.assignment
+        assert back.area() == pytest.approx(mapping.area())
+        assert back.global_routes() == mapping.global_routes()
+
+    def test_file_round_trip(self, mapping, tmp_path):
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path)
+        back = load_mapping(path)
+        assert back.assignment == mapping.assignment
+
+    def test_version_check(self, mapping):
+        data = mapping_to_dict(mapping)
+        data["format_version"] = 7
+        with pytest.raises(ValueError, match="version"):
+            mapping_from_dict(data)
+
+    def test_invalid_stored_mapping_rejected(self, mapping):
+        data = mapping_to_dict(mapping)
+        # Cram every neuron into slot 0 (overflows its outputs).
+        data["assignment"] = {k: 0 for k in data["assignment"]}
+        del data["metrics"]
+        with pytest.raises(ValueError, match="invalid"):
+            mapping_from_dict(data)
+
+    def test_tampered_metrics_detected(self, mapping, tmp_path):
+        path = tmp_path / "m.json"
+        save_mapping(mapping, path)
+        data = json.loads(path.read_text())
+        data["metrics"]["area"] = data["metrics"]["area"] + 123
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="disagrees"):
+            load_mapping(path)

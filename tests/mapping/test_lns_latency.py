@@ -1,0 +1,162 @@
+"""Tests for the LNS optimizer and the latency analysis."""
+
+import pytest
+
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.latency import (
+    annotate_latency,
+    critical_path_latency,
+    effective_delays,
+    latency_report,
+)
+from repro.mapping.lns import LnsOptions, lns_area
+from repro.mapping.problem import MappingProblem
+from repro.mapping.solution import Mapping
+from repro.mca.architecture import (
+    custom_architecture,
+    heterogeneous_architecture,
+)
+from repro.mca.crossbar import CrossbarType
+from repro.mca.noc import MeshNoC
+from repro.snn.generators import random_network
+from repro.snn.network import Network
+from repro.snn.simulator import Simulator
+
+
+@pytest.fixture
+def problem():
+    net = random_network(20, 40, seed=27, max_fan_in=6)
+    arch = heterogeneous_architecture(
+        20,
+        types=[CrossbarType(4, 4), CrossbarType(8, 4), CrossbarType(8, 8)],
+        max_slots_per_type=8,
+    )
+    return MappingProblem(net, arch)
+
+
+class TestLns:
+    def test_options_validated(self):
+        with pytest.raises(ValueError):
+            LnsOptions(rounds=0)
+        with pytest.raises(ValueError):
+            LnsOptions(destroy_fraction=0.0)
+        with pytest.raises(ValueError):
+            LnsOptions(repair_time_limit=0.0)
+
+    def test_never_worse_than_initial(self, problem):
+        initial = greedy_first_fit(problem)
+        result = lns_area(
+            problem, initial, LnsOptions(rounds=4, repair_time_limit=2.0)
+        )
+        assert result.mapping.is_valid()
+        assert result.mapping.area() <= initial.area() + 1e-9
+
+    def test_history_monotone(self, problem):
+        result = lns_area(problem, options=LnsOptions(rounds=5, repair_time_limit=1.5))
+        areas = [a for _, a in result.history]
+        assert areas == sorted(areas, reverse=True)
+        assert len(result.history) == 6  # initial + 5 rounds
+
+    def test_usually_improves_greedy(self, problem):
+        initial = greedy_first_fit(problem)
+        result = lns_area(
+            problem, initial,
+            LnsOptions(rounds=6, destroy_fraction=0.4, repair_time_limit=2.0),
+        )
+        assert result.mapping.area() < initial.area()
+        assert result.repairs_improved >= 1
+
+    def test_respects_exact_lower_bound(self, problem):
+        handle = AreaModel(problem)
+        exact = HighsBackend(HighsOptions(time_limit=20)).solve(
+            handle.model,
+            warm_start=handle.warm_start_from(greedy_first_fit(problem)),
+        )
+        result = lns_area(problem, options=LnsOptions(rounds=4, repair_time_limit=1.5))
+        assert result.mapping.area() >= exact.objective - 1e-9
+
+    def test_full_destroy_equals_global_solve(self, problem):
+        """destroy_fraction=1 frees everything: one repair = global ILP."""
+        result = lns_area(
+            problem,
+            options=LnsOptions(rounds=1, destroy_fraction=1.0, repair_time_limit=15.0),
+        )
+        handle = AreaModel(problem)
+        exact = HighsBackend(HighsOptions(time_limit=15)).solve(
+            handle.model,
+            warm_start=handle.warm_start_from(greedy_first_fit(problem)),
+        )
+        assert result.mapping.area() == pytest.approx(exact.objective)
+
+
+def chain_problem():
+    """0 -> 1 -> 2 -> 3 chain over two 2-output crossbars (forced split)."""
+    net = Network("chain")
+    for i in range(4):
+        net.add_neuron(i, is_input=(i == 0))
+    for i in range(3):
+        net.add_synapse(i, i + 1, delay=1)
+    arch = custom_architecture([(CrossbarType(4, 2), 2)])
+    return MappingProblem(net, arch)
+
+
+class TestLatency:
+    def test_local_synapses_unchanged(self):
+        problem = chain_problem()
+        mapping = Mapping(problem, {0: 0, 1: 0, 2: 1, 3: 1})
+        delays = effective_delays(mapping, cycles_per_hop=3)
+        assert delays[(0, 1)] == 1  # same crossbar
+        assert delays[(2, 3)] == 1
+        assert delays[(1, 2)] == 1 + 3  # one hop on a 2-tile mesh
+
+    def test_cycles_per_hop_zero_is_logical(self):
+        problem = chain_problem()
+        mapping = Mapping(problem, {0: 0, 1: 0, 2: 1, 3: 1})
+        delays = effective_delays(mapping, cycles_per_hop=0)
+        assert all(d == 1 for d in delays.values())
+
+    def test_negative_cycles_rejected(self):
+        problem = chain_problem()
+        mapping = Mapping(problem, {0: 0, 1: 0, 2: 1, 3: 1})
+        with pytest.raises(ValueError):
+            effective_delays(mapping, cycles_per_hop=-1)
+
+    def test_critical_path_chain(self):
+        problem = chain_problem()
+        mapping = Mapping(problem, {0: 0, 1: 0, 2: 1, 3: 1})
+        # Path: 1 + (1+2) + 1 with cycles_per_hop=2.
+        assert critical_path_latency(mapping, cycles_per_hop=2) == 5
+
+    def test_annotated_network_runs_slower(self):
+        problem = chain_problem()
+        mapping = Mapping(problem, {0: 0, 1: 1, 2: 0, 3: 1})  # ping-pong
+        timed = annotate_latency(mapping, cycles_per_hop=2)
+        fast = Simulator(problem.network).run(16, input_spikes={0: [0]})
+        slow = Simulator(timed).run(16, input_spikes={0: [0]})
+        assert max(t for t, _ in slow.spikes) > max(t for t, _ in fast.spikes)
+        # Same spikes, later times.
+        assert slow.total_spikes == fast.total_spikes
+
+    def test_latency_report(self):
+        problem = chain_problem()
+        split = Mapping(problem, {0: 0, 1: 1, 2: 0, 3: 1})
+        together_ish = Mapping(problem, {0: 0, 1: 0, 2: 1, 3: 1})
+        bad = latency_report(split, cycles_per_hop=2)
+        good = latency_report(together_ish, cycles_per_hop=2)
+        assert bad.mapped_critical_path > good.mapped_critical_path
+        assert bad.slowdown >= good.slowdown >= 1.0
+        assert bad.worst_synapse_transit >= 2
+
+    def test_recurrent_loops_contract(self):
+        net = Network()
+        for i in range(3):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(1, 0)  # loop
+        net.add_synapse(1, 2)
+        arch = custom_architecture([(CrossbarType(4, 4), 1)])
+        problem = MappingProblem(net, arch)
+        mapping = Mapping(problem, {0: 0, 1: 0, 2: 0})
+        assert critical_path_latency(mapping) == 1  # loop -> 2 only

@@ -1,0 +1,139 @@
+"""Tests for the local-search optimizer and the hierarchical mapper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.hierarchical import (
+    HierarchicalOptions,
+    hierarchical_map,
+    partition_regions,
+)
+from repro.mapping.local_search import LocalSearchOptions, local_search
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import (
+    heterogeneous_architecture,
+    homogeneous_architecture,
+)
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+@pytest.fixture
+def het_problem():
+    net = random_network(24, 48, seed=17, max_fan_in=6)
+    arch = heterogeneous_architecture(
+        24,
+        types=[CrossbarType(4, 4), CrossbarType(8, 4), CrossbarType(8, 8),
+               CrossbarType(16, 8)],
+        max_slots_per_type=10,
+    )
+    return MappingProblem(net, arch)
+
+
+class TestLocalSearch:
+    def test_valid_and_never_worse(self, het_problem):
+        initial = greedy_first_fit(het_problem)
+        improved = local_search(het_problem, initial)
+        assert improved.is_valid()
+        assert (improved.area(), improved.global_routes()) <= (
+            initial.area(),
+            initial.global_routes(),
+        )
+
+    def test_usually_improves_greedy(self, het_problem):
+        initial = greedy_first_fit(het_problem)
+        improved = local_search(het_problem, initial)
+        assert (improved.area(), improved.global_routes()) < (
+            initial.area(),
+            initial.global_routes(),
+        )
+
+    def test_respects_ilp_lower_bound(self, het_problem):
+        """Local search can never beat the exact optimum."""
+        handle = AreaModel(het_problem)
+        exact = HighsBackend(HighsOptions(time_limit=20)).solve(
+            handle.model,
+            warm_start=handle.warm_start_from(greedy_first_fit(het_problem)),
+        )
+        searched = local_search(het_problem)
+        assert searched.area() >= exact.objective - 1e-9
+
+    def test_deterministic_given_seed(self, het_problem):
+        a = local_search(het_problem, options=LocalSearchOptions(seed=5))
+        b = local_search(het_problem, options=LocalSearchOptions(seed=5))
+        assert a.assignment == b.assignment
+
+    def test_move_toggles(self, het_problem):
+        opts = LocalSearchOptions(
+            allow_drain=False, allow_downsize=False, allow_swap=False
+        )
+        result = local_search(het_problem, options=opts)
+        assert result.is_valid()
+
+    def test_max_rounds_validated(self, het_problem):
+        with pytest.raises(ValueError):
+            local_search(het_problem, options=LocalSearchOptions(max_rounds=0))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_property_valid_on_random_nets(self, seed):
+        net = random_network(14, 28, seed=seed, max_fan_in=5)
+        problem = MappingProblem(
+            net, homogeneous_architecture(14, dimension=8, slack=2.0)
+        )
+        initial = greedy_first_fit(problem)
+        result = local_search(problem, initial, LocalSearchOptions(max_rounds=5))
+        assert result.validate() == []
+        assert result.area() <= initial.area() + 1e-9
+
+
+class TestPartitionRegions:
+    def test_covers_all_neurons_once(self, het_problem):
+        regions = partition_regions(het_problem, region_size=8)
+        flat = sorted(n for r in regions for n in r)
+        assert flat == het_problem.network.neuron_ids()
+
+    def test_region_size_respected(self, het_problem):
+        regions = partition_regions(het_problem, region_size=8)
+        assert all(len(r) <= 8 for r in regions)
+
+    def test_single_region_when_large_enough(self, het_problem):
+        regions = partition_regions(het_problem, region_size=1000)
+        assert len(regions) == 1
+
+
+class TestHierarchicalMap:
+    def test_valid_mapping(self, het_problem):
+        mapping = hierarchical_map(
+            het_problem,
+            HierarchicalOptions(region_size=8, region_time_limit=4.0),
+        )
+        assert mapping.is_valid()
+
+    def test_scales_to_larger_network(self):
+        net = random_network(80, 160, seed=3, max_fan_in=8)
+        arch = heterogeneous_architecture(80, max_slots_per_type=24)
+        problem = MappingProblem(net, arch)
+        mapping = hierarchical_map(
+            problem, HierarchicalOptions(region_size=24, region_time_limit=3.0)
+        )
+        assert mapping.is_valid()
+        # Must beat the trivial one-neuron-per-cheapest-slot bound.
+        cheapest = min(t.area for t in arch.types())
+        assert mapping.area() < 80 * cheapest
+
+    def test_options_validated(self):
+        with pytest.raises(ValueError):
+            HierarchicalOptions(region_size=2)
+        with pytest.raises(ValueError):
+            HierarchicalOptions(region_time_limit=0.0)
+
+    def test_no_refine_path(self, het_problem):
+        mapping = hierarchical_map(
+            het_problem,
+            HierarchicalOptions(region_size=8, region_time_limit=2.0, refine=False),
+        )
+        assert mapping.is_valid()

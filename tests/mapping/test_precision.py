@@ -1,0 +1,90 @@
+"""Tests for the bit-slicing precision-aware area model."""
+
+import pytest
+
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.precision import (
+    PrecisionAreaModel,
+    PrecisionSpec,
+    neuron_slices,
+    precision_area_overhead,
+    validate_sliced,
+)
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+class TestPrecisionSpec:
+    def test_slices_computed(self):
+        assert PrecisionSpec(weight_bits=8, cell_bits=2).slices == 4
+        assert PrecisionSpec(weight_bits=5, cell_bits=2).slices == 3
+        assert PrecisionSpec(weight_bits=4, cell_bits=4).slices == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrecisionSpec(weight_bits=0)
+        with pytest.raises(ValueError):
+            PrecisionSpec(weight_bits=2, cell_bits=4)
+
+
+@pytest.fixture
+def problem():
+    net = random_network(8, 14, seed=22, max_fan_in=4)
+    arch = custom_architecture(
+        [(CrossbarType(8, 8), 6), (CrossbarType(4, 4), 6)]
+    )
+    return MappingProblem(net, arch)
+
+
+class TestNeuronSlices:
+    def test_weightless_neurons_single_column(self, problem):
+        spec = PrecisionSpec(weight_bits=8, cell_bits=2)
+        slices = neuron_slices(problem, spec)
+        for i in problem.network.neuron_ids():
+            expected = 4 if problem.preds(i) else 1
+            assert slices[i] == expected
+
+
+class TestPrecisionAreaModel:
+    def solve(self, problem, spec):
+        handle = PrecisionAreaModel(problem, spec)
+        result = HighsBackend(HighsOptions(time_limit=10)).solve(handle.model)
+        return handle, result
+
+    def test_single_slice_matches_base_model(self, problem):
+        spec = PrecisionSpec(weight_bits=2, cell_bits=2)  # 1 slice
+        _, sliced = self.solve(problem, spec)
+        base = HighsBackend().solve(AreaModel(problem).model)
+        assert sliced.objective == pytest.approx(base.objective)
+
+    def test_higher_precision_costs_area(self, problem):
+        lo_handle, lo = self.solve(problem, PrecisionSpec(weight_bits=2, cell_bits=2))
+        hi_handle, hi = self.solve(problem, PrecisionSpec(weight_bits=8, cell_bits=2))
+        assert hi.objective >= lo.objective
+        overhead = precision_area_overhead(problem, lo.objective, hi.objective)
+        assert overhead >= 0.0
+
+    def test_extracted_mapping_respects_slices(self, problem):
+        spec = PrecisionSpec(weight_bits=8, cell_bits=2)
+        handle, result = self.solve(problem, spec)
+        mapping = handle.extract_mapping(result)
+        assert validate_sliced(mapping, neuron_slices(problem, spec)) == []
+        # Plain validity holds too (axon accounting untouched).
+        assert mapping.is_valid()
+
+    def test_validate_sliced_catches_overflow(self, problem):
+        spec = PrecisionSpec(weight_bits=8, cell_bits=2)
+        slices = neuron_slices(problem, spec)
+        greedy = greedy_first_fit(problem)  # slice-unaware packing
+        issues = validate_sliced(greedy, slices)
+        # The greedy packer ignores slices, so with 4x columns per neuron
+        # at least one crossbar overflows (8 neurons x4 > 8 columns).
+        assert issues
+
+    def test_overhead_requires_positive_base(self, problem):
+        with pytest.raises(ValueError):
+            precision_area_overhead(problem, 0.0, 10.0)

@@ -1,0 +1,154 @@
+"""Tests for MappingProblem and the Mapping solution object."""
+
+import pytest
+
+from repro.mapping.problem import MappingProblem
+from repro.mapping.solution import Mapping
+from repro.mca.architecture import custom_architecture, homogeneous_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.network import Network
+
+
+def diamond_network():
+    """0 -> {1, 2} -> 3 with an extra edge 0 -> 3."""
+    net = Network("diamond+")
+    for i in range(4):
+        net.add_neuron(i, is_input=(i == 0), is_output=(i == 3))
+    net.add_synapse(0, 1)
+    net.add_synapse(0, 2)
+    net.add_synapse(1, 3)
+    net.add_synapse(2, 3)
+    net.add_synapse(0, 3)
+    return net
+
+
+class TestMappingProblem:
+    def test_requires_compact_network(self):
+        net = Network()
+        net.add_neuron(0)
+        net.add_neuron(5)
+        arch = homogeneous_architecture(2, dimension=4)
+        with pytest.raises(ValueError, match="compact"):
+            MappingProblem(net, arch)
+
+    def test_rejects_empty_network(self):
+        arch = homogeneous_architecture(2, dimension=4)
+        with pytest.raises(ValueError, match="empty"):
+            MappingProblem(Network(), arch)
+
+    def test_rejects_unfittable_fan_in(self):
+        net = Network()
+        for i in range(6):
+            net.add_neuron(i)
+        for i in range(5):
+            net.add_synapse(i, 5)
+        arch = custom_architecture([(CrossbarType(4, 4), 4)])
+        with pytest.raises(ValueError, match="fan-in"):
+            MappingProblem(net, arch)
+
+    def test_preds_succs_sources(self):
+        prob = MappingProblem(
+            diamond_network(), homogeneous_architecture(4, dimension=8)
+        )
+        assert prob.preds(3) == {0, 1, 2}
+        assert prob.succs(0) == {1, 2, 3}
+        assert prob.sources() == [0, 1, 2]
+
+    def test_edges_deterministic(self):
+        prob = MappingProblem(
+            diamond_network(), homogeneous_architecture(4, dimension=8)
+        )
+        assert prob.edges() == [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)]
+
+    def test_axon_demand_shares(self):
+        prob = MappingProblem(
+            diamond_network(), homogeneous_architecture(4, dimension=8)
+        )
+        # 1 and 2 share the single axon from 0.
+        assert prob.axon_demand({1, 2}) == 1
+        assert prob.axon_demand({3}) == 3
+        assert prob.axon_demand({1, 2, 3}) == 3
+
+
+class TestMapping:
+    @pytest.fixture
+    def problem(self):
+        arch = custom_architecture([(CrossbarType(4, 4), 3)])
+        return MappingProblem(diamond_network(), arch)
+
+    def test_validation_of_assignment_shape(self, problem):
+        with pytest.raises(ValueError, match="missing"):
+            Mapping(problem, {0: 0})
+        with pytest.raises(ValueError, match="unknown neurons"):
+            Mapping(problem, {0: 0, 1: 0, 2: 0, 3: 0, 9: 0})
+        with pytest.raises(ValueError, match="unknown slots"):
+            Mapping(problem, {0: 0, 1: 0, 2: 0, 3: 7})
+
+    def test_structure_queries(self, problem):
+        m = Mapping(problem, {0: 0, 1: 1, 2: 1, 3: 2})
+        assert m.neurons_on(1) == {1, 2}
+        assert m.axon_inputs(1) == {0}  # shared axon counted once
+        assert m.axon_inputs(2) == {0, 1, 2}
+        assert m.enabled_slots() == [0, 1, 2]
+
+    def test_area_counts_enabled_only(self, problem):
+        m = Mapping(problem, {0: 0, 1: 0, 2: 0, 3: 0})
+        assert m.area() == 16.0
+        assert m.memristor_count() == 16
+
+    def test_route_metrics_hand_computed(self, problem):
+        m = Mapping(problem, {0: 0, 1: 1, 2: 1, 3: 2})
+        # Inputs: slot0 {}, slot1 {0}, slot2 {0,1,2} -> total 4.
+        assert m.total_routes() == 4
+        assert m.local_routes() == 0
+        assert m.global_routes() == 4
+
+    def test_local_routes_when_colocated(self, problem):
+        m = Mapping(problem, {0: 0, 1: 0, 2: 0, 3: 0})
+        # All inputs are internal: s has {0} for axons 0,1,2 all local.
+        assert m.total_routes() == 3
+        assert m.local_routes() == 3
+        assert m.global_routes() == 0
+
+    def test_packet_count(self, problem):
+        m = Mapping(problem, {0: 0, 1: 1, 2: 1, 3: 2})
+        local, global_ = m.packet_count({0: 10, 1: 2, 2: 3})
+        # 0 -> slot1 (10), 0 -> slot2 (10), 1 -> slot2 (2), 2 -> slot2 (3).
+        assert (local, global_) == (0, 25)
+
+    def test_packet_count_with_local(self, problem):
+        m = Mapping(problem, {0: 0, 1: 0, 2: 1, 3: 1})
+        local, global_ = m.packet_count({0: 4, 1: 1, 2: 1})
+        # 0 feeds 1 locally (4), feeds {2,3} on slot1 (4 global);
+        # 1 feeds 3 on slot1 (1 global); 2 feeds 3 locally (1).
+        assert local == 5
+        assert global_ == 5
+
+    def test_capacity_validation(self):
+        net = Network()
+        for i in range(5):
+            net.add_neuron(i)
+        for i in range(4):
+            net.add_synapse(i, 4)
+        arch = custom_architecture([(CrossbarType(4, 4), 2)])
+        prob = MappingProblem(net, arch)
+        crowded = Mapping(prob, {i: 0 for i in range(5)})
+        issues = crowded.validate()
+        assert any("output lines" in v for v in issues)
+        assert not crowded.is_valid()
+
+    def test_input_capacity_validation(self):
+        net = Network()
+        for i in range(6):
+            net.add_neuron(i)
+        for i in range(5):
+            net.add_synapse(i, 5)
+        arch = custom_architecture([(CrossbarType(5, 8), 2), (CrossbarType(4, 8), 1)])
+        prob = MappingProblem(net, arch)
+        bad = Mapping(prob, {0: 0, 1: 0, 2: 0, 3: 0, 4: 0, 5: 2})
+        assert any("axons exceed" in v for v in bad.validate())
+
+    def test_histogram_and_summary(self, problem):
+        m = Mapping(problem, {0: 0, 1: 1, 2: 1, 3: 2})
+        assert m.crossbar_histogram() == {"4x4": 3}
+        assert "routes=4" in m.summary()

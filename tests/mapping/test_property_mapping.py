@@ -1,0 +1,104 @@
+"""Property-based invariants of the mapping stack.
+
+Random networks and pools must always yield: valid greedy mappings, valid
+and no-worse ILP mappings, metric identities, and canonicalization
+invariance — the end-to-end guarantees the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel, canonicalize_mapping
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+@st.composite
+def random_problem(draw):
+    n = draw(st.integers(6, 14))
+    density = draw(st.floats(0.8, 2.0))
+    m = min(int(n * density), n * 4)
+    seed = draw(st.integers(0, 10_000))
+    net = random_network(n, m, seed=seed, max_fan_in=4)
+    pool = draw(
+        st.sampled_from(
+            [
+                [(CrossbarType(4, 4), n), (CrossbarType(8, 8), (n + 7) // 8)],
+                [(CrossbarType(8, 4), n // 2 + 2), (CrossbarType(8, 8), n // 2 + 2)],
+                [(CrossbarType(16, 16), (n + 3) // 4)],
+            ]
+        )
+    )
+    return MappingProblem(net, custom_architecture(pool))
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problem())
+def test_greedy_always_valid(problem):
+    mapping = greedy_first_fit(problem)
+    assert mapping.validate() == []
+    # Every neuron is placed exactly once by construction of assignment.
+    assert sorted(mapping.assignment) == problem.network.neuron_ids()
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problem())
+def test_route_identity_total_equals_local_plus_global(problem):
+    mapping = greedy_first_fit(problem)
+    assert mapping.total_routes() == mapping.local_routes() + mapping.global_routes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problem())
+def test_axon_inputs_match_predecessor_unions(problem):
+    mapping = greedy_first_fit(problem)
+    for j in mapping.enabled_slots():
+        expected = set()
+        for i in mapping.neurons_on(j):
+            expected |= problem.preds(i)
+        assert mapping.axon_inputs(j) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=random_problem())
+def test_ilp_mapping_valid_and_no_worse_than_greedy(problem):
+    greedy = greedy_first_fit(problem)
+    handle = AreaModel(problem)
+    result = HighsBackend(HighsOptions(time_limit=5)).solve(
+        handle.model, warm_start=handle.warm_start_from(greedy)
+    )
+    mapping = handle.extract_mapping(result)
+    assert mapping.validate() == []
+    assert mapping.area() <= greedy.area() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problem())
+def test_canonicalization_is_idempotent_and_invariant(problem):
+    mapping = greedy_first_fit(problem)
+    canon = canonicalize_mapping(mapping)
+    twice = canonicalize_mapping(canon)
+    assert canon.assignment == twice.assignment
+    assert canon.area() == pytest.approx(mapping.area())
+    assert canon.global_routes() == mapping.global_routes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=random_problem(), spikes=st.integers(1, 50))
+def test_packet_count_scales_linearly_with_uniform_profile(problem, spikes):
+    mapping = greedy_first_fit(problem)
+    ones = {k: 1 for k in problem.network.neuron_ids()}
+    many = {k: spikes for k in problem.network.neuron_ids()}
+    local_1, global_1 = mapping.packet_count(ones)
+    local_n, global_n = mapping.packet_count(many)
+    assert local_n == spikes * local_1
+    assert global_n == spikes * global_1
+    # With a uniform unit profile, packets ARE routes.
+    assert local_1 == mapping.local_routes()
+    assert global_1 == mapping.global_routes()

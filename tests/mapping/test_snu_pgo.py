@@ -1,0 +1,185 @@
+"""Tests for the SNU (objectives 9/11) and PGO (objective 12) formulations."""
+
+import pytest
+
+from repro.ilp.highs_backend import HighsBackend
+from repro.ilp.result import SolveStatus
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.pgo import SpikeProfile, build_pgo_model, expected_global_packets
+from repro.mapping.problem import MappingProblem
+from repro.mapping.snu import (
+    RouteModel,
+    RouteModelOptions,
+    RouteObjective,
+    build_snu_model,
+)
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+@pytest.fixture
+def problem():
+    net = random_network(10, 20, seed=8, max_fan_in=5)
+    arch = custom_architecture([(CrossbarType(8, 8), 4)])
+    return MappingProblem(net, arch)
+
+
+@pytest.fixture
+def area_mapping(problem):
+    handle = AreaModel(problem)
+    result = HighsBackend().solve(
+        handle.model, warm_start=handle.warm_start_from(greedy_first_fit(problem))
+    )
+    return handle.extract_mapping(result)
+
+
+class TestRouteModelValidation:
+    def test_empty_slots_rejected(self, problem):
+        with pytest.raises(ValueError, match="empty"):
+            RouteModel(problem, [])
+
+    def test_unknown_slot_rejected(self, problem):
+        with pytest.raises(ValueError, match="not in architecture"):
+            RouteModel(problem, [99])
+
+    def test_duplicate_slot_rejected(self, problem):
+        with pytest.raises(ValueError, match="twice"):
+            RouteModel(problem, [0, 0])
+
+    def test_insufficient_capacity_rejected(self, problem):
+        with pytest.raises(ValueError, match="no placement"):
+            RouteModel(problem, [0])  # 8 outputs < 10 neurons
+
+
+class TestSnu:
+    def test_snu_never_worse_than_base(self, problem, area_mapping):
+        handle = build_snu_model(problem, area_mapping, RouteObjective.GLOBAL)
+        result = HighsBackend().solve(
+            handle.model, warm_start=handle.warm_start_from(area_mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        assert optimized.global_routes() <= area_mapping.global_routes()
+
+    def test_snu_area_never_increases(self, problem, area_mapping):
+        handle = build_snu_model(problem, area_mapping, RouteObjective.GLOBAL)
+        result = HighsBackend().solve(
+            handle.model, warm_start=handle.warm_start_from(area_mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        assert optimized.area() <= area_mapping.area() + 1e-9
+
+    def test_objective_equals_global_routes(self, problem, area_mapping):
+        handle = build_snu_model(problem, area_mapping, RouteObjective.GLOBAL)
+        result = HighsBackend().solve(
+            handle.model, warm_start=handle.warm_start_from(area_mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        assert result.objective == pytest.approx(optimized.global_routes())
+
+    def test_total_objective_counts_all_routes(self, problem, area_mapping):
+        handle = build_snu_model(problem, area_mapping, RouteObjective.TOTAL)
+        result = HighsBackend().solve(
+            handle.model, warm_start=handle.warm_start_from(area_mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        assert result.objective == pytest.approx(optimized.total_routes())
+        assert not handle.b  # total form needs no b variables
+
+    def test_b_lower_row_optional_same_optimum(self, problem, area_mapping):
+        with_row = build_snu_model(problem, area_mapping, RouteObjective.GLOBAL)
+        opts = RouteModelOptions(
+            objective=RouteObjective.GLOBAL,
+            include_b_lower=False,
+            area_budget=area_mapping.area(),
+        )
+        without_row = RouteModel(
+            problem, area_mapping.enabled_slots(), opts
+        )
+        r1 = HighsBackend().solve(with_row.model)
+        r2 = HighsBackend().solve(without_row.model)
+        assert r1.objective == pytest.approx(r2.objective)
+
+    def test_warm_start_feasible(self, problem, area_mapping):
+        handle = build_snu_model(problem, area_mapping, RouteObjective.GLOBAL)
+        warm = handle.warm_start_from(area_mapping)
+        assert handle.model.check_feasible(warm) == []
+
+    def test_warm_start_outside_slots_rejected(self, problem, area_mapping):
+        # Restrict to a subset that excludes one enabled slot.
+        enabled = area_mapping.enabled_slots()
+        if len(enabled) < 2:
+            pytest.skip("need at least two enabled slots")
+        other = [j for j in range(problem.num_slots) if j != enabled[0]]
+        handle = RouteModel(problem, other)
+        with pytest.raises(ValueError, match="outside"):
+            handle.warm_start_from(area_mapping)
+
+
+class TestPgo:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="negative"):
+            SpikeProfile(counts={0: -1})
+
+    def test_profile_stats(self):
+        profile = SpikeProfile(counts={0: 5, 1: 0, 2: 3})
+        assert profile.total_spikes == 8
+        assert profile.active_fraction() == pytest.approx(2 / 3)
+
+    def test_hot_sources(self, problem):
+        profile = SpikeProfile(
+            counts={k: (5 if k % 2 == 0 else 0) for k in problem.network.neuron_ids()}
+        )
+        hot = profile.hot_sources(problem)
+        assert all(k % 2 == 0 for k in hot)
+        assert set(hot) <= set(problem.sources())
+
+    def test_pgo_objective_equals_weighted_packets(self, problem, area_mapping):
+        counts = {k: 3 * k for k in problem.network.neuron_ids()}
+        profile = SpikeProfile(counts=counts)
+        handle = build_pgo_model(problem, area_mapping, profile)
+        result = HighsBackend().solve(
+            handle.model, warm_start=handle.warm_start_from(area_mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        assert result.objective == pytest.approx(
+            expected_global_packets(optimized, profile)
+        )
+
+    def test_pgo_never_worse_than_base(self, problem, area_mapping):
+        counts = {k: (k * 7) % 11 for k in problem.network.neuron_ids()}
+        profile = SpikeProfile(counts=counts)
+        handle = build_pgo_model(problem, area_mapping, profile)
+        result = HighsBackend().solve(
+            handle.model, warm_start=handle.warm_start_from(area_mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        assert expected_global_packets(optimized, profile) <= expected_global_packets(
+            area_mapping, profile
+        )
+
+    def test_silent_neuron_elimination_shrinks_model(self, problem, area_mapping):
+        all_hot = SpikeProfile(
+            counts={k: 1 for k in problem.network.neuron_ids()}
+        )
+        mostly_silent = SpikeProfile(
+            counts={
+                k: (1 if k < 3 else 0) for k in problem.network.neuron_ids()
+            }
+        )
+        big = build_pgo_model(problem, area_mapping, all_hot)
+        small = build_pgo_model(problem, area_mapping, mostly_silent)
+        assert small.model.num_vars < big.model.num_vars
+        assert small.model.num_constraints < big.model.num_constraints
+
+    def test_all_silent_profile_gives_zero_objective(self, problem, area_mapping):
+        silent = SpikeProfile(counts={k: 0 for k in problem.network.neuron_ids()})
+        handle = build_pgo_model(problem, area_mapping, silent)
+        result = HighsBackend().solve(handle.model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(0.0)
+
+    def test_accepts_raw_dict(self, problem, area_mapping):
+        handle = build_pgo_model(problem, area_mapping, {0: 4})
+        assert handle.weights == {0: 4}

@@ -1,0 +1,83 @@
+"""Structural tests of the SpikeHard bin-packing ILP itself."""
+
+import pytest
+
+from repro.ilp.highs_backend import HighsBackend
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mapping.spikehard import (
+    SpikeHardPacker,
+    form_mccs,
+    make_mcc,
+    singleton_mccs,
+)
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+from repro.snn.network import Network
+
+
+@pytest.fixture
+def problem():
+    net = random_network(12, 24, seed=51, max_fan_in=5)
+    arch = custom_architecture([(CrossbarType(8, 8), 8)])
+    return MappingProblem(net, arch)
+
+
+class TestBinPackingModel:
+    def test_variable_count(self, problem):
+        packer = SpikeHardPacker(problem)
+        mccs = singleton_mccs(problem)
+        model, z, y = packer.build_model(mccs)
+        slots = problem.num_slots
+        assert len(z) == len(mccs) * slots
+        assert len(y) == slots
+        assert model.num_vars == len(z) + len(y)
+
+    def test_capacity_rows_use_aggregate_dims(self, problem):
+        """The input-capacity row must sum MCC input demands — the
+        documented Fig.-1 double counting."""
+        packer = SpikeHardPacker(problem)
+        mccs = form_mccs(problem, greedy_first_fit(problem))
+        model, z, _ = packer.build_model(mccs)
+        # Find the inputs row for slot 0 and check its coefficients equal
+        # each MCC's aggregate input count.
+        row = next(c for c in model.constraints if c.name == "inputs_0")
+        for m, mcc in enumerate(mccs):
+            var = z[(m, 0)]
+            assert row.expr.coeffs.get(var.index, 0.0) == mcc.inputs
+
+    def test_solution_places_every_mcc_once(self, problem):
+        packer = SpikeHardPacker(problem)
+        mccs = form_mccs(problem, greedy_first_fit(problem))
+        model, z, _ = packer.build_model(mccs)
+        result = HighsBackend().solve(model)
+        for m in range(len(mccs)):
+            placed = sum(
+                1 for j in range(problem.num_slots)
+                if result.value(z[(m, j)].name) > 0.5
+            )
+            assert placed == 1
+
+    def test_symmetry_toggle(self, problem):
+        mccs = singleton_mccs(problem)
+        with_sym, _, _ = SpikeHardPacker(problem, symmetry_breaking=True).build_model(mccs)
+        without, _, _ = SpikeHardPacker(problem, symmetry_breaking=False).build_model(mccs)
+        assert with_sym.num_constraints > without.num_constraints
+
+
+class TestMccSemantics:
+    def test_shared_axon_counted_once_within_mcc(self):
+        """INSIDE an MCC, axon sharing is honoured — the flaw is only in
+        packing multiple MCCs together."""
+        net = Network()
+        for i in range(3):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(0, 2)
+        arch = custom_architecture([(CrossbarType(4, 4), 2)])
+        problem = MappingProblem(net, arch)
+        together = make_mcc(problem, frozenset([1, 2]))
+        assert together.inputs == 1  # one shared axon
+        apart = [make_mcc(problem, frozenset([i])) for i in (1, 2)]
+        assert sum(m.inputs for m in apart) == 2  # double counted

@@ -1,0 +1,121 @@
+"""Tests for crossbar types and architecture pools (Table II)."""
+
+import pytest
+
+from repro.mca.architecture import (
+    Architecture,
+    custom_architecture,
+    heterogeneous_architecture,
+    homogeneous_architecture,
+    table_ii_types,
+)
+from repro.mca.crossbar import CrossbarSlot, CrossbarType
+
+
+class TestCrossbarType:
+    def test_memristors_and_area(self):
+        t = CrossbarType(16, 4)
+        assert t.memristors == 64
+        assert t.area == 64.0
+
+    def test_overhead_scales_area_not_devices(self):
+        t = CrossbarType(8, 8, overhead=1.5)
+        assert t.memristors == 64
+        assert t.area == pytest.approx(96.0)
+
+    def test_label(self):
+        assert CrossbarType(32, 4).label == "32x4"
+
+    def test_fits(self):
+        t = CrossbarType(8, 4)
+        assert t.fits(num_outputs=4, num_inputs=8)
+        assert not t.fits(num_outputs=5, num_inputs=1)
+        assert not t.fits(num_outputs=1, num_inputs=9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossbarType(0, 4)
+        with pytest.raises(ValueError):
+            CrossbarType(4, 4, overhead=0.0)
+
+    def test_ordering_deterministic(self):
+        types = sorted([CrossbarType(8, 8), CrossbarType(4, 4), CrossbarType(8, 4)])
+        assert [t.label for t in types] == ["4x4", "8x4", "8x8"]
+
+
+class TestTableII:
+    def test_exact_dimension_set(self):
+        labels = {t.label for t in table_ii_types()}
+        expected = {
+            "4x4", "8x4", "16x4", "32x4",
+            "8x8", "16x8", "32x8",
+            "16x16", "32x16",
+            "32x32",
+        }
+        assert labels == expected
+
+    def test_input_channel_cap(self):
+        assert all(t.inputs <= 32 for t in table_ii_types())
+
+    def test_stacking_preserves_output_width(self):
+        for t in table_ii_types():
+            assert t.inputs % t.outputs == 0
+            assert t.inputs // t.outputs in (1, 2, 4, 8)
+
+    def test_custom_cap(self):
+        labels = {t.label for t in table_ii_types(max_inputs=16)}
+        assert "32x4" not in labels
+        assert "16x4" in labels
+
+
+class TestArchitecture:
+    def test_slot_indices_must_be_contiguous(self):
+        t = CrossbarType(4, 4)
+        with pytest.raises(ValueError, match="contiguous"):
+            Architecture("bad", (CrossbarSlot(1, t),))
+
+    def test_homogeneous_pool_size(self):
+        arch = homogeneous_architecture(100, dimension=16, slack=1.5)
+        assert arch.num_slots == 10  # ceil(150 / 16)
+        assert arch.is_homogeneous()
+        assert arch.total_output_capacity() == 160
+
+    def test_homogeneous_validation(self):
+        with pytest.raises(ValueError):
+            homogeneous_architecture(0)
+        with pytest.raises(ValueError):
+            homogeneous_architecture(10, slack=0.5)
+
+    def test_heterogeneous_covers_each_type(self):
+        arch = heterogeneous_architecture(60, max_slots_per_type=100)
+        for ctype in table_ii_types():
+            slots = arch.slots_of_type(ctype)
+            # Every type alone can host the network's outputs.
+            assert sum(s.outputs for s in slots) >= 60
+
+    def test_heterogeneous_cap(self):
+        arch = heterogeneous_architecture(1000, max_slots_per_type=5)
+        for group in arch.identical_slot_groups():
+            assert len(group) <= 5
+
+    def test_identical_slot_groups_partition(self):
+        arch = heterogeneous_architecture(20, max_slots_per_type=3)
+        groups = arch.identical_slot_groups()
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(arch.num_slots))
+
+    def test_custom_architecture(self):
+        arch = custom_architecture(
+            [(CrossbarType(4, 4), 2), (CrossbarType(8, 8), 1)]
+        )
+        assert arch.num_slots == 3
+        assert arch.total_area() == 2 * 16 + 64
+        assert not arch.is_homogeneous()
+
+    def test_custom_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            custom_architecture([(CrossbarType(4, 4), -1)])
+
+    def test_repr_inventory(self):
+        arch = custom_architecture([(CrossbarType(4, 4), 2)], name="inv")
+        assert "2x 4x4" in repr(arch)

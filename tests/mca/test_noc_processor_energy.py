@@ -1,0 +1,164 @@
+"""Tests for the mesh NoC, the mapped-processor traffic model and energy."""
+
+import pytest
+
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.mca.energy import EnergyModel, cost_summary, enabled_area
+from repro.mca.noc import LinkLoad, MeshNoC, hop_weighted_packets
+from repro.mca.processor import MappedProcessor, count_packets, target_crossbars
+from repro.snn.network import Network
+
+
+class TestMeshNoC:
+    def test_positions_row_major(self):
+        noc = MeshNoC(6, width=3)
+        assert (noc.position(0).x, noc.position(0).y) == (0, 0)
+        assert (noc.position(5).x, noc.position(5).y) == (2, 1)
+
+    def test_square_default_width(self):
+        noc = MeshNoC(9)
+        assert noc.width == 3
+        assert noc.height == 3
+
+    def test_hops_manhattan(self):
+        noc = MeshNoC(9, width=3)
+        assert noc.hops(0, 8) == 4
+        assert noc.hops(4, 4) == 0
+
+    def test_route_endpoints_and_length(self):
+        noc = MeshNoC(9, width=3)
+        route = noc.route(0, 8)
+        assert route[0] == 0 and route[-1] == 8
+        assert len(route) == noc.hops(0, 8) + 1
+
+    def test_route_is_xy(self):
+        noc = MeshNoC(9, width=3)
+        assert noc.route(0, 4) == [0, 1, 4]  # x first, then y
+
+    def test_tile_bounds(self):
+        with pytest.raises(IndexError):
+            MeshNoC(4).position(4)
+        with pytest.raises(ValueError):
+            MeshNoC(0)
+
+    def test_link_load_accumulates(self):
+        load = LinkLoad()
+        load.add_route([0, 1, 2], packets=3)
+        load.add_route([1, 2], packets=2)
+        assert load.loads[(1, 2)] == 5
+        assert load.max_link_load == 5
+        assert load.total_link_traversals == 8
+
+    def test_hop_weighted_packets(self):
+        noc = MeshNoC(4, width=2)
+        total, load = hop_weighted_packets(noc, {(0, 3): 2, (1, 1): 9})
+        assert total == 4  # 2 packets x 2 hops; self-pair ignored
+        assert load.max_link_load == 2
+
+
+def fan_out_network():
+    """0 -> {1, 2}; 3 isolated."""
+    net = Network("fanout")
+    for i in range(4):
+        net.add_neuron(i, is_input=(i == 0))
+    net.add_synapse(0, 1)
+    net.add_synapse(0, 2)
+    return net
+
+
+class TestPacketAccounting:
+    def test_target_crossbars(self):
+        net = fan_out_network()
+        assignment = {0: 0, 1: 1, 2: 1, 3: 0}
+        targets = target_crossbars(net, assignment)
+        assert targets[0] == {1}
+        assert targets[1] == set()
+
+    def test_axon_sharing_one_packet_per_crossbar(self):
+        # Both consumers on one crossbar: one packet per spike, not two.
+        net = fan_out_network()
+        assignment = {0: 0, 1: 1, 2: 1, 3: 0}
+        local, global_, pairs = count_packets(net, assignment, {0: 5})
+        assert global_ == 5
+        assert local == 0
+        assert pairs == {(0, 1): 5}
+
+    def test_split_consumers_two_packets(self):
+        net = fan_out_network()
+        assignment = {0: 0, 1: 1, 2: 2, 3: 0}
+        local, global_, pairs = count_packets(net, assignment, {0: 5})
+        assert global_ == 10
+        assert pairs == {(0, 1): 5, (0, 2): 5}
+
+    def test_local_when_colocated(self):
+        net = fan_out_network()
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        local, global_, _ = count_packets(net, assignment, {0: 4})
+        assert local == 4
+        assert global_ == 4
+
+    def test_silent_neurons_send_nothing(self):
+        net = fan_out_network()
+        assignment = {0: 0, 1: 1, 2: 1, 3: 0}
+        local, global_, pairs = count_packets(net, assignment, {0: 0, 1: 7})
+        assert (local, global_) == (0, 0)
+        assert pairs == {}
+
+
+class TestMappedProcessor:
+    @pytest.fixture
+    def arch(self):
+        return custom_architecture([(CrossbarType(4, 4), 3)])
+
+    def test_validates_assignment(self, arch):
+        net = fan_out_network()
+        with pytest.raises(ValueError, match="missing"):
+            MappedProcessor(net, {0: 0}, arch)
+        with pytest.raises(ValueError, match="unknown crossbars"):
+            MappedProcessor(net, {0: 9, 1: 0, 2: 0, 3: 0}, arch)
+
+    def test_run_counts_traffic(self, arch):
+        net = fan_out_network()
+        proc = MappedProcessor(net, {0: 0, 1: 1, 2: 2, 3: 0}, arch)
+        sim, traffic = proc.run(4, input_spikes={0: [0, 1]})
+        assert sim.spike_counts[0] == 2
+        assert traffic.global_packets == 4  # 2 spikes x 2 target crossbars
+        assert traffic.local_packets == 0
+        assert traffic.total_packets == 4
+        assert traffic.hop_packets >= traffic.global_packets
+
+    def test_traffic_from_counts_matches_run(self, arch):
+        net = fan_out_network()
+        proc = MappedProcessor(net, {0: 0, 1: 1, 2: 1, 3: 0}, arch)
+        sim, traffic = proc.run(4, input_spikes={0: [0]})
+        again = proc.traffic_from_counts(sim.spike_counts)
+        assert again.global_packets == traffic.global_packets
+        assert again.per_crossbar_packets == traffic.per_crossbar_packets
+
+
+class TestEnergy:
+    def test_enabled_area(self):
+        arch = custom_architecture(
+            [(CrossbarType(4, 4), 2), (CrossbarType(8, 8), 1)]
+        )
+        count, area = enabled_area(arch, {0: 0, 1: 2})
+        assert count == 2
+        assert area == 16 + 64
+
+    def test_cost_summary_components(self):
+        arch = custom_architecture([(CrossbarType(4, 4), 2)])
+        net = fan_out_network()
+        proc = MappedProcessor(net, {0: 0, 1: 1, 2: 1, 3: 0}, arch)
+        _, traffic = proc.run(4, input_spikes={0: [0]})
+        summary = cost_summary(arch, proc.assignment, traffic, duration=4)
+        assert summary.enabled_crossbars == 2
+        assert summary.area_memristors == 32
+        assert summary.total_energy_pj == pytest.approx(
+            summary.static_energy_pj + summary.communication_energy_pj
+        )
+        assert summary.communication_energy_pj > 0
+
+    def test_energy_model_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(router_hop_pj=-1.0)

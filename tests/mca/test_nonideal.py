@@ -1,0 +1,139 @@
+"""Tests for memristor non-ideality models."""
+
+import pytest
+
+from repro.mca.nonideal import (
+    FidelityReport,
+    NonidealityModel,
+    apply_nonidealities,
+    fidelity,
+    quantize_weight,
+)
+from repro.snn.generators import layered_network
+
+
+class TestModelValidation:
+    def test_levels_minimum(self):
+        with pytest.raises(ValueError):
+            NonidealityModel(conductance_levels=1)
+
+    def test_nonnegative_sigmas(self):
+        with pytest.raises(ValueError):
+            NonidealityModel(read_noise_sigma=-0.1)
+
+    def test_stuck_fraction_range(self):
+        with pytest.raises(ValueError):
+            NonidealityModel(stuck_at_fraction=1.0)
+
+
+class TestQuantizeWeight:
+    def test_extremes_preserved(self):
+        assert quantize_weight(1.0, 1.0, 5) == pytest.approx(1.0)
+        assert quantize_weight(-1.0, 1.0, 5) == pytest.approx(-1.0)
+
+    def test_zero_representable(self):
+        assert quantize_weight(0.01, 1.0, 3) == pytest.approx(0.0)
+
+    def test_snaps_to_grid(self):
+        # 5 levels over [0, 1]: step 0.25.
+        assert quantize_weight(0.3, 1.0, 5) == pytest.approx(0.25)
+        assert quantize_weight(0.4, 1.0, 5) == pytest.approx(0.5)
+
+    def test_clipping(self):
+        assert quantize_weight(2.0, 1.0, 9) == pytest.approx(1.0)
+
+    def test_zero_max(self):
+        assert quantize_weight(0.5, 0.0, 4) == 0.0
+
+
+@pytest.fixture
+def network():
+    return layered_network([4, 8, 4], connection_prob=0.6, seed=12)
+
+
+@pytest.fixture
+def assignment(network):
+    # Two crossbars split by id parity (capacities irrelevant here).
+    return {nid: nid % 2 for nid in network.neuron_ids()}
+
+
+class TestApplyNonidealities:
+    def test_ideal_model_only_quantizes(self, network, assignment):
+        model = NonidealityModel(conductance_levels=4096)
+        degraded = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+        for syn in network.synapses():
+            new = degraded.synapse(syn.pre, syn.post)
+            assert new.weight == pytest.approx(syn.weight, abs=1e-3)
+
+    def test_structure_untouched(self, network, assignment):
+        model = NonidealityModel(programming_sigma=0.2, seed=1)
+        degraded = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+        assert degraded.num_synapses == network.num_synapses
+        assert degraded.neuron_ids() == network.neuron_ids()
+
+    def test_deterministic_given_seed(self, network, assignment):
+        model = NonidealityModel(programming_sigma=0.3, read_noise_sigma=0.1, seed=5)
+        a = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+        b = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+        assert list(a.synapses()) == list(b.synapses())
+
+    def test_ir_drop_attenuates_far_columns(self, network):
+        # All neurons in one wide crossbar; far columns must shrink.
+        assignment = {nid: 0 for nid in network.neuron_ids()}
+        model = NonidealityModel(wire_resistance=0.5)
+        degraded = apply_nonidealities(
+            network, assignment, {0: network.num_neurons}, model
+        )
+        ratios = []
+        for syn in network.synapses():
+            if abs(syn.weight) > 1e-9:
+                new = degraded.synapse(syn.pre, syn.post).weight
+                ratios.append(abs(new) / abs(syn.weight))
+        assert min(ratios) < 0.8  # far columns attenuated
+        assert max(ratios) <= 1.0 + 1e-6
+
+    def test_stuck_at_changes_some_weights(self, network, assignment):
+        model = NonidealityModel(stuck_at_fraction=0.5, seed=3)
+        degraded = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+        changed = sum(
+            1
+            for syn in network.synapses()
+            if degraded.synapse(syn.pre, syn.post).weight != pytest.approx(
+                quantize_weight(
+                    syn.weight,
+                    max(abs(s.weight) for s in network.synapses()),
+                    model.conductance_levels,
+                )
+            )
+        )
+        assert changed > 0
+
+
+class TestFidelity:
+    def test_identical_networks_perfect_fidelity(self, network):
+        spikes = {nid: [0, 4, 8] for nid in network.input_ids()}
+        report = fidelity(network, network.copy(), spikes, duration=16)
+        assert isinstance(report, FidelityReport)
+        assert report.spike_count_error == 0.0
+        assert report.raster_jaccard == 1.0
+
+    def test_degradation_reduces_fidelity(self, network, assignment):
+        model = NonidealityModel(
+            conductance_levels=2, programming_sigma=0.8, stuck_at_fraction=0.3, seed=9
+        )
+        degraded = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+        spikes = {nid: [0, 2, 4, 6] for nid in network.input_ids()}
+        report = fidelity(network, degraded, spikes, duration=20)
+        assert report.raster_jaccard < 1.0
+
+    def test_monotone_in_noise(self, network, assignment):
+        """More quantization error should not increase raster overlap."""
+        spikes = {nid: [0, 3, 6, 9] for nid in network.input_ids()}
+        overlaps = []
+        for levels in (4096, 4, 2):
+            model = NonidealityModel(conductance_levels=levels, seed=2)
+            degraded = apply_nonidealities(network, assignment, {0: 8, 1: 8}, model)
+            overlaps.append(
+                fidelity(network, degraded, spikes, duration=20).raster_jaccard
+            )
+        assert overlaps[0] >= overlaps[-1]

@@ -1,0 +1,69 @@
+"""Property-based invariants of the MCA substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mca.architecture import heterogeneous_architecture, table_ii_types
+from repro.mca.noc import MeshNoC
+from repro.mca.processor import count_packets
+from repro.snn.generators import random_network
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tiles=st.integers(1, 40),
+    a=st.integers(0, 39),
+    b=st.integers(0, 39),
+    c=st.integers(0, 39),
+)
+def test_mesh_hops_is_a_metric(tiles, a, b, c):
+    """Symmetry, identity and triangle inequality of XY hop distance."""
+    noc = MeshNoC(tiles)
+    a, b, c = a % tiles, b % tiles, c % tiles
+    assert noc.hops(a, a) == 0
+    assert noc.hops(a, b) == noc.hops(b, a)
+    assert noc.hops(a, c) <= noc.hops(a, b) + noc.hops(b, c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiles=st.integers(1, 30), a=st.integers(0, 29), b=st.integers(0, 29))
+def test_mesh_route_length_matches_hops(tiles, a, b):
+    noc = MeshNoC(tiles)
+    a, b = a % tiles, b % tiles
+    route = noc.route(a, b)
+    assert len(route) == noc.hops(a, b) + 1
+    assert route[0] == a and route[-1] == b
+    # Each step moves exactly one link.
+    for u, v in zip(route, route[1:]):
+        assert noc.hops(u, v) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    num_slots=st.integers(2, 6),
+    spikes=st.integers(0, 20),
+)
+def test_packet_counts_bounded_by_spikes_times_crossbars(seed, num_slots, spikes):
+    """Each spike sends at most one packet per crossbar (axon sharing)."""
+    net = random_network(10, 20, seed=seed)
+    assignment = {nid: nid % num_slots for nid in net.neuron_ids()}
+    counts = {nid: spikes for nid in net.neuron_ids()}
+    local, global_, pairs = count_packets(net, assignment, counts)
+    total_fires = spikes * sum(
+        1 for nid in net.neuron_ids() if net.successors(nid)
+    )
+    assert local + global_ <= total_fires * num_slots
+    assert sum(pairs.values()) == global_
+    # Doubling the profile doubles the traffic (linearity).
+    double = {nid: 2 * spikes for nid in net.neuron_ids()}
+    local2, global2, _ = count_packets(net, assignment, double)
+    assert (local2, global2) == (2 * local, 2 * global_)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 200))
+def test_heterogeneous_pool_always_hosts_by_outputs(n):
+    arch = heterogeneous_architecture(n, max_slots_per_type=256)
+    for ctype in table_ii_types():
+        slots = arch.slots_of_type(ctype)
+        assert sum(s.outputs for s in slots) >= n

@@ -1,0 +1,146 @@
+"""Tests for the synthetic SmartPixel dataset and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import homogeneous_architecture
+from repro.profile.profiler import collect_profile, evaluate_packets
+from repro.profile.smartpixel import (
+    SmartPixelConfig,
+    generate_dataset,
+    split_dataset,
+)
+from repro.snn.generators import random_network
+
+
+class TestSmartPixelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartPixelConfig(rows=1)
+        with pytest.raises(ValueError):
+            SmartPixelConfig(num_samples=0)
+        with pytest.raises(ValueError):
+            SmartPixelConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SmartPixelConfig(noise=1.0)
+
+
+class TestGenerateDataset:
+    def test_shapes_and_labels(self):
+        cfg = SmartPixelConfig(rows=6, cols=6, num_samples=40, seed=2)
+        data = generate_dataset(cfg)
+        assert len(data) == 40
+        for sample in data:
+            assert sample.frame.shape == (6, 6)
+            assert 0 <= sample.label < cfg.num_classes
+            assert sample.frame.min() >= 0.0
+            assert sample.frame.max() <= 1.0 + 1e-12
+
+    def test_deterministic(self):
+        cfg = SmartPixelConfig(num_samples=10, seed=5)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        assert all(np.array_equal(x.frame, y.frame) for x, y in zip(a, b))
+        assert [x.label for x in a] == [y.label for y in b]
+
+    def test_tracks_have_structure(self):
+        # A track frame concentrates charge: its Gini over pixels is
+        # clearly above a pure-noise frame's.
+        cfg = SmartPixelConfig(num_samples=20, noise=0.0, seed=1)
+        data = generate_dataset(cfg)
+        for sample in data:
+            bright = (sample.frame > 0.5).sum()
+            assert bright < sample.frame.size * 0.6
+
+    def test_all_classes_present(self):
+        cfg = SmartPixelConfig(num_samples=60, seed=3)
+        labels = {s.label for s in generate_dataset(cfg)}
+        assert labels == {0, 1, 2}
+
+
+class TestSplitDataset:
+    def test_disjoint_and_complete(self):
+        data = generate_dataset(SmartPixelConfig(num_samples=100, seed=1))
+        profile, evaluation = split_dataset(data, 0.1, seed=2)
+        assert len(profile) == 10
+        assert len(profile) + len(evaluation) == 100
+
+    def test_one_percent_protocol(self):
+        data = generate_dataset(SmartPixelConfig(num_samples=200, seed=1))
+        profile, evaluation = split_dataset(data, 0.01, seed=0)
+        assert len(profile) == 2
+        assert len(evaluation) == 198
+
+    def test_min_profile_floor(self):
+        data = generate_dataset(SmartPixelConfig(num_samples=20, seed=1))
+        profile, _ = split_dataset(data, 0.01, seed=0)
+        assert len(profile) >= 1
+
+    def test_fraction_validated(self):
+        data = generate_dataset(SmartPixelConfig(num_samples=10, seed=1))
+        with pytest.raises(ValueError):
+            split_dataset(data, 0.0)
+        with pytest.raises(ValueError):
+            split_dataset([], 0.5)
+
+
+class TestProfiler:
+    @pytest.fixture
+    def network(self):
+        from repro.snn.generators import layered_network
+
+        # Layer 0 (4 neurons) is the input layer -> fits 2x2 frames.
+        net = layered_network([4, 10, 4], connection_prob=0.5, seed=21)
+        assert len(net.input_ids()) == 4
+        return net
+
+    def test_collect_profile_counts(self, network):
+        data = generate_dataset(
+            SmartPixelConfig(rows=2, cols=2, num_samples=6, seed=4)
+        )
+        profile = collect_profile(network, data, window=12)
+        assert set(profile.counts) == set(network.neuron_ids())
+        assert profile.total_spikes > 0
+        assert profile.num_samples == 6
+        assert profile.duration == 72
+
+    def test_window_validated(self, network):
+        with pytest.raises(ValueError):
+            collect_profile(network, [], window=0)
+
+    def test_no_inputs_rejected(self):
+        from repro.snn.network import Network
+
+        net = Network()
+        net.add_neuron(0)
+        with pytest.raises(ValueError, match="input neurons"):
+            collect_profile(net, [], window=4)
+
+    def test_evaluate_packets_statistics(self, network):
+        arch = homogeneous_architecture(network.num_neurons, dimension=8)
+        problem = MappingProblem(network, arch)
+        mapping = greedy_first_fit(problem)
+        data = generate_dataset(
+            SmartPixelConfig(rows=2, cols=2, num_samples=8, seed=6)
+        )
+        evaluation = evaluate_packets(mapping, data, window=12)
+        assert len(evaluation.per_sample) == 8
+        assert evaluation.total == sum(evaluation.per_sample)
+        low, high = evaluation.band()
+        assert low <= evaluation.mean <= high
+
+    def test_profile_eval_consistency(self, network):
+        """Packets from per-sample evaluation must sum to the packet count
+        of the aggregated profile (linearity of the packet rule)."""
+        arch = homogeneous_architecture(network.num_neurons, dimension=8)
+        problem = MappingProblem(network, arch)
+        mapping = greedy_first_fit(problem)
+        data = generate_dataset(
+            SmartPixelConfig(rows=2, cols=2, num_samples=5, seed=7)
+        )
+        profile = collect_profile(network, data, window=10)
+        _, global_total = mapping.packet_count(profile.counts)
+        evaluation = evaluate_packets(mapping, data, window=10)
+        assert evaluation.total == global_total

@@ -1,0 +1,73 @@
+"""Tests for the extra synthetic workloads and PGO transfer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.profile.profiler import collect_profile
+from repro.profile.workloads import hotspot_frames, noise_frames, stroke_frames
+from repro.snn.generators import layered_network
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory",
+        [stroke_frames, hotspot_frames, noise_frames],
+        ids=["strokes", "hotspots", "noise"],
+    )
+    def test_shapes_and_range(self, factory):
+        samples = factory(rows=6, cols=6, num_samples=15, seed=3)
+        assert len(samples) == 15
+        for s in samples:
+            assert s.frame.shape == (6, 6)
+            assert s.frame.min() >= 0.0
+            assert s.frame.max() <= 1.0 + 1e-12
+            assert s.label >= 0
+
+    @pytest.mark.parametrize(
+        "factory",
+        [stroke_frames, hotspot_frames, noise_frames],
+        ids=["strokes", "hotspots", "noise"],
+    )
+    def test_deterministic(self, factory):
+        a = factory(num_samples=5, seed=9)
+        b = factory(num_samples=5, seed=9)
+        assert all(np.array_equal(x.frame, y.frame) for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stroke_frames(rows=1)
+        with pytest.raises(ValueError):
+            stroke_frames(segments=0)
+        with pytest.raises(ValueError):
+            hotspot_frames(num_hotspots=0)
+        with pytest.raises(ValueError):
+            noise_frames(density=0.0)
+
+    def test_hotspot_labels_cover_hotspots(self):
+        samples = hotspot_frames(num_samples=60, num_hotspots=3, seed=1)
+        assert {s.label for s in samples} == {0, 1, 2}
+
+
+class TestProfileConcentration:
+    """Hotspot activity must concentrate spike mass more than noise —
+    the property that makes PGO work (or not)."""
+
+    @staticmethod
+    def _top_share(counts: dict[int, int], k: int = 5) -> float:
+        values = sorted(counts.values(), reverse=True)
+        total = sum(values)
+        if total == 0:
+            return 0.0
+        return sum(values[:k]) / total
+
+    def test_hotspots_more_concentrated_than_noise(self):
+        net = layered_network([9, 16, 6], connection_prob=0.4, seed=8)
+        hot = collect_profile(
+            net, hotspot_frames(rows=3, cols=3, num_samples=25, seed=2), window=16
+        )
+        noisy = collect_profile(
+            net, noise_frames(rows=3, cols=3, num_samples=25, density=0.9, seed=2),
+            window=16,
+        )
+        assert hot.total_spikes > 0 and noisy.total_spikes > 0
+        assert self._top_share(hot.counts) > self._top_share(noisy.counts)

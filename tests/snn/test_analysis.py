@@ -1,0 +1,117 @@
+"""Tests for structural network analysis."""
+
+import pytest
+
+from repro.snn.analysis import (
+    degree_histogram,
+    feedback_synapses,
+    network_depth,
+    structure_report,
+    weakly_connected_components,
+)
+from repro.snn.generators import layered_network, random_network
+from repro.snn.network import Network
+
+
+def two_component_network():
+    net = Network("two-comp")
+    for i in range(6):
+        net.add_neuron(i)
+    net.add_synapse(0, 1)
+    net.add_synapse(1, 2)
+    net.add_synapse(3, 4)  # second component; 5 isolated
+    return net
+
+
+class TestComponents:
+    def test_component_decomposition(self):
+        comps = weakly_connected_components(two_component_network())
+        assert [sorted(c) for c in comps] == [[0, 1, 2], [3, 4], [5]]
+
+    def test_largest_first(self):
+        comps = weakly_connected_components(two_component_network())
+        sizes = [len(c) for c in comps]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestFeedback:
+    def test_acyclic_has_none(self):
+        net = layered_network([3, 3, 3], connection_prob=0.8, seed=1)
+        assert feedback_synapses(net) == []
+
+    def test_simple_cycle_detected(self):
+        net = Network()
+        for i in range(3):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(1, 2)
+        net.add_synapse(2, 0)
+        back = feedback_synapses(net)
+        assert len(back) == 1
+        assert back[0] in [(2, 0), (1, 2), (0, 1)]
+
+    def test_self_loop_detected(self):
+        net = Network()
+        net.add_neuron(0)
+        net.add_synapse(0, 0)
+        assert feedback_synapses(net) == [(0, 0)]
+
+
+class TestDepth:
+    def test_chain_depth(self):
+        net = Network()
+        for i in range(5):
+            net.add_neuron(i)
+        for i in range(4):
+            net.add_synapse(i, i + 1)
+        assert network_depth(net) == 4
+
+    def test_cycle_contracts(self):
+        net = Network()
+        for i in range(4):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(1, 0)  # SCC {0,1}
+        net.add_synapse(1, 2)
+        net.add_synapse(2, 3)
+        assert network_depth(net) == 2  # {0,1} -> 2 -> 3
+
+    def test_empty_graphish(self):
+        net = Network()
+        net.add_neuron(0)
+        assert network_depth(net) == 0
+
+
+class TestReportAndHistogram:
+    def test_structure_report_fields(self):
+        report = structure_report(two_component_network())
+        assert report.num_components == 3
+        assert report.largest_component == 3
+        assert not report.is_recurrent
+        assert report.isolated_neurons == 1
+        assert len(report.as_rows()) == 6
+
+    def test_recurrent_flag(self):
+        net = Network()
+        net.add_neuron(0)
+        net.add_neuron(1)
+        net.add_synapse(0, 1)
+        net.add_synapse(1, 0)
+        report = structure_report(net)
+        assert report.is_recurrent
+        assert report.num_feedback_synapses >= 1
+
+    def test_degree_histogram_sums_to_n(self):
+        net = random_network(20, 40, seed=2)
+        for direction in ("in", "out"):
+            hist = degree_histogram(net, direction)
+            assert sum(hist.values()) == 20
+
+    def test_degree_histogram_matches_fan(self):
+        net = two_component_network()
+        hist = degree_histogram(net, "in")
+        assert hist == {0: 3, 1: 3}
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            degree_histogram(two_component_network(), "sideways")

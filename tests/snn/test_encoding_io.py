@@ -1,0 +1,137 @@
+"""Tests for spike-train encoders and network serialization."""
+
+import numpy as np
+import pytest
+
+from repro.snn.encoding import decode_rate, encode_frame, rate_encode, ttfs_encode
+from repro.snn.generators import random_network
+from repro.snn.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRateEncode:
+    def test_zero_never_spikes(self):
+        assert rate_encode(0.0, 10) == []
+
+    def test_one_spikes_every_step(self):
+        assert rate_encode(1.0, 5) == [0, 1, 2, 3, 4]
+
+    def test_half_rate(self):
+        spikes = rate_encode(0.5, 10)
+        assert len(spikes) == 5
+        assert all(0 <= t < 10 for t in spikes)
+
+    def test_spikes_sorted_unique(self):
+        spikes = rate_encode(0.73, 30)
+        assert spikes == sorted(set(spikes))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rate_encode(1.2, 10)
+        with pytest.raises(ValueError):
+            rate_encode(0.5, 0)
+
+    def test_deterministic(self):
+        assert rate_encode(0.37, 24) == rate_encode(0.37, 24)
+
+
+class TestTtfsEncode:
+    def test_zero_never_spikes(self):
+        assert ttfs_encode(0.0, 10) == []
+
+    def test_one_spikes_first(self):
+        assert ttfs_encode(1.0, 10) == [0]
+
+    def test_small_value_spikes_late(self):
+        (t,) = ttfs_encode(0.05, 10)
+        assert t >= 8
+
+    def test_monotone_in_value(self):
+        times = [ttfs_encode(v, 20)[0] for v in (0.2, 0.5, 0.9)]
+        assert times == sorted(times, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ttfs_encode(-0.1, 10)
+        with pytest.raises(ValueError):
+            ttfs_encode(0.5, 0)
+
+
+class TestEncodeFrame:
+    def test_maps_pixels_to_inputs(self):
+        frame = np.array([[1.0, 0.0], [0.5, 0.0]])
+        spikes = encode_frame(frame, input_ids=[10, 11, 12, 13], window=8)
+        assert 10 in spikes  # brightest pixel drives first input
+        assert 11 not in spikes  # dark pixel silent
+        assert 12 in spikes
+
+    def test_normalization_by_peak(self):
+        frame = np.array([[4.0, 2.0]])
+        spikes = encode_frame(frame, input_ids=[0, 1], window=10)
+        assert len(spikes[0]) == 10  # peak pixel at full rate
+        assert len(spikes[1]) == 5
+
+    def test_zero_frame_silent(self):
+        assert encode_frame(np.zeros((2, 2)), [0, 1, 2, 3], 5) == {}
+
+    def test_too_many_pixels_rejected(self):
+        with pytest.raises(ValueError, match="pixels"):
+            encode_frame(np.ones((3, 3)), [0, 1], 5)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            encode_frame(np.ones((1, 1)), [0], 5, method="morse")
+
+    def test_ttfs_method(self):
+        spikes = encode_frame(np.array([[1.0]]), [7], 10, method="ttfs")
+        assert spikes == {7: [0]}
+
+
+class TestDecodeRate:
+    def test_picks_most_active(self):
+        assert decode_rate({5: 2, 6: 9}, output_ids=[5, 6]) == 1
+
+    def test_tie_breaks_to_lowest_id(self):
+        assert decode_rate({5: 3, 6: 3}, output_ids=[5, 6]) == 0
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            decode_rate({}, output_ids=[])
+
+
+class TestNetworkIO:
+    def test_dict_round_trip(self):
+        net = random_network(10, 20, seed=4)
+        data = network_to_dict(net)
+        back = network_from_dict(data)
+        assert list(back.neurons()) == list(net.neurons())
+        assert list(back.synapses()) == list(net.synapses())
+
+    def test_file_round_trip(self, tmp_path):
+        net = random_network(8, 14, seed=6, name="disk")
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        back = load_network(path)
+        assert back.name == "disk"
+        assert back.num_synapses == 14
+
+    def test_version_check(self):
+        net = random_network(4, 4, seed=1)
+        data = network_to_dict(net)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            network_from_dict(data)
+
+    def test_defaults_applied(self):
+        data = {
+            "name": "minimal",
+            "nodes": [{"id": 0}, {"id": 1}],
+            "edges": [{"from": 0, "to": 1}],
+        }
+        net = network_from_dict(data)
+        assert net.neuron(0).threshold == 1.0
+        assert net.synapse(0, 1).delay == 1

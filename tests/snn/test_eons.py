@@ -1,0 +1,109 @@
+"""Tests for the EONS-style evolutionary optimizer."""
+
+import pytest
+
+from repro.snn.eons import Eons, EonsConfig
+
+
+def genome_is_valid(net, cfg: EonsConfig) -> list[str]:
+    """Structural invariants every genome must satisfy."""
+    problems = []
+    if net.num_neurons > cfg.max_neurons:
+        problems.append("too many neurons")
+    for i in net.neuron_ids():
+        if net.fan_in(i) > cfg.max_fan_in:
+            problems.append(f"fan-in of {i} exceeds cap")
+    for syn in net.synapses():
+        if net.neuron(syn.post).is_input:
+            problems.append("synapse into an input neuron")
+        if net.neuron(syn.pre).is_output:
+            problems.append("synapse out of an output neuron")
+    inputs = [n for n in net.neurons() if n.is_input]
+    outputs = [n for n in net.neurons() if n.is_output]
+    if len(inputs) != cfg.num_inputs or len(outputs) != cfg.num_outputs:
+        problems.append("IO neuron count changed")
+    return problems
+
+
+class TestConfigValidation:
+    def test_population_minimum(self):
+        with pytest.raises(ValueError):
+            EonsConfig(population_size=1)
+
+    def test_elites_below_population(self):
+        with pytest.raises(ValueError):
+            EonsConfig(population_size=4, elite_count=4)
+
+    def test_io_required(self):
+        with pytest.raises(ValueError):
+            EonsConfig(num_inputs=0)
+
+
+class TestGenomeGeneration:
+    def test_random_genome_valid(self):
+        cfg = EonsConfig(seed=3)
+        eons = Eons(cfg)
+        for _ in range(5):
+            assert genome_is_valid(eons.random_genome(), cfg) == []
+
+    def test_genome_has_requested_io(self):
+        cfg = EonsConfig(num_inputs=5, num_outputs=3, seed=1)
+        net = Eons(cfg).random_genome()
+        assert len(net.input_ids()) == 5
+        assert len(net.output_ids()) == 3
+
+
+class TestOperators:
+    def test_mutation_preserves_invariants(self):
+        cfg = EonsConfig(seed=11)
+        eons = Eons(cfg)
+        genome = eons.random_genome()
+        for _ in range(30):
+            genome = eons.mutate(genome)
+            assert genome_is_valid(genome, cfg) == []
+
+    def test_mutation_copies(self):
+        cfg = EonsConfig(seed=5)
+        eons = Eons(cfg)
+        genome = eons.random_genome()
+        before = (genome.num_neurons, genome.num_synapses)
+        eons.mutate(genome)
+        assert (genome.num_neurons, genome.num_synapses) == before
+
+    def test_crossover_preserves_invariants(self):
+        cfg = EonsConfig(seed=7)
+        eons = Eons(cfg)
+        a, b = eons.random_genome(), eons.random_genome()
+        child = eons.crossover(a, b)
+        assert genome_is_valid(child, cfg) == []
+
+
+class TestEvolve:
+    def test_improves_simple_fitness(self):
+        # Reward synapse count: evolution must climb this trivially.
+        cfg = EonsConfig(population_size=10, seed=2)
+        eons = Eons(cfg)
+        first_gen = [eons.random_genome() for _ in range(10)]
+        baseline = max(g.num_synapses for g in first_gen)
+        result = Eons(cfg).evolve(lambda net: float(net.num_synapses), generations=8)
+        assert result.best_fitness >= baseline
+        assert len(result.history) == 8
+        assert result.history == sorted(result.history) or max(
+            result.history
+        ) == result.history[-1] or result.best_fitness >= result.history[0]
+
+    def test_best_network_is_compact(self):
+        cfg = EonsConfig(population_size=6, seed=4)
+        result = Eons(cfg).evolve(lambda net: -abs(net.num_neurons - 10), generations=3)
+        assert result.best.is_compact()
+
+    def test_generations_validated(self):
+        with pytest.raises(ValueError):
+            Eons(EonsConfig(seed=0)).evolve(lambda n: 0.0, generations=0)
+
+    def test_deterministic_given_seed(self):
+        cfg = EonsConfig(population_size=6, seed=13)
+        r1 = Eons(cfg).evolve(lambda n: float(n.num_synapses), generations=3)
+        r2 = Eons(cfg).evolve(lambda n: float(n.num_synapses), generations=3)
+        assert r1.best_fitness == r2.best_fitness
+        assert r1.history == r2.history

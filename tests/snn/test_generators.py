@@ -1,0 +1,205 @@
+"""Tests for topology generators, including the Table-I statistical twins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.snn.generators import (
+    TwinSpec,
+    gini_degree_sequence,
+    layered_network,
+    random_network,
+    realize_degree_sequences,
+    statistical_twin,
+)
+from repro.snn.stats import gini_index, network_stats
+
+
+class TestGiniDegreeSequence:
+    def test_exact_sum(self):
+        rng = np.random.default_rng(0)
+        seq = gini_degree_sequence(50, 120, 0.6, rng)
+        assert seq.sum() == 120
+
+    def test_cap_respected(self):
+        rng = np.random.default_rng(1)
+        seq = gini_degree_sequence(40, 150, 0.7, rng, cap=8)
+        assert seq.max() <= 8
+        assert seq.sum() == 150
+
+    def test_force_max_hits_cap(self):
+        rng = np.random.default_rng(2)
+        seq = gini_degree_sequence(60, 200, 0.65, rng, cap=11, force_max=True)
+        assert seq.max() == 11
+
+    def test_gini_target_approximate(self):
+        rng = np.random.default_rng(3)
+        for target in (0.3, 0.5, 0.7):
+            seq = gini_degree_sequence(300, 900, target, rng)
+            assert gini_index(seq) == pytest.approx(target, abs=0.08)
+
+    def test_zero_gini_is_flat(self):
+        rng = np.random.default_rng(4)
+        seq = gini_degree_sequence(10, 30, 0.0, rng)
+        assert seq.min() == seq.max() == 3
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gini_degree_sequence(0, 5, 0.5, rng)
+        with pytest.raises(ValueError):
+            gini_degree_sequence(5, -1, 0.5, rng)
+        with pytest.raises(ValueError):
+            gini_degree_sequence(5, 10, 1.0, rng)
+        with pytest.raises(ValueError):
+            gini_degree_sequence(5, 100, 0.5, rng, cap=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(5, 60),
+        total=st.integers(0, 150),
+        gini=st.floats(0.0, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_sum_and_nonnegativity(self, n, total, gini, seed):
+        rng = np.random.default_rng(seed)
+        seq = gini_degree_sequence(n, total, gini, rng)
+        assert seq.sum() == total
+        assert (seq >= 0).all()
+
+
+class TestRealizeDegreeSequences:
+    def test_simple_digraph_no_self_loops(self):
+        rng = np.random.default_rng(5)
+        out = gini_degree_sequence(30, 80, 0.5, rng)
+        inn = gini_degree_sequence(30, 80, 0.5, rng, cap=10)
+        edges = realize_degree_sequences(out, inn, rng)
+        assert len(edges) == 80
+        assert all(pre != post for pre, post in edges)
+
+    def test_mismatched_sums_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="sums differ"):
+            realize_degree_sequences(
+                np.array([1, 1]), np.array([1, 0, 0]), rng
+            )
+
+    def test_dense_skewed_sequences_still_realize(self):
+        # The regime that used to defeat pure edge-swap repair.
+        rng = np.random.default_rng(37)
+        out = gini_degree_sequence(18, 58, 0.61, rng)
+        inn = gini_degree_sequence(18, 58, 0.57, rng, cap=15, force_max=True)
+        edges = realize_degree_sequences(out, inn, rng, in_cap=15)
+        assert len(edges) == 58
+        in_deg = np.zeros(18, dtype=int)
+        for _, post in edges:
+            in_deg[post] += 1
+        assert in_deg.max() <= 15
+
+
+class TestStatisticalTwin:
+    SPEC = TwinSpec("A", 229, 464, 11, 0.6889, 0.6764)
+
+    def test_exact_counts_full_scale(self):
+        net = statistical_twin(self.SPEC, seed=1)
+        st_ = network_stats(net)
+        assert st_.node_count == 229
+        assert st_.edge_count == 464
+        assert st_.max_fan_in == 11
+
+    def test_gini_targets_within_tolerance(self):
+        net = statistical_twin(self.SPEC, seed=1)
+        st_ = network_stats(net)
+        assert st_.gini_incoming == pytest.approx(0.6889, abs=0.1)
+        assert st_.gini_outgoing == pytest.approx(0.6764, abs=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = statistical_twin(self.SPEC, seed=9)
+        b = statistical_twin(self.SPEC, seed=9)
+        assert list(a.synapses()) == list(b.synapses())
+
+    def test_different_seeds_differ(self):
+        a = statistical_twin(self.SPEC, seed=1)
+        b = statistical_twin(self.SPEC, seed=2)
+        assert list(a.synapses()) != list(b.synapses())
+
+    def test_scaled_spec(self):
+        small = self.SPEC.scaled(0.1)
+        assert small.node_count == 23
+        assert small.max_fan_in == 11
+        net = statistical_twin(small, seed=3)
+        assert net.num_neurons == small.node_count
+        assert net.num_synapses == small.edge_count
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            self.SPEC.scaled(0.0)
+        with pytest.raises(ValueError):
+            self.SPEC.scaled(1.5)
+
+    def test_impossible_spec_rejected(self):
+        bad = TwinSpec("bad", 5, 100, 3, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            statistical_twin(bad)
+
+    def test_io_markers_exist(self):
+        net = statistical_twin(self.SPEC, seed=1)
+        assert net.input_ids()
+        assert net.output_ids()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), scale=st.sampled_from([0.1, 0.2, 0.4]))
+    def test_property_scaled_twins_valid(self, seed, scale):
+        spec = self.SPEC.scaled(scale)
+        net = statistical_twin(spec, seed=seed)
+        st_ = network_stats(net)
+        assert st_.node_count == spec.node_count
+        assert st_.edge_count == spec.edge_count
+        assert st_.max_fan_in <= spec.max_fan_in
+
+
+class TestRandomNetwork:
+    def test_counts(self):
+        net = random_network(15, 30, seed=0)
+        assert net.num_neurons == 15
+        assert net.num_synapses == 30
+
+    def test_fan_in_cap(self):
+        net = random_network(15, 40, seed=0, max_fan_in=4)
+        assert all(net.fan_in(i) <= 4 for i in net.neuron_ids())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_network(3, 10)
+        with pytest.raises(ValueError):
+            random_network(10, 60, max_fan_in=2)
+
+    def test_too_few_neurons_rejected(self):
+        with pytest.raises(ValueError):
+            random_network(1, 0)
+
+
+class TestLayeredNetwork:
+    def test_structure(self):
+        net = layered_network([4, 6, 2], connection_prob=0.5, seed=1)
+        assert net.num_neurons == 12
+        assert len(net.input_ids()) == 4
+        assert len(net.output_ids()) == 2
+
+    def test_edges_only_between_adjacent_layers(self):
+        net = layered_network([3, 3, 3], connection_prob=1.0, seed=0)
+        for syn in net.synapses():
+            assert syn.post - syn.pre <= 5  # within adjacent layer span
+            assert (syn.pre // 3) + 1 == syn.post // 3
+
+    def test_every_neuron_feeds_forward(self):
+        net = layered_network([4, 4, 4], connection_prob=0.05, seed=2)
+        for layer_start in (0, 4):
+            for nid in range(layer_start, layer_start + 4):
+                assert net.fan_out(nid) >= 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            layered_network([4])
+        with pytest.raises(ValueError):
+            layered_network([2, 2], connection_prob=0.0)

@@ -1,0 +1,182 @@
+"""Tests for the Network graph structure."""
+
+import pytest
+
+from repro.snn.network import Network, Neuron, Synapse
+
+
+class TestNeuronAndSynapseValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="threshold"):
+            Neuron(0, threshold=0.0)
+
+    def test_leak_range(self):
+        with pytest.raises(ValueError, match="leak"):
+            Neuron(0, leak=1.5)
+
+    def test_delay_at_least_one(self):
+        with pytest.raises(ValueError, match="delay"):
+            Synapse(0, 1, delay=0)
+
+
+class TestConstruction:
+    def test_auto_id_assignment(self):
+        net = Network()
+        a = net.add_neuron()
+        b = net.add_neuron()
+        assert (a.id, b.id) == (0, 1)
+
+    def test_auto_id_skips_holes(self):
+        net = Network()
+        net.add_neuron(5)
+        assert net.add_neuron().id == 6
+
+    def test_duplicate_neuron_rejected(self):
+        net = Network()
+        net.add_neuron(0)
+        with pytest.raises(ValueError, match="already exists"):
+            net.add_neuron(0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Network().add_neuron(-1)
+
+    def test_synapse_requires_endpoints(self):
+        net = Network()
+        net.add_neuron(0)
+        with pytest.raises(KeyError):
+            net.add_synapse(0, 1)
+        with pytest.raises(KeyError):
+            net.add_synapse(2, 0)
+
+    def test_duplicate_synapse_rejected(self):
+        net = Network()
+        net.add_neuron(0)
+        net.add_neuron(1)
+        net.add_synapse(0, 1)
+        with pytest.raises(ValueError, match="already exists"):
+            net.add_synapse(0, 1)
+
+
+class TestAdjacency:
+    @pytest.fixture
+    def diamond(self):
+        # 0 -> {1, 2} -> 3
+        net = Network("diamond")
+        for i in range(4):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(0, 2)
+        net.add_synapse(1, 3)
+        net.add_synapse(2, 3)
+        return net
+
+    def test_predecessors_successors(self, diamond):
+        assert diamond.predecessors(3) == {1, 2}
+        assert diamond.successors(0) == {1, 2}
+
+    def test_fan_counts(self, diamond):
+        assert diamond.fan_in(3) == 2
+        assert diamond.fan_out(0) == 2
+        assert diamond.fan_in(0) == 0
+
+    def test_pred_sets_is_connectivity_matrix(self, diamond):
+        preds = diamond.pred_sets()
+        assert preds == {0: set(), 1: {0}, 2: {0}, 3: {1, 2}}
+
+    def test_remove_synapse_updates_adjacency(self, diamond):
+        diamond.remove_synapse(0, 1)
+        assert diamond.successors(0) == {2}
+        assert diamond.predecessors(1) == set()
+
+    def test_remove_neuron_removes_incident_synapses(self, diamond):
+        diamond.remove_neuron(1)
+        assert not diamond.has_neuron(1)
+        assert diamond.successors(0) == {2}
+        assert diamond.predecessors(3) == {2}
+        assert diamond.num_synapses == 2
+
+    def test_replace_neuron_keeps_synapses(self, diamond):
+        from dataclasses import replace
+
+        diamond.replace_neuron(replace(diamond.neuron(1), threshold=2.0))
+        assert diamond.neuron(1).threshold == 2.0
+        assert diamond.predecessors(1) == {0}
+
+    def test_replace_synapse(self, diamond):
+        from dataclasses import replace
+
+        diamond.replace_synapse(replace(diamond.synapse(0, 1), weight=5.0))
+        assert diamond.synapse(0, 1).weight == 5.0
+
+    def test_replace_missing_raises(self, diamond):
+        from dataclasses import replace
+
+        with pytest.raises(KeyError):
+            diamond.replace_synapse(replace(diamond.synapse(0, 1), pre=3, post=0))
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        net = Network()
+        net.add_neuron(0)
+        net.add_neuron(1)
+        net.add_synapse(0, 1)
+        clone = net.copy()
+        clone.remove_synapse(0, 1)
+        assert net.has_synapse(0, 1)
+        assert not clone.has_synapse(0, 1)
+
+    def test_compact_renumbers_sorted(self):
+        net = Network()
+        net.add_neuron(10)
+        net.add_neuron(3)
+        net.add_neuron(7)
+        net.add_synapse(10, 3)
+        compacted, mapping = net.compact()
+        assert compacted.neuron_ids() == [0, 1, 2]
+        assert mapping == {3: 0, 7: 1, 10: 2}
+        assert compacted.has_synapse(2, 0)
+
+    def test_is_compact(self):
+        net = Network()
+        net.add_neuron(0)
+        assert net.is_compact()
+        net.add_neuron(2)
+        assert not net.is_compact()
+
+    def test_subnetwork_induced_edges(self):
+        net = Network()
+        for i in range(4):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(1, 2)
+        net.add_synapse(2, 3)
+        sub = net.subnetwork([1, 2])
+        assert sub.num_neurons == 2
+        assert sub.has_synapse(1, 2)
+        assert sub.num_synapses == 1
+
+    def test_subnetwork_unknown_id_raises(self):
+        net = Network()
+        net.add_neuron(0)
+        with pytest.raises(KeyError):
+            net.subnetwork([0, 9])
+
+    def test_to_networkx_round_trip_structure(self):
+        net = Network()
+        net.add_neuron(0, threshold=2.0, is_input=True)
+        net.add_neuron(1, is_output=True)
+        net.add_synapse(0, 1, weight=0.5, delay=3)
+        graph = net.to_networkx()
+        assert graph.nodes[0]["threshold"] == 2.0
+        assert graph.nodes[0]["is_input"]
+        assert graph.edges[0, 1]["delay"] == 3
+
+    def test_io_marker_queries(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1)
+        net.add_neuron(2, is_output=True)
+        assert net.input_ids() == [0]
+        assert net.output_ids() == [2]

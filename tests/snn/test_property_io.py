@@ -1,0 +1,44 @@
+"""Property-based serialization round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.io import mapping_from_dict, mapping_to_dict
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+from repro.snn.io import network_from_dict, network_to_dict
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    density=st.floats(0.5, 2.0),
+    seed=st.integers(0, 10_000),
+)
+def test_network_round_trip_any_random_network(n, density, seed):
+    m = min(int(n * density), n * (n - 1))
+    net = random_network(n, m, seed=seed)
+    back = network_from_dict(network_to_dict(net))
+    assert list(back.neurons()) == list(net.neurons())
+    assert list(back.synapses()) == list(net.synapses())
+    assert back.name == net.name
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2_000))
+def test_mapping_round_trip_preserves_all_metrics(seed):
+    net = random_network(12, 24, seed=seed, max_fan_in=6)
+    arch = heterogeneous_architecture(
+        12,
+        types=[CrossbarType(4, 4), CrossbarType(8, 8)],
+        max_slots_per_type=8,
+    )
+    mapping = greedy_first_fit(MappingProblem(net, arch))
+    back = mapping_from_dict(mapping_to_dict(mapping))
+    assert back.assignment == mapping.assignment
+    assert back.area() == mapping.area()
+    assert back.total_routes() == mapping.total_routes()
+    assert back.local_routes() == mapping.local_routes()
+    assert back.crossbar_histogram() == mapping.crossbar_histogram()

@@ -1,0 +1,81 @@
+"""Property-based invariants of the SNN substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.snn.encoding import rate_encode, ttfs_encode
+from repro.snn.generators import random_network
+from repro.snn.network import Network
+from repro.snn.simulator import Simulator
+from repro.snn.stats import gini_index
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.floats(0.0, 1.0), window=st.integers(1, 64))
+def test_rate_encode_count_matches_value(value, window):
+    spikes = rate_encode(value, window)
+    assert len(spikes) == int(round(value * window))
+    assert all(0 <= t < window for t in spikes)
+    assert spikes == sorted(set(spikes))
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.floats(0.0, 1.0), window=st.integers(1, 64))
+def test_ttfs_encode_at_most_one_spike(value, window):
+    spikes = ttfs_encode(value, window)
+    assert len(spikes) <= 1
+    if spikes:
+        assert 0 <= spikes[0] < window
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 20),
+    seed=st.integers(0, 1000),
+    duration=st.integers(1, 30),
+)
+def test_simulator_spike_counts_bounded_by_duration(n, seed, duration):
+    net = random_network(n, min(2 * n, n * (n - 1)), seed=seed)
+    sim = Simulator(net)
+    spikes = {nid: list(range(duration)) for nid in net.neuron_ids()[:2]}
+    result = sim.run(duration, input_spikes=spikes)
+    # A neuron fires at most once per timestep.
+    for count in result.spike_counts.values():
+        assert 0 <= count <= duration
+    # Raster and counts agree.
+    assert sum(result.spike_counts.values()) == result.total_spikes
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(4, 16))
+def test_simulator_superposition_of_silence(seed, n):
+    """Adding inputs that never arrive changes nothing."""
+    net = random_network(n, 2 * n, seed=seed)
+    sim = Simulator(net)
+    base = sim.run(12, input_spikes={net.neuron_ids()[0]: [0, 4]})
+    with_empty = sim.run(
+        12, input_spikes={net.neuron_ids()[0]: [0, 4], net.neuron_ids()[1]: []}
+    )
+    assert base.spikes == with_empty.spikes
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 40), min_size=2, max_size=40),
+    shift=st.integers(1, 10),
+)
+def test_gini_decreases_under_uniform_shift(values, shift):
+    """Adding a constant to every value moves the distribution toward
+    equality, so the Gini index cannot increase."""
+    before = gini_index(values)
+    after = gini_index([v + shift for v in values])
+    assert after <= before + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_network_copy_equals_original(seed):
+    net = random_network(10, 20, seed=seed)
+    clone = net.copy()
+    assert list(clone.neurons()) == list(net.neurons())
+    assert list(clone.synapses()) == list(net.synapses())
+    assert clone.pred_sets() == net.pred_sets()

@@ -1,0 +1,129 @@
+"""Tests for the discrete-time LIF simulator."""
+
+import pytest
+
+from repro.snn.network import Network
+from repro.snn.simulator import Simulator, spike_profile
+
+
+def chain(n=3, weight=1.0, delay=1, threshold=1.0, leak=1.0):
+    net = Network("chain")
+    for i in range(n):
+        net.add_neuron(i, threshold=threshold, leak=leak, is_input=(i == 0))
+    for i in range(n - 1):
+        net.add_synapse(i, i + 1, weight=weight, delay=delay)
+    return net
+
+
+class TestBasicDynamics:
+    def test_input_spike_forces_fire(self):
+        net = chain(2)
+        result = Simulator(net).run(5, input_spikes={0: [1]})
+        assert (1, 0) in result.spikes
+
+    def test_propagation_with_unit_delay(self):
+        net = chain(3)
+        result = Simulator(net).run(5, input_spikes={0: [0]})
+        assert result.spikes_of(0) == [0]
+        assert result.spikes_of(1) == [1]
+        assert result.spikes_of(2) == [2]
+
+    def test_longer_delay(self):
+        net = chain(2, delay=3)
+        result = Simulator(net).run(6, input_spikes={0: [0]})
+        assert result.spikes_of(1) == [3]
+
+    def test_subthreshold_weight_accumulates(self):
+        net = chain(2, weight=0.5)
+        # Two spikes of 0 deliver 0.5 + 0.5 -> neuron 1 fires on the second.
+        result = Simulator(net).run(6, input_spikes={0: [0, 1]})
+        assert result.spikes_of(1) == [2]
+
+    def test_potential_resets_after_fire(self):
+        net = chain(2, weight=1.0)
+        result = Simulator(net).run(8, input_spikes={0: [0, 3]})
+        # Each source spike causes exactly one downstream spike.
+        assert result.spikes_of(1) == [1, 4]
+
+    def test_leak_decays_charge(self):
+        net = chain(2, weight=0.6, leak=0.5)
+        # 0.6 then decay to 0.3, + 0.6 = 0.9 < 1: no fire with a gap.
+        result = Simulator(net).run(8, input_spikes={0: [0, 2]})
+        assert result.spikes_of(1) == []
+        # Back-to-back spikes: 0.6*0.5 + 0.6 = 0.9 still < 1 -> never fires.
+        result2 = Simulator(net).run(8, input_spikes={0: [0, 1]})
+        assert result2.spikes_of(1) == []
+
+    def test_no_leak_integrates_forever(self):
+        net = chain(2, weight=0.4, leak=1.0)
+        result = Simulator(net).run(10, input_spikes={0: [0, 2, 4]})
+        assert result.spikes_of(1) == [5]
+
+    def test_inhibitory_weight_suppresses(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1, is_input=True)
+        net.add_neuron(2)
+        net.add_synapse(0, 2, weight=1.0)
+        net.add_synapse(1, 2, weight=-1.0)
+        result = Simulator(net).run(4, input_spikes={0: [0], 1: [0]})
+        assert result.spikes_of(2) == []
+
+    def test_input_charges_subthreshold(self):
+        net = chain(1)
+        result = Simulator(net).run(
+            4, input_charges=[(0, 0, 0.6), (0, 1, 0.6)]
+        )
+        assert result.spikes_of(0) == [1]
+
+
+class TestRunSemantics:
+    def test_spikes_outside_duration_ignored(self):
+        net = chain(2)
+        result = Simulator(net).run(2, input_spikes={0: [0, 5]})
+        assert result.spikes_of(0) == [0]
+
+    def test_unknown_input_neuron_raises(self):
+        net = chain(2)
+        with pytest.raises(KeyError):
+            Simulator(net).run(2, input_spikes={99: [0]})
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(chain(2)).run(-1)
+
+    def test_zero_duration(self):
+        result = Simulator(chain(2)).run(0, input_spikes={0: [0]})
+        assert result.total_spikes == 0
+
+    def test_determinism(self):
+        net = chain(4, weight=0.7)
+        r1 = Simulator(net).run(20, input_spikes={0: [0, 3, 7, 11]})
+        r2 = Simulator(net).run(20, input_spikes={0: [0, 3, 7, 11]})
+        assert r1.spikes == r2.spikes
+
+    def test_spike_counts_cover_all_neurons(self):
+        net = chain(3)
+        result = Simulator(net).run(5, input_spikes={0: [0]})
+        assert set(result.spike_counts) == {0, 1, 2}
+        assert result.spike_counts[2] == 1
+
+    def test_spike_train(self):
+        net = chain(2)
+        result = Simulator(net).run(4, input_spikes={0: [0, 2]})
+        assert result.spike_train(0) == [1, 0, 1, 0]
+
+
+class TestSpikeProfile:
+    def test_aggregates_over_samples(self):
+        net = chain(3)
+        samples = [{0: [0]}, {0: [0, 1]}]
+        totals = spike_profile(net, samples, duration=6)
+        assert totals[0] == 3
+        assert totals[1] == 3
+        assert totals[2] == 3
+
+    def test_silent_neurons_reported_as_zero(self):
+        net = chain(3)
+        totals = spike_profile(net, [{}], duration=4)
+        assert totals == {0: 0, 1: 0, 2: 0}

@@ -1,0 +1,98 @@
+"""Tests for network statistics (Table I columns)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.snn.generators import random_network
+from repro.snn.network import Network
+from repro.snn.stats import (
+    edge_density,
+    gini_index,
+    max_fan_in,
+    max_fan_out,
+    network_stats,
+)
+
+
+class TestGiniIndex:
+    def test_uniform_is_zero(self):
+        assert gini_index([3, 3, 3, 3]) == pytest.approx(0.0)
+
+    def test_single_owner_approaches_one(self):
+        # One nonzero among n values: G = (n-1)/n.
+        assert gini_index([0, 0, 0, 10]) == pytest.approx(0.75)
+
+    def test_known_two_point(self):
+        # [0, 1]: G = 0.5 by the pairwise-difference definition.
+        assert gini_index([0, 1]) == pytest.approx(0.5)
+
+    def test_empty_and_zero(self):
+        assert gini_index([]) == 0.0
+        assert gini_index([0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_index([-1, 2])
+
+    def test_scale_invariance(self):
+        values = [1, 2, 3, 10]
+        assert gini_index(values) == pytest.approx(
+            gini_index([10 * v for v in values])
+        )
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    def test_bounded_in_unit_interval(self, values):
+        g = gini_index(values)
+        assert 0.0 <= g <= 1.0
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 20, size=25).astype(float)
+        n = x.size
+        pairwise = np.abs(x[:, None] - x[None, :]).sum() / (2 * n * n * x.mean())
+        assert gini_index(x) == pytest.approx(pairwise)
+
+
+class TestDensityAndFanIn:
+    def test_edge_density_directed(self):
+        net = Network()
+        for i in range(3):
+            net.add_neuron(i)
+        net.add_synapse(0, 1)
+        net.add_synapse(1, 2)
+        assert edge_density(net) == pytest.approx(2 / 6)
+
+    def test_density_degenerate(self):
+        net = Network()
+        net.add_neuron(0)
+        assert edge_density(net) == 0.0
+
+    def test_max_fan_in_out(self):
+        net = Network()
+        for i in range(4):
+            net.add_neuron(i)
+        net.add_synapse(0, 3)
+        net.add_synapse(1, 3)
+        net.add_synapse(2, 3)
+        net.add_synapse(3, 0)
+        assert max_fan_in(net) == 3
+        assert max_fan_out(net) == 1
+
+    def test_empty_network(self):
+        net = Network()
+        assert max_fan_in(net) == 0
+        assert max_fan_out(net) == 0
+
+
+class TestNetworkStats:
+    def test_full_record(self):
+        net = random_network(20, 40, seed=2, name="stats-test")
+        st_ = network_stats(net)
+        assert st_.name == "stats-test"
+        assert st_.node_count == 20
+        assert st_.edge_count == 40
+        assert st_.max_fan_in == max_fan_in(net)
+        assert 0.0 <= st_.gini_incoming <= 1.0
+        assert 0.0 <= st_.gini_outgoing <= 1.0
+        assert len(st_.as_row()) == 7

@@ -1,0 +1,101 @@
+"""Tests for the STDP plasticity rule."""
+
+import pytest
+
+from repro.snn.network import Network
+from repro.snn.simulator import Simulator
+from repro.snn.stdp import StdpConfig, run_stdp, weight_drift
+
+
+def pair(weight=1.0, delay=1):
+    """Input 0 -> neuron 1."""
+    net = Network("pair")
+    net.add_neuron(0, is_input=True)
+    net.add_neuron(1)
+    net.add_synapse(0, 1, weight=weight, delay=delay)
+    return net
+
+
+class TestConfigValidation:
+    def test_rates_nonnegative(self):
+        with pytest.raises(ValueError):
+            StdpConfig(a_plus=-0.1)
+
+    def test_tau_positive(self):
+        with pytest.raises(ValueError):
+            StdpConfig(tau=0.0)
+
+    def test_bounds_ordered(self):
+        with pytest.raises(ValueError):
+            StdpConfig(w_min=1.0, w_max=0.0)
+
+
+class TestPairRule:
+    def test_causal_pair_potentiates(self):
+        net = pair(weight=1.0)
+        config = StdpConfig(a_plus=0.1, a_minus=0.0)
+        # 0 fires at 0; 1 receives at 1 and fires -> causal.
+        _, adapted = run_stdp(net, 6, config, input_spikes={0: [0]})
+        assert adapted.synapse(0, 1).weight > 1.0
+
+    def test_anticausal_depresses(self):
+        # Force 1 to fire before 0 via external charge, then fire 0.
+        net = pair(weight=0.0)  # synapse carries no charge; timing only
+        config = StdpConfig(a_plus=0.0, a_minus=0.1)
+        net2 = net.copy()
+        net2.add_neuron(2, is_input=True)
+        net2.add_synapse(2, 1, weight=5.0, delay=1)
+        _, adapted = run_stdp(
+            net2, 8, config, input_spikes={2: [0], 0: [4]}
+        )
+        # 1 fired at t=1; 0 fired at t=4 -> anti-causal -> depression.
+        assert adapted.synapse(0, 1).weight < 0.0
+
+    def test_weight_bounds_respected(self):
+        net = pair(weight=1.9)
+        config = StdpConfig(a_plus=1.0, a_minus=0.0, w_max=2.0)
+        _, adapted = run_stdp(net, 20, config, input_spikes={0: list(range(0, 20, 2))})
+        assert adapted.synapse(0, 1).weight <= 2.0 + 1e-12
+
+    def test_closer_pairs_learn_more(self):
+        config = StdpConfig(a_plus=0.2, a_minus=0.0, tau=2.0)
+        # delay 1 -> tight pairing; delay 3 -> looser pairing.
+        _, tight = run_stdp(pair(delay=1), 10, config, input_spikes={0: [0]})
+        _, loose = run_stdp(pair(delay=3), 10, config, input_spikes={0: [0]})
+        assert tight.synapse(0, 1).weight > loose.synapse(0, 1).weight
+
+
+class TestRunSemantics:
+    def test_original_network_untouched(self):
+        net = pair()
+        run_stdp(net, 6, StdpConfig(), input_spikes={0: [0]})
+        assert net.synapse(0, 1).weight == 1.0
+
+    def test_matches_simulator_when_learning_off(self):
+        from repro.snn.generators import random_network
+
+        net = random_network(12, 24, seed=14)
+        spikes = {net.neuron_ids()[0]: [0, 2, 5], net.neuron_ids()[1]: [1]}
+        frozen = StdpConfig(a_plus=0.0, a_minus=0.0)
+        stdp_result, adapted = run_stdp(net, 16, frozen, input_spikes=spikes)
+        plain = Simulator(net).run(16, input_spikes=spikes)
+        assert stdp_result.spikes == plain.spikes
+        assert weight_drift(net, adapted) == {}
+
+    def test_silent_network_no_drift(self):
+        net = pair()
+        _, adapted = run_stdp(net, 10, StdpConfig())
+        assert weight_drift(net, adapted) == {}
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            run_stdp(pair(), -1, StdpConfig())
+
+    def test_weight_drift_reports_changes(self):
+        net = pair()
+        _, adapted = run_stdp(
+            net, 8, StdpConfig(a_plus=0.2, a_minus=0.0), input_spikes={0: [0]}
+        )
+        drift = weight_drift(net, adapted)
+        assert (0, 1) in drift
+        assert drift[(0, 1)] > 0

@@ -1,0 +1,95 @@
+"""Tests for the network linter."""
+
+from repro.snn.network import Network
+from repro.snn.validation import LintLevel, has_errors, lint_network
+
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+class TestLintStructure:
+    def test_empty_network(self):
+        issues = lint_network(Network())
+        assert codes(issues) == {"empty"}
+        assert has_errors(issues)
+
+    def test_missing_io_markers(self):
+        net = Network()
+        net.add_neuron(0)
+        issues = lint_network(net)
+        assert "no-inputs" in codes(issues)
+        assert "no-outputs" in codes(issues)
+
+    def test_clean_chain_passes(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1)
+        net.add_neuron(2, is_output=True)
+        net.add_synapse(0, 1, weight=1.5)
+        net.add_synapse(1, 2, weight=1.5)
+        issues = lint_network(net)
+        assert not has_errors(issues)
+        assert codes(issues) == set()
+
+    def test_unreachable_neurons_flagged(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1, is_output=True)
+        net.add_neuron(2)  # floating
+        net.add_synapse(0, 1, weight=2.0)
+        issues = lint_network(net)
+        assert "unreachable" in codes(issues)
+        assert "inert" in codes(issues)
+
+    def test_zero_weight_and_self_loop(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1, is_output=True)
+        net.add_synapse(0, 1, weight=0.0)
+        net.add_synapse(1, 1, weight=1.5)
+        found = codes(lint_network(net))
+        assert "zero-weight" in found
+        assert "self-loop" in found
+
+    def test_never_fires_without_positive_drive(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1, is_output=True)
+        net.add_synapse(0, 1, weight=-1.0)  # purely inhibitory drive
+        assert "never-fires" in codes(lint_network(net))
+
+    def test_leaky_underdriven_flagged(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        # leak 0.5 -> steady state = w / (1 - leak) = 0.2 < threshold 1.
+        net.add_neuron(1, threshold=1.0, leak=0.5, is_output=True)
+        net.add_synapse(0, 1, weight=0.1)
+        assert "never-fires" in codes(lint_network(net))
+
+    def test_integrator_accumulates_so_not_flagged(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1, threshold=1.0, leak=1.0, is_output=True)
+        net.add_synapse(0, 1, weight=0.1)  # accumulates to threshold
+        assert "never-fires" not in codes(lint_network(net))
+
+    def test_issues_sorted_and_printable(self):
+        net = Network()
+        net.add_neuron(0)
+        issues = lint_network(net)
+        assert all(isinstance(str(i), str) for i in issues)
+        levels = [i.level for i in issues]
+        assert levels == sorted(levels, key=lambda level: level.value)
+
+
+class TestHasErrors:
+    def test_warning_only_is_not_error(self):
+        net = Network()
+        net.add_neuron(0, is_input=True)
+        net.add_neuron(1, is_output=True)
+        net.add_synapse(0, 1, weight=0.0)
+        issues = lint_network(net)
+        warnings_only = [i for i in issues if i.level is LintLevel.WARNING]
+        assert warnings_only
+        assert not has_errors(warnings_only)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.snn.generators import random_network
+from repro.snn.io import save_network
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    net = random_network(14, 28, seed=44, max_fan_in=6, name="cli-net")
+    path = tmp_path / "net.json"
+    save_network(net, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map", "net.json"])
+        assert args.output == "mapping.json"
+        assert not args.homogeneous
+
+
+class TestInspect:
+    def test_prints_statistics(self, network_file, capsys):
+        assert main(["inspect", str(network_file)]) == 0
+        out = capsys.readouterr().out
+        assert "neurons" in out
+        assert "gini (incoming)" in out
+        assert "depth (synapses)" in out
+
+
+class TestMapAndSimulate:
+    def test_map_writes_valid_mapping(self, network_file, tmp_path, capsys):
+        out_path = tmp_path / "mapping.json"
+        code = main(
+            ["map", str(network_file), "-o", str(out_path), "--time-limit", "5"]
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["assignment"]
+        assert "area stage" in capsys.readouterr().out
+
+    def test_map_homogeneous_with_snu(self, network_file, tmp_path, capsys):
+        out_path = tmp_path / "mapping.json"
+        code = main(
+            [
+                "map", str(network_file),
+                "-o", str(out_path),
+                "--homogeneous", "--dimension", "8",
+                "--snu", "--time-limit", "5",
+            ]
+        )
+        assert code == 0
+        assert "SNU stage" in capsys.readouterr().out
+
+    def test_simulate_round_trip(self, network_file, tmp_path, capsys):
+        out_path = tmp_path / "mapping.json"
+        main(["map", str(network_file), "-o", str(out_path), "--time-limit", "4"])
+        code = main(["simulate", str(out_path), "--duration", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "global packets" in out
+        assert "energy estimate" in out
+
+
+class TestExhibitsForwarding:
+    def test_table2_via_cli(self, capsys):
+        assert main(["exhibits", "--exhibit", "table2"]) == 0
+        assert "32x32" in capsys.readouterr().out

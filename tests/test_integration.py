@@ -1,0 +1,97 @@
+"""Cross-layer integration tests.
+
+The reproduction's central consistency claim: the *static* quantities the
+ILP optimizes (s/b variables, objectives 9/11/12) must coincide with the
+*dynamic* quantities the processor model counts when executing real spike
+traffic.  These tests tie together snn, mca, mapping and ilp.
+"""
+
+import pytest
+
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.pgo import build_pgo_model, expected_global_packets
+from repro.mapping.problem import MappingProblem
+from repro.mapping.snu import build_snu_model
+from repro.mca.architecture import heterogeneous_architecture
+from repro.mca.processor import MappedProcessor
+from repro.snn.generators import layered_network
+from repro.snn.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def stack():
+    network = layered_network([5, 10, 8, 4], connection_prob=0.4, seed=33)
+    arch = heterogeneous_architecture(network.num_neurons, max_slots_per_type=12)
+    problem = MappingProblem(network, arch)
+    handle = AreaModel(problem)
+    result = HighsBackend(HighsOptions(time_limit=10)).solve(
+        handle.model, warm_start=handle.warm_start_from(greedy_first_fit(problem))
+    )
+    mapping = handle.extract_mapping(result)
+    input_spikes = {nid: [0, 3, 6, 9] for nid in network.input_ids()}
+    return network, arch, problem, mapping, input_spikes, result
+
+
+class TestStaticDynamicConsistency:
+    def test_ilp_s_variables_match_runtime_axon_sets(self, stack):
+        """s[k, j] = 1 in the solved model exactly where the mapped
+        processor would deliver axon k to crossbar j."""
+        network, _, problem, mapping, _, result = stack
+        for j in mapping.enabled_slots():
+            expected = mapping.axon_inputs(j)
+            for k in problem.sources():
+                var = f"s_{k}_{j}"
+                value = result.values.get(var, 0.0)
+                assert (value > 0.5) == (k in expected), (k, j)
+
+    def test_packet_count_matches_processor(self, stack):
+        """Mapping.packet_count == MappedProcessor traffic accounting."""
+        network, arch, _, mapping, input_spikes, _ = stack
+        proc = MappedProcessor(network, mapping.assignment, arch)
+        sim, traffic = proc.run(24, input_spikes=input_spikes)
+        local, global_ = mapping.packet_count(sim.spike_counts)
+        assert traffic.local_packets == local
+        assert traffic.global_packets == global_
+
+    def test_objective12_predicts_runtime_packets(self, stack):
+        """The PGO objective evaluated on a profile equals the global
+        packets the processor counts when replaying that same profile."""
+        network, arch, problem, mapping, input_spikes, _ = stack
+        sim_counts = Simulator(network).run(24, input_spikes=input_spikes).spike_counts
+        handle = build_pgo_model(problem, mapping, sim_counts)
+        result = HighsBackend(HighsOptions(time_limit=8)).solve(
+            handle.model, warm_start=handle.warm_start_from(mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        proc = MappedProcessor(network, optimized.assignment, arch)
+        _, traffic = proc.run(24, input_spikes=input_spikes)
+        assert traffic.global_packets == pytest.approx(result.objective)
+        assert traffic.global_packets == expected_global_packets(
+            optimized, dict(sim_counts)
+        )
+
+    def test_snu_reduces_runtime_global_packets_under_uniform_traffic(self, stack):
+        """With every source spiking equally, fewer global routes must
+        mean fewer global packets end to end."""
+        network, arch, problem, mapping, _, _ = stack
+        handle = build_snu_model(problem, mapping)
+        result = HighsBackend(HighsOptions(time_limit=8)).solve(
+            handle.model, warm_start=handle.warm_start_from(mapping)
+        )
+        optimized = handle.extract_mapping(result)
+        uniform = {nid: 1 for nid in network.neuron_ids()}
+        _, base_packets = mapping.packet_count(uniform)
+        _, opt_packets = optimized.packet_count(uniform)
+        assert opt_packets <= base_packets
+        assert opt_packets == optimized.global_routes()
+
+    def test_simulation_semantics_mapping_invariant(self, stack):
+        """Placement changes communication, never function: spike rasters
+        are identical however the network is mapped."""
+        network, arch, _, mapping, input_spikes, _ = stack
+        plain = Simulator(network).run(24, input_spikes=input_spikes)
+        proc = MappedProcessor(network, mapping.assignment, arch)
+        mapped_sim, _ = proc.run(24, input_spikes=input_spikes)
+        assert mapped_sim.spikes == plain.spikes
