@@ -1,0 +1,132 @@
+"""Batch-engine bench: serial loop vs process-pooled batch mapping.
+
+Maps 8 independent networks through the area stage serially and through a
+4-worker pool.  Per-problem results must be identical in both modes (the
+pool only changes *where* a job runs, never *what* it computes); on a
+multi-core machine (>= 4 cores) the pooled sweep must finish at least 2x
+faster in wall-clock terms.  On fewer cores the speedup assertion is
+skipped — the identity assertions still run.
+
+Run:  pytest benchmarks/bench_batch.py --benchmark-only
+"""
+
+import os
+import time
+
+import pytest
+
+from bench_config import once
+from repro.batch.cache import ResultCache
+from repro.batch.engine import BatchJob, BatchMapper
+from repro.mca.architecture import homogeneous_architecture
+from repro.snn.generators import random_network
+
+#: Enough independent instances that pool overhead amortizes.
+NUM_NETWORKS = 8
+WORKERS = 4
+
+#: Budgets are generous on purpose: every instance below solves to proven
+#: optimality in ~1-3s, so results are budget-independent (deterministic)
+#: and serial-vs-pooled identity is exact.  Wall-clock-limited solves
+#: would make incumbents timing-dependent and the comparison meaningless.
+AREA_BUDGET = 30.0
+ROUTE_BUDGET = 15.0
+
+
+def _jobs() -> list[BatchJob]:
+    jobs = []
+    for i in range(NUM_NETWORKS):
+        net = random_network(18, 36, seed=700 + i, max_fan_in=6, name=f"b{i}")
+        arch = homogeneous_architecture(net.num_neurons, dimension=8)
+        jobs.append(
+            BatchJob(
+                name=f"b{i}",
+                network=net,
+                architecture=arch,
+                stages=("area", "snu"),
+                area_time_limit=AREA_BUDGET,
+                route_time_limit=ROUTE_BUDGET,
+            )
+        )
+    return jobs
+
+
+def _metrics(result):
+    return {
+        record.name: {
+            stage_name: stage.metrics for stage_name, stage in record.stages.items()
+        }
+        for record in result
+    }
+
+
+def test_benchmark_batch_pool_speedup(benchmark):
+    jobs = _jobs()
+
+    serial_start = time.perf_counter()
+    serial = BatchMapper(jobs=1).map_all(jobs)
+    serial_wall = time.perf_counter() - serial_start
+    assert all(record.ok for record in serial)
+
+    pooled_start = time.perf_counter()
+    pooled = once(benchmark, lambda: BatchMapper(jobs=WORKERS).map_all(jobs))
+    pooled_wall = time.perf_counter() - pooled_start
+    assert all(record.ok for record in pooled)
+
+    # Identity: the pool must not change any per-problem outcome.
+    assert _metrics(pooled) == _metrics(serial)
+    for ser, par in zip(serial, pooled):
+        assert par.final().mapping.assignment == ser.final().mapping.assignment
+
+    speedup = serial_wall / max(pooled_wall, 1e-9)
+    cores = os.cpu_count() or 1
+    print(f"\nserial {serial_wall:.1f}s, pooled({WORKERS}) {pooled_wall:.1f}s, "
+          f"speedup {speedup:.2f}x on {cores} core(s)")
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"pooled sweep only {speedup:.2f}x faster on {cores} cores"
+        )
+
+
+def test_benchmark_jobs1_matches_plain_serial_loop(benchmark):
+    """--jobs 1 is bit-for-bit the serial loop (metrics and placements)."""
+    from repro.mapping.pipeline import MappingPipeline
+
+    jobs = _jobs()[:4]
+    plain = {}
+    for job in jobs:
+        pipeline = MappingPipeline(
+            job.build_problem(),
+            area_time_limit=job.area_time_limit,
+            route_time_limit=job.route_time_limit,
+        )
+        plain[job.name] = pipeline.run(stages=job.stages)
+
+    result = once(benchmark, lambda: BatchMapper(jobs=1).map_all(jobs))
+    for record in result:
+        reference = plain[record.name]
+        for stage_name, stage in record.stages.items():
+            ref = reference.stages[stage_name]
+            assert stage.mapping.assignment == ref.mapping.assignment
+            assert stage.metrics == ref.metrics
+            assert stage.det_time == ref.det_time
+
+
+def test_benchmark_cached_resweep(benchmark):
+    """A cached second sweep is pure lookups — orders of magnitude faster."""
+    jobs = _jobs()[:4]
+    cache = ResultCache()
+    mapper = BatchMapper(jobs=1, cache=cache)
+
+    first_start = time.perf_counter()
+    first = mapper.map_all(jobs)
+    first_wall = time.perf_counter() - first_start
+
+    second = once(benchmark, lambda: mapper.map_all(jobs))
+    second_wall = max(
+        benchmark.stats.stats.total if benchmark.stats else 0.0, 1e-9
+    )
+    assert all(record.from_cache for record in second)
+    assert _metrics(second) == _metrics(first)
+    assert second_wall < first_wall / 5
+    assert cache.stats.hit_rate() == pytest.approx(0.5)

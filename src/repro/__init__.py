@@ -7,11 +7,18 @@ Public API tour
 - :mod:`repro.snn` — networks, statistics, simulation, generators, EONS.
 - :mod:`repro.mca` — crossbar types/pools (Table II), NoC, processor model.
 - :mod:`repro.ilp` — ILP modeling layer with HiGHS and branch-and-bound
-  backends (the CP-SAT stand-in).
+  backends (the CP-SAT stand-in), plus picklable
+  :class:`~repro.ilp.solve.SolverSpec` solve entries for worker processes.
 - :mod:`repro.mapping` — the paper's formulations (area / SNU / PGO), the
-  SpikeHard baseline, approximate baselines, and the staged pipeline.
+  SpikeHard baseline, approximate baselines, the staged pipeline, and
+  process-stable problem fingerprints.
+- :mod:`repro.batch` — the sweep-scale layer: :class:`BatchMapper` runs
+  many pipelines at once across a process pool, optionally racing solver
+  backends per stage and caching solved instances by fingerprint.
 - :mod:`repro.profile` — synthetic SmartPixel data and spike profiling.
-- :mod:`repro.experiments` — one module per paper table/figure.
+- :mod:`repro.experiments` — one module per paper table/figure; the
+  multi-network sweeps route through :mod:`repro.batch` (``--jobs N``,
+  ``--portfolio``).
 
 Quickstart
 ----------
@@ -20,9 +27,17 @@ Quickstart
 >>> mapping = quick_map(random_network(32, 64, seed=1))
 >>> mapping.is_valid()
 True
+
+Batch sweep (see ``examples/batch_sweep.py`` for the full tour):
+
+>>> from repro import BatchJob, BatchMapper                 # doctest: +SKIP
+>>> result = BatchMapper(jobs=4).map_all(jobs)              # doctest: +SKIP
 """
 
+from .batch.cache import ResultCache
+from .batch.engine import BatchJob, BatchMapper, BatchResult, JobRecord
 from .ilp.highs_backend import HighsBackend, HighsOptions
+from .ilp.solve import SolverSpec
 from .mapping.axon_sharing import AreaModel, FormulationOptions
 from .mapping.greedy import greedy_first_fit
 from .mapping.pipeline import MappingPipeline
@@ -34,43 +49,79 @@ from .mca.architecture import (
 )
 from .snn.network import Network
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AreaModel",
+    "BatchJob",
+    "BatchMapper",
+    "BatchResult",
     "FormulationOptions",
     "HighsBackend",
     "HighsOptions",
+    "JobRecord",
     "Mapping",
     "MappingPipeline",
     "MappingProblem",
     "Network",
+    "ResultCache",
+    "SolverSpec",
     "greedy_first_fit",
     "heterogeneous_architecture",
     "homogeneous_architecture",
     "quick_map",
 ]
 
+#: Backends :func:`quick_map` understands.
+QUICK_MAP_BACKENDS = ("highs", "bnb", "portfolio")
+
 
 def quick_map(
     network: Network,
     heterogeneous: bool = True,
     time_limit: float = 10.0,
+    backend: str = "highs",
+    seed: int | None = None,
 ) -> Mapping:
     """One-call mapping: area-optimize a network onto a default pool.
 
     Uses the Table-II heterogeneous pool (or a 16x16 homogeneous pool) and
     returns the best mapping found within ``time_limit`` seconds, warm-
     started by greedy first-fit so a valid mapping is always returned.
+
+    ``backend`` picks the solver: ``"highs"`` (default), ``"bnb"`` (the
+    pure-Python branch and bound), or ``"portfolio"`` (race both, keep the
+    best incumbent).  ``seed`` — when given — shuffles the greedy
+    warm-start's placement order reproducibly, which diversifies the
+    starting incumbent across calls.
     """
+    if backend not in QUICK_MAP_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {QUICK_MAP_BACKENDS}"
+        )
     if heterogeneous:
         arch = heterogeneous_architecture(network.num_neurons)
     else:
         arch = homogeneous_architecture(network.num_neurons)
     problem = MappingProblem(network, arch)
     handle = AreaModel(problem)
-    warm = handle.warm_start_from(greedy_first_fit(problem))
-    result = HighsBackend(HighsOptions(time_limit=time_limit)).solve(
-        handle.model, warm_start=warm
-    )
+    if seed is None:
+        greedy = greedy_first_fit(problem)
+    else:
+        greedy = greedy_first_fit(problem, order="random", seed=seed)
+    warm = handle.warm_start_from(greedy)
+
+    if backend == "portfolio":
+        from .batch.portfolio import portfolio_solver_factory
+
+        # The factory splits the budget across the sequential race's
+        # members, so the documented time_limit holds as a total.
+        solver = portfolio_solver_factory()(time_limit)
+    else:
+        solver = SolverSpec(
+            backend,
+            time_limit=time_limit,
+            node_limit=20_000 if backend == "bnb" else None,
+        ).build()
+    result = solver.solve(handle.model, warm_start=warm)
     return handle.extract_mapping(result)

@@ -1,0 +1,112 @@
+"""Fingerprint-keyed result cache for batch mapping runs.
+
+Stores the *payload* form of a finished job (plain JSON: per-stage
+assignments plus solve summaries) keyed by the job fingerprint, so
+repeated sweeps skip already-solved instances.  Two tiers:
+
+- an in-memory dict, always on;
+- an optional on-disk tier (one ``<fingerprint>.json`` per entry under a
+  directory), surviving across processes and runs.
+
+The cache never stores live :class:`~repro.mapping.solution.Mapping`
+objects — payloads are rehydrated against the caller's problem instance,
+which both keeps entries small and guarantees a hit returns a mapping
+bound to the *caller's* network/architecture objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump when the payload schema changes; stale on-disk entries are ignored.
+CACHE_FORMAT = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Two-tier (memory + optional directory) payload cache."""
+
+    path: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: dict[str, dict] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            self.path = Path(self.path)
+            self.path.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key``, or ``None`` on a miss (counted)."""
+        payload = self._memory.get(key)
+        if payload is None and self.path is not None:
+            payload = self._read_disk(key)
+            if payload is not None:
+                self._memory[key] = payload
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a JSON-serializable payload under ``key``."""
+        self._memory[key] = payload
+        self.stats.stores += 1
+        if self.path is not None:
+            entry = {"format": CACHE_FORMAT, "key": key, "payload": payload}
+            tmp = self._entry_path(key).with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(entry, sort_keys=True))
+            tmp.replace(self._entry_path(key))  # atomic publish
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.path is not None and self._entry_path(key).exists()
+        )
+
+    def __len__(self) -> int:
+        if self.path is None:
+            return len(self._memory)
+        disk = {p.stem for p in self.path.glob("*.json")}
+        return len(disk | set(self._memory))
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.path is not None:
+            for entry in self.path.glob("*.json"):
+                entry.unlink()
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{key}.json"
+
+    def _read_disk(self, key: str) -> dict | None:
+        entry_path = self._entry_path(key)
+        if not entry_path.exists():
+            return None
+        try:
+            entry = json.loads(entry_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("format") != CACHE_FORMAT or entry.get("key") != key:
+            return None
+        return entry.get("payload")

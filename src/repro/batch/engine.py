@@ -1,0 +1,481 @@
+"""The parallel batch-mapping engine.
+
+A :class:`BatchMapper` takes many independent mapping jobs — each a
+(network, architecture, stage-prefix) triple with per-stage budgets — and
+runs the staged :class:`~repro.mapping.pipeline.MappingPipeline` for every
+job across a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+- ``jobs=1`` executes serially in-process through the *same* code path the
+  workers run, so serial and pooled results are bit-for-bit identical;
+- ``portfolio=True`` swaps each stage's solver for a racing
+  :class:`~repro.batch.portfolio.PortfolioSolver`;
+- an optional :class:`~repro.batch.cache.ResultCache` keyed by the
+  deterministic job fingerprint (network + pool + formulation options +
+  stages + profile + solver mode) makes repeated sweeps skip solved
+  instances;
+- every job yields a :class:`JobRecord` whose per-stage entries are real
+  :class:`~repro.mapping.pipeline.StageRecord` objects, so downstream code
+  written against ``PipelineResult`` consumes batch output unchanged.
+
+One failing job never poisons the batch: worker exceptions are captured
+into an ``"error"`` record and the remaining jobs complete normally.
+
+Only plain data crosses the process boundary — jobs ship networks and
+architectures (cheaply picklable), workers return JSON-ready payloads that
+double as cache entries, and mappings are rehydrated parent-side.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from ..mapping.axon_sharing import FormulationOptions
+from ..mapping.fingerprint import (
+    architecture_fingerprint,
+    combine,
+    digest,
+    network_fingerprint,
+    options_fingerprint,
+)
+from ..mapping.metrics import evaluate_mapping
+from ..mapping.pipeline import STAGES, MappingPipeline, StageRecord
+from ..mapping.problem import MappingProblem
+from ..mapping.solution import Mapping
+from ..mca.architecture import Architecture
+from ..snn.network import Network
+from ..ilp.result import SolveResult, SolveStatus
+from .cache import ResultCache
+from .portfolio import portfolio_solver_factory
+
+JOB_OK = "ok"
+JOB_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One independent mapping instance inside a batch.
+
+    ``profile`` is a plain neuron->spike-count dict (required by the
+    ``pgo`` stage).  All fields are picklable, so a job can be shipped to a
+    worker process as-is.
+    """
+
+    name: str
+    network: Network
+    architecture: Architecture
+    stages: tuple[str, ...] = ("area",)
+    profile: dict[int, int] | None = None
+    formulation: FormulationOptions = field(default_factory=FormulationOptions)
+    area_time_limit: float | None = 30.0
+    route_time_limit: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        unknown = [s for s in self.stages if s not in STAGES]
+        if unknown:
+            raise ValueError(f"unknown stages {unknown}; valid: {STAGES}")
+        if "pgo" in self.stages and self.profile is None:
+            raise ValueError(f"job {self.name!r}: the pgo stage needs a profile")
+
+    @classmethod
+    def from_problem(cls, name: str, problem: MappingProblem, **kwargs) -> "BatchJob":
+        """Build a job from an existing problem instance."""
+        return cls(name, problem.network, problem.architecture, **kwargs)
+
+    def build_problem(self) -> MappingProblem:
+        """Construct the (validated) problem this job solves."""
+        return MappingProblem(self.network, self.architecture)
+
+    def fingerprint(self, portfolio: bool = False) -> str:
+        """Deterministic cache key for this job under a solver mode.
+
+        Covers everything that changes the *result*: network structure,
+        crossbar pool, formulation options, stage prefix, spike profile and
+        solver mode.  Time budgets are deliberately excluded from the key;
+        instead the engine records the producing budgets in the cached
+        payload and re-solves on a hit whose solves limited out under a
+        smaller budget than the new request brings (see
+        :func:`_cache_entry_satisfies`).
+
+        Computed from the raw parts (identical to ``MappingProblem.
+        fingerprint``) so that even a job whose problem fails validation
+        still fingerprints cleanly — its failure belongs in a worker-side
+        error record, not a parent-side exception.
+        """
+        problem_part = combine(
+            network_fingerprint(self.network),
+            architecture_fingerprint(self.architecture),
+            options_fingerprint(self.formulation),
+        )
+        profile_part = (
+            digest(sorted(self.profile.items())) if self.profile is not None else "-"
+        )
+        return combine(
+            problem_part,
+            digest(list(self.stages)),
+            profile_part,
+            "portfolio" if portfolio else "single",
+        )
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one batch job, mirroring a pipeline's stage records.
+
+    ``stages`` holds genuine :class:`StageRecord` objects (mapping +
+    metrics + solve summary) in execution order; ``status`` is ``"ok"`` or
+    ``"error"``; ``from_cache`` marks fingerprint hits.
+    """
+
+    name: str
+    fingerprint: str
+    status: str
+    stages: dict[str, StageRecord] = field(default_factory=dict)
+    error: str | None = None
+    wall_time: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == JOB_OK
+
+    @property
+    def det_time(self) -> float:
+        return sum(record.det_time for record in self.stages.values())
+
+    def final(self) -> StageRecord:
+        if not self.stages:
+            raise ValueError(f"job {self.name!r} produced no stages ({self.error})")
+        return next(reversed(self.stages.values()))
+
+
+@dataclass
+class BatchResult:
+    """All job records, in submission order."""
+
+    records: list[JobRecord]
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, name: str) -> JobRecord:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no job named {name!r}")
+
+    def succeeded(self) -> list[JobRecord]:
+        return [r for r in self.records if r.ok]
+
+    def failed(self) -> list[JobRecord]:
+        return [r for r in self.records if not r.ok]
+
+    def total_det_time(self) -> float:
+        return sum(r.det_time for r in self.records)
+
+    def report(self) -> str:
+        """Compact text table of the batch outcome."""
+        lines = []
+        for rec in self.records:
+            if rec.ok:
+                tag = "cache" if rec.from_cache else rec.status
+                lines.append(
+                    f"{rec.name:<16} {tag:<6} {rec.final().mapping.summary()}"
+                )
+            else:
+                lines.append(f"{rec.name:<16} error  {rec.error}")
+        return "\n".join(lines)
+
+
+class BatchMapper:
+    """Run many mapping jobs across a process pool (or serially).
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``1`` (default) runs in-process, in
+        submission order, matching a plain serial loop bit-for-bit.
+    portfolio:
+        Race HiGHS against the branch-and-bound backend per stage and keep
+        the best incumbent (see :mod:`repro.batch.portfolio`).
+    cache:
+        Optional :class:`ResultCache`; hits skip the solve entirely and
+        rehydrate the stored solution.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        portfolio: bool = False,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.portfolio = portfolio
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def map_all(self, batch_jobs: list[BatchJob]) -> BatchResult:
+        """Execute every job; never raises for per-job failures."""
+        names = [job.name for job in batch_jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique within a batch")
+
+        records: dict[int, JobRecord] = {}
+        pending: list[tuple[int, BatchJob, str]] = []
+        for idx, job in enumerate(batch_jobs):
+            key = job.fingerprint(self.portfolio)
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None and not _cache_entry_satisfies(job, payload):
+                # The cached solve limited out under a smaller budget than
+                # this job brings: re-solve rather than pin the old quality.
+                self.cache.stats.hits -= 1
+                self.cache.stats.misses += 1
+                payload = None
+            if payload is not None:
+                records[idx] = _rehydrate(job, key, payload, from_cache=True)
+            else:
+                pending.append((idx, job, key))
+
+        for idx, job, key, payload in self._execute(pending):
+            cacheable = (
+                payload.get("status") == JOB_OK
+                and not payload.get("interrupted", False)
+            )
+            if cacheable and self.cache is not None:
+                self.cache.put(key, payload)
+            records[idx] = _rehydrate(job, key, payload, from_cache=False)
+
+        return BatchResult([records[i] for i in range(len(batch_jobs))])
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending):
+        """Yield (idx, job, key, payload) for every non-cached job."""
+        if self.jobs == 1 or len(pending) <= 1:
+            for pos, (idx, job, key) in enumerate(pending):
+                payload = _execute_job(job, self.portfolio)
+                yield idx, job, key, payload
+                if payload.get("interrupted"):
+                    # Ctrl-C reached a solve running in *this* process: one
+                    # press cancels the whole remaining batch instead of
+                    # requiring one per solve.
+                    for idx2, job2, key2 in pending[pos + 1:]:
+                        yield idx2, job2, key2, _cancelled_payload()
+                    return
+            return
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_job, job, self.portfolio): (idx, job, key)
+                for idx, job, key in pending
+            }
+            consumed: set = set()
+            try:
+                for future in as_completed(futures):
+                    idx, job, key = futures[future]
+                    try:
+                        payload = future.result()
+                    except KeyboardInterrupt:
+                        # The worker re-raised a cancellation that slipped
+                        # past its own handler: record it, keep the batch.
+                        payload = _cancelled_payload()
+                    except Exception as exc:  # worker died (OOM, broken pool)
+                        payload = {
+                            "status": JOB_ERROR,
+                            "stages": [],
+                            "wall_time": 0.0,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    consumed.add(future)
+                    yield idx, job, key, payload
+            except KeyboardInterrupt:
+                # One Ctrl-C cancels the rest of the batch (mirroring the
+                # serial path): drop queued jobs instead of letting the
+                # pool drain them all before shutdown.
+                pool.shutdown(wait=False, cancel_futures=True)
+                for future, (idx, job, key) in futures.items():
+                    if future in consumed:
+                        continue
+                    yield idx, job, key, _cancelled_payload()
+
+
+def parallel_map(fn, items, jobs: int = 1) -> list:
+    """Ordered ``map(fn, items)`` across a process pool.
+
+    The lightweight sibling of :class:`BatchMapper` for sweeps whose unit
+    of work is not a mapping pipeline (e.g. the trace-slice evolution
+    exhibits).  ``fn`` must be picklable (a module-level function or a
+    :func:`functools.partial` of one) and so must every item and result.
+    Unlike :meth:`BatchMapper.map_all`, exceptions propagate — callers of
+    this helper want all-or-nothing sweeps.
+    """
+    items = list(items)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# Worker side: everything below runs in the pool processes (and inline for
+# jobs=1).  It must stay module-level and deal only in picklable data.
+# ----------------------------------------------------------------------
+
+def _cancelled_payload() -> dict:
+    """The record a job gets when cancellation pre-empted or aborted it."""
+    return {
+        "status": JOB_ERROR,
+        "stages": [],
+        "interrupted": True,
+        "wall_time": 0.0,
+        "error": "cancelled (KeyboardInterrupt)",
+    }
+
+
+def _execute_job(job: BatchJob, portfolio: bool) -> dict:
+    """Run one job's pipeline; always returns a payload, never raises.
+
+    Cancellation (``KeyboardInterrupt``) becomes an ``interrupted`` error
+    payload, which the serial driver uses to cancel the rest of the batch —
+    so one Ctrl-C yields a partial-results report instead of a traceback.
+    """
+    start = time.perf_counter()
+    try:
+        problem = job.build_problem()
+        solver = portfolio_solver_factory() if portfolio else None
+        pipeline = MappingPipeline(
+            problem,
+            area_time_limit=job.area_time_limit,
+            route_time_limit=job.route_time_limit,
+            formulation=job.formulation,
+            solver=solver,
+        )
+        result = pipeline.run(stages=job.stages, profile=job.profile)
+        stages = [
+            {
+                "name": record.name,
+                "assignment": {str(i): j for i, j in record.mapping.assignment.items()},
+                "solve": _solve_summary(record.solve_result),
+            }
+            for record in result.stages.values()
+        ]
+        # A stage degraded by cancellation (see repro.ilp.solve) still
+        # yields a valid mapping, but its quality is warm-start-level:
+        # usable for this run, never worth caching as the instance's answer.
+        interrupted = any(
+            record.solve_result is not None
+            and "-interrupted" in record.solve_result.backend
+            for record in result.stages.values()
+        )
+        all_optimal = all(
+            record.solve_result is None
+            or record.solve_result.status is SolveStatus.OPTIMAL
+            for record in result.stages.values()
+        )
+        return {
+            "status": JOB_OK,
+            "stages": stages,
+            "interrupted": interrupted,
+            "all_optimal": all_optimal,
+            "budgets": {"area": job.area_time_limit, "route": job.route_time_limit},
+            "wall_time": time.perf_counter() - start,
+            "error": None,
+        }
+    except KeyboardInterrupt:
+        payload = _cancelled_payload()
+        payload["wall_time"] = time.perf_counter() - start
+        return payload
+    except Exception as exc:
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return {
+            "status": JOB_ERROR,
+            "stages": [],
+            "wall_time": time.perf_counter() - start,
+            "error": detail,
+        }
+
+
+def _cache_entry_satisfies(job: BatchJob, payload: dict) -> bool:
+    """Is a cached payload an acceptable answer under this job's budgets?
+
+    Proven-optimal results are budget-independent; limit-bound results are
+    only reusable when the new request's budget does not exceed the budget
+    that produced them (otherwise the bigger budget deserves a re-solve).
+    """
+    if payload.get("all_optimal", False):
+        return True
+
+    def within(requested: float | None, cached: float | None) -> bool:
+        if cached is None:  # cached solve had an unlimited budget
+            return True
+        if requested is None:
+            return False
+        return requested <= cached + 1e-9
+
+    budgets = payload.get("budgets") or {}
+    return within(job.area_time_limit, budgets.get("area")) and within(
+        job.route_time_limit, budgets.get("route")
+    )
+
+
+def _solve_summary(solve: SolveResult | None) -> dict | None:
+    """The picklable/JSON-able core of a solve result (no variable values)."""
+    if solve is None:
+        return None
+    return {
+        "status": solve.status.value,
+        "objective": solve.objective,
+        "bound": solve.bound,
+        "det_time": solve.det_time,
+        "wall_time": solve.wall_time,
+        "node_count": solve.node_count,
+        "backend": solve.backend,
+    }
+
+
+def _rehydrate(job: BatchJob, key: str, payload: dict, from_cache: bool) -> JobRecord:
+    """Rebuild a JobRecord (with live mappings and metrics) from a payload."""
+    if payload.get("status") != JOB_OK:
+        return JobRecord(
+            name=job.name,
+            fingerprint=key,
+            status=JOB_ERROR,
+            error=payload.get("error") or "unknown worker failure",
+            wall_time=float(payload.get("wall_time", 0.0)),
+            from_cache=from_cache,
+        )
+    problem = job.build_problem()
+    stages: dict[str, StageRecord] = {}
+    for stage in payload["stages"]:
+        assignment = {int(i): int(j) for i, j in stage["assignment"].items()}
+        mapping = Mapping(problem, assignment)
+        metrics = evaluate_mapping(mapping, job.profile)
+        summary = stage["solve"]
+        solve = None
+        if summary is not None:
+            solve = SolveResult(
+                status=SolveStatus(summary["status"]),
+                objective=summary["objective"],
+                bound=summary["bound"],
+                det_time=summary["det_time"],
+                wall_time=summary["wall_time"],
+                node_count=summary["node_count"],
+                backend=summary["backend"],
+            )
+        stages[stage["name"]] = StageRecord(stage["name"], mapping, metrics, solve)
+    return JobRecord(
+        name=job.name,
+        fingerprint=key,
+        status=JOB_OK,
+        stages=stages,
+        wall_time=float(payload.get("wall_time", 0.0)),
+        from_cache=from_cache,
+    )

@@ -1,0 +1,170 @@
+"""Solver portfolio: race several backends on one model, keep the best.
+
+MILP solvers have wildly instance-dependent performance; a portfolio that
+runs HiGHS and the pure-Python branch and bound on the same model and
+keeps the best incumbent is more robust than betting on either alone
+(HiGHS usually wins on raw speed; the B&B occasionally lands a better
+incumbent inside a tight budget because its warm-started primal heuristics
+fire immediately).
+
+Two race modes:
+
+- ``sequential`` (default, deterministic): members run one after another,
+  stopping early once a member proves optimality.  Worst-case wall time is
+  the sum of member budgets; results are bit-for-bit reproducible.
+- ``threads``: members run concurrently and overlap their wall time.  The
+  winner is still chosen by the same deterministic rule after *all*
+  members finish (SciPy solves cannot be cancelled mid-flight), so results
+  stay reproducible while wall time approaches the slowest member's.
+
+The winner is the member with the lowest objective; ties break on lower
+deterministic time, then on portfolio order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..ilp.model import Model, ObjectiveSense
+from ..ilp.result import SolveResult, SolveStatus
+from ..ilp.solve import SolverSpec, solve_model
+
+#: The default portfolio: full-budget HiGHS plus a node-capped B&B.
+DEFAULT_SPECS = (
+    SolverSpec("highs"),
+    SolverSpec("bnb", node_limit=20_000),
+)
+
+RACE_MODES = ("sequential", "threads")
+
+
+@dataclass(frozen=True)
+class PortfolioOptions:
+    """Which backends race, and how."""
+
+    specs: tuple[SolverSpec, ...] = DEFAULT_SPECS
+    race: str = "sequential"
+    stop_on_optimal: bool = True  # sequential mode: skip members after a proof
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a portfolio needs at least one member spec")
+        if self.race not in RACE_MODES:
+            raise ValueError(
+                f"unknown race mode {self.race!r}; choose from {RACE_MODES}"
+            )
+
+
+class PortfolioSolver:
+    """A :class:`~repro.mapping.pipeline.SolverBackend` over many members."""
+
+    name = "portfolio"
+
+    def __init__(self, options: PortfolioOptions | None = None) -> None:
+        self.options = options or PortfolioOptions()
+
+    def solve(
+        self,
+        model: Model,
+        warm_start: dict[str, float] | None = None,
+        keep_values: bool = True,
+    ) -> SolveResult:
+        """Race every member on ``model`` and return the best result.
+
+        The returned result is the winning member's, re-tagged as
+        ``portfolio[<member>]``, with ``det_time`` summed over every member
+        that actually ran (deterministic effort is paid regardless of who
+        wins).
+        """
+        opts = self.options
+        results: list[SolveResult] = []
+        if opts.race == "threads" and len(opts.specs) > 1:
+            with ThreadPoolExecutor(max_workers=len(opts.specs)) as pool:
+                futures = [
+                    pool.submit(solve_model, model, spec, warm_start, keep_values)
+                    for spec in opts.specs
+                ]
+                results = [f.result() for f in futures]
+        else:
+            for spec in opts.specs:
+                result = solve_model(model, spec, warm_start, keep_values)
+                results.append(result)
+                if opts.stop_on_optimal and result.status is SolveStatus.OPTIMAL:
+                    break
+                if result.backend.endswith("-interrupted"):
+                    # Cancellation reached us mid-race: don't start more
+                    # members, report the best of what finished.
+                    break
+
+        winner = _pick_winner(results, model.objective_sense)
+        winner.det_time = sum(r.det_time for r in results)
+        winner.wall_time = (
+            max(r.wall_time for r in results)
+            if opts.race == "threads"
+            else sum(r.wall_time for r in results)
+        )
+        winner.backend = f"{self.name}[{winner.backend}]"
+        # A race truncated by cancellation is itself degraded unless the
+        # winner independently proved optimality — tag it so the batch
+        # cache refuses the result even when the interrupted member lost.
+        race_interrupted = any("-interrupted" in r.backend for r in results)
+        if (
+            race_interrupted
+            and winner.status is not SolveStatus.OPTIMAL
+            and "-interrupted" not in winner.backend
+        ):
+            winner.backend += "-interrupted"
+        return winner
+
+
+def _pick_winner(
+    results: list[SolveResult], sense: ObjectiveSense
+) -> SolveResult:
+    """Deterministic selection: best objective, then det time, then order.
+
+    "Best" honors the model's objective sense (objectives are user-facing,
+    so a maximize model wants the largest).  Members without a solution
+    only win when nobody found one — in which case the first conclusive
+    status (infeasible/unbounded beats a bare limit-out) is reported.
+    """
+    fold = 1.0 if sense is ObjectiveSense.MINIMIZE else -1.0
+    solved = [
+        (fold * r.objective, r.det_time, pos, r)
+        for pos, r in enumerate(results)
+        if r.status.has_solution() and r.objective is not None
+    ]
+    if solved:
+        return min(solved, key=lambda item: item[:3])[3]
+    conclusive = [
+        r
+        for r in results
+        if r.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED)
+    ]
+    return conclusive[0] if conclusive else results[0]
+
+
+def portfolio_solver_factory(
+    specs: tuple[SolverSpec, ...] = DEFAULT_SPECS,
+    race: str = "sequential",
+    split_budget: bool | None = None,
+) -> "callable":
+    """A :class:`~repro.mapping.pipeline.SolverFactory` that races ``specs``.
+
+    The stage's time budget is honored as a *total*: sequential races split
+    it evenly across members (their wall times add up), while thread races
+    give every member the full budget (they overlap).  ``split_budget``
+    overrides that default.
+    """
+    split = split_budget if split_budget is not None else race == "sequential"
+
+    def factory(time_limit: float | None) -> PortfolioSolver:
+        per_member = (
+            time_limit / len(specs)
+            if split and time_limit is not None
+            else time_limit
+        )
+        timed = tuple(spec.with_time_limit(per_member) for spec in specs)
+        return PortfolioSolver(PortfolioOptions(specs=timed, race=race))
+
+    return factory

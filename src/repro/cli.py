@@ -4,6 +4,8 @@ Subcommands:
 
 - ``repro map``      — map a network JSON onto a crossbar pool and save
   the mapping (area ILP, optional SNU stage).
+- ``repro batch``    — map many network JSONs at once across a process
+  pool, with optional solver portfolio and result cache.
 - ``repro inspect``  — print Table-I statistics and structure of a network.
 - ``repro simulate`` — run a saved mapping on the processor model and
   report traffic/energy.
@@ -46,6 +48,22 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 1 if has_errors(issues) else 0
 
 
+def _load_pooled_network(path, homogeneous: bool, dimension: int):
+    """Shared map/batch front door: load, compact, pick the crossbar pool."""
+    from .mca.architecture import (
+        heterogeneous_architecture,
+        homogeneous_architecture,
+    )
+    from .snn.io import load_network
+
+    compact, _ = load_network(path).compact()
+    if homogeneous:
+        arch = homogeneous_architecture(compact.num_neurons, dimension=dimension)
+    else:
+        arch = heterogeneous_architecture(compact.num_neurons)
+    return compact, arch
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     from .ilp.highs_backend import HighsBackend, HighsOptions
     from .mapping.axon_sharing import AreaModel
@@ -53,18 +71,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
     from .mapping.io import save_mapping
     from .mapping.problem import MappingProblem
     from .mapping.snu import build_snu_model
-    from .mca.architecture import (
-        heterogeneous_architecture,
-        homogeneous_architecture,
-    )
-    from .snn.io import load_network
 
-    network = load_network(args.network)
-    compact, _ = network.compact()
-    if args.homogeneous:
-        arch = homogeneous_architecture(compact.num_neurons, dimension=args.dimension)
-    else:
-        arch = heterogeneous_architecture(compact.num_neurons)
+    compact, arch = _load_pooled_network(
+        args.network, args.homogeneous, args.dimension
+    )
     problem = MappingProblem(compact, arch)
 
     handle = AreaModel(problem)
@@ -86,6 +96,59 @@ def _cmd_map(args: argparse.Namespace) -> int:
     save_mapping(mapping, args.output)
     print(f"mapping written to {args.output}")
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .batch.cache import ResultCache
+    from .batch.engine import BatchJob, BatchMapper
+    from .mapping.io import save_mapping
+
+    stages = ("area", "snu") if args.snu else ("area",)
+    jobs = []
+    used_names: set[str] = set()
+    for path in args.networks:
+        compact, arch = _load_pooled_network(
+            path, args.homogeneous, args.dimension
+        )
+        # Same basename from different directories: suffix until unique so
+        # job names (and output files) never collide — including with an
+        # input whose real stem matches a generated suffix (net-2.json).
+        stem = Path(path).stem
+        name, counter = stem, 1
+        while name in used_names:
+            counter += 1
+            name = f"{stem}-{counter}"
+        used_names.add(name)
+        jobs.append(
+            BatchJob(
+                name=name,
+                network=compact,
+                architecture=arch,
+                stages=stages,
+                area_time_limit=args.time_limit,
+                route_time_limit=args.time_limit,
+            )
+        )
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    mapper = BatchMapper(jobs=args.jobs, portfolio=args.portfolio, cache=cache)
+    result = mapper.map_all(jobs)
+    print(result.report())
+    if cache is not None:
+        print(
+            f"cache: {cache.stats.hits} hit(s), {cache.stats.misses} miss(es)"
+        )
+
+    if args.output_dir:
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for record in result.succeeded():
+            target = out_dir / f"{record.name}.mapping.json"
+            save_mapping(record.final().mapping, target)
+        print(f"{len(result.succeeded())} mapping(s) written to {out_dir}")
+    return 0 if not result.failed() else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -119,6 +182,10 @@ def _cmd_exhibits(args: argparse.Namespace) -> int:
         forwarded += ["--exhibit", args.exhibit]
     if args.full:
         forwarded.append("--full")
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.portfolio:
+        forwarded.append("--portfolio")
     return runner.main(forwarded)
 
 
@@ -145,6 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run SNU route minimization after area")
     map_cmd.set_defaults(func=_cmd_map)
 
+    batch = sub.add_parser(
+        "batch", help="map many networks at once across a process pool"
+    )
+    batch.add_argument("networks", nargs="+", help="network JSON files")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    batch.add_argument("--portfolio", action="store_true",
+                       help="race HiGHS vs branch-and-bound per solve")
+    batch.add_argument("--snu", action="store_true",
+                       help="run SNU route minimization after area")
+    batch.add_argument("--homogeneous", action="store_true",
+                       help="use a square homogeneous pool (default: Table II)")
+    batch.add_argument("--dimension", type=int, default=16,
+                       help="homogeneous crossbar dimension")
+    batch.add_argument("--time-limit", type=float, default=30.0,
+                       help="per-stage solver budget in seconds")
+    batch.add_argument("--cache-dir", default=None,
+                       help="directory for the fingerprint-keyed result cache")
+    batch.add_argument("-o", "--output-dir", default=None,
+                       help="write one <name>.mapping.json per network here")
+    batch.set_defaults(func=_cmd_batch)
+
     simulate = sub.add_parser("simulate", help="execute a saved mapping")
     simulate.add_argument("mapping", help="mapping JSON file")
     simulate.add_argument("--duration", type=int, default=64)
@@ -155,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     exhibits = sub.add_parser("exhibits", help="reproduce paper tables/figures")
     exhibits.add_argument("--exhibit", default="all")
     exhibits.add_argument("--full", action="store_true")
+    exhibits.add_argument("--jobs", type=int, default=None)
+    exhibits.add_argument("--portfolio", action="store_true")
     exhibits.set_defaults(func=_cmd_exhibits)
 
     return parser

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..batch.engine import BatchJob, BatchMapper, JobRecord
 from ..ilp.highs_backend import HighsBackend, HighsOptions
 from ..ilp.result import SolveResult
 from ..mapping.axon_sharing import AreaModel
@@ -79,6 +80,21 @@ class OptimizedMapping:
         return self.solve.det_time
 
 
+def stage_backend(config: ExperimentConfig, time_limit: float | None):
+    """The solver an exhibit stage should use under ``config``.
+
+    Plain HiGHS by default; a racing portfolio when ``config.portfolio``
+    is set.  (The evolution-trace exhibits are the exception — time-sliced
+    re-solves are HiGHS-specific, see :func:`repro.ilp.highs_backend.
+    solve_with_trace`.)
+    """
+    if config.portfolio:
+        from ..batch.portfolio import portfolio_solver_factory
+
+        return portfolio_solver_factory()(time_limit)
+    return HighsBackend(HighsOptions(time_limit=time_limit))
+
+
 def area_optimize(
     problem: MappingProblem,
     config: ExperimentConfig,
@@ -87,7 +103,7 @@ def area_optimize(
     """Axon-sharing area optimization with a greedy warm start."""
     warm = warm if warm is not None else greedy_first_fit(problem)
     handle = AreaModel(problem)
-    backend = HighsBackend(HighsOptions(time_limit=config.area_time_limit))
+    backend = stage_backend(config, config.area_time_limit)
     solve = backend.solve(handle.model, warm_start=handle.warm_start_from(warm))
     return OptimizedMapping(handle.extract_mapping(solve), solve)
 
@@ -99,7 +115,7 @@ def snu_optimize(
 ) -> OptimizedMapping:
     """SNU (global-route) post-optimization over a frozen crossbar set."""
     handle = build_snu_model(problem, base, RouteObjective.GLOBAL)
-    backend = HighsBackend(HighsOptions(time_limit=config.route_time_limit))
+    backend = stage_backend(config, config.route_time_limit)
     solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
     return OptimizedMapping(handle.extract_mapping(solve), solve)
 
@@ -112,9 +128,41 @@ def pgo_optimize(
 ) -> OptimizedMapping:
     """PGO (packet) post-optimization over a frozen crossbar set."""
     handle = build_pgo_model(problem, base, profile)
-    backend = HighsBackend(HighsOptions(time_limit=config.route_time_limit))
+    backend = stage_backend(config, config.route_time_limit)
     solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
     return OptimizedMapping(handle.extract_mapping(solve), solve)
+
+
+def batch_pipeline_records(
+    named_problems: list[tuple[str, MappingProblem]],
+    config: ExperimentConfig,
+    stages: tuple[str, ...],
+    profiles: dict[str, dict[int, int]] | None = None,
+) -> dict[str, JobRecord]:
+    """Run a multi-network pipeline sweep through the batch engine.
+
+    Honors ``config.jobs`` (process pool width) and ``config.portfolio``
+    (backend racing); with the defaults this is exactly the serial loop the
+    exhibits used to run inline.  Per-job failures are re-raised — an
+    exhibit's sweep is all-or-nothing.
+    """
+    jobs = [
+        BatchJob.from_problem(
+            name,
+            problem,
+            stages=stages,
+            profile=(profiles or {}).get(name),
+            area_time_limit=config.area_time_limit,
+            route_time_limit=config.route_time_limit,
+        )
+        for name, problem in named_problems
+    ]
+    result = BatchMapper(jobs=config.jobs, portfolio=config.portfolio).map_all(jobs)
+    failed = result.failed()
+    if failed:
+        details = "; ".join(f"{rec.name}: {rec.error}" for rec in failed)
+        raise RuntimeError(f"batch sweep failed for {len(failed)} job(s): {details}")
+    return {rec.name: rec for rec in result}
 
 
 @dataclass(frozen=True)

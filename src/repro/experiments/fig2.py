@@ -106,7 +106,13 @@ def run_network(name: str, config: ExperimentConfig) -> Fig2Row:
 
 
 def run_fig2(config: ExperimentConfig) -> ExhibitResult:
-    rows: list[Fig2Row] = [run_network(name, config) for name in NETWORK_NAMES]
+    from functools import partial
+
+    from ..batch.engine import parallel_map
+
+    rows: list[Fig2Row] = parallel_map(
+        partial(run_network, config=config), NETWORK_NAMES, jobs=config.jobs
+    )
     headers = [
         "Net",
         "MCC-homo",

@@ -14,7 +14,9 @@ Two parts, as in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
+from ..batch.engine import parallel_map
 from ..ilp.highs_backend import solve_with_trace
 from ..mapping.axon_sharing import AreaModel
 from ..mapping.greedy import greedy_first_fit
@@ -86,7 +88,11 @@ def run_network(name: str, config: ExperimentConfig) -> Fig3Network:
 
 
 def run_fig3(config: ExperimentConfig) -> ExhibitResult:
-    results = [run_network(name, config) for name in NETWORK_NAMES]
+    # The trace-slice sweep is embarrassingly parallel per network; route
+    # it through the batch layer so --jobs overlaps the re-solve series.
+    results = parallel_map(
+        partial(run_network, config=config), NETWORK_NAMES, jobs=config.jobs
+    )
 
     sections: list[str] = []
     focus = results[0]

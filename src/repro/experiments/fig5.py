@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..mapping.metrics import improvement_pct
 from ..mapping.problem import MappingProblem
-from .common import ExhibitResult, area_optimize, homo_problem, snu_optimize
+from .common import ExhibitResult, batch_pipeline_records, homo_problem
 from .networks import NETWORK_NAMES, paper_network
 from .runner import ExperimentConfig, format_table
 
@@ -35,27 +35,46 @@ class SnuRow:
         return improvement_pct(self.routes_before, self.routes_after)
 
 
+def snu_rows(
+    named_problems: list[tuple[str, MappingProblem]], config: ExperimentConfig
+) -> list[SnuRow]:
+    """Shared Fig. 5 / Fig. 6 protocol: area -> SNU over each instance.
+
+    The whole sweep runs through the batch engine, so ``config.jobs`` and
+    ``config.portfolio`` parallelize and harden it without changing the
+    serial (default) results.
+    """
+    records = batch_pipeline_records(named_problems, config, stages=("area", "snu"))
+    rows: list[SnuRow] = []
+    for name, _ in named_problems:
+        area_stage = records[name].stages["area"]
+        snu_stage = records[name].stages["snu"]
+        assert snu_stage.mapping.area() <= area_stage.mapping.area() + 1e-9
+        rows.append(
+            SnuRow(
+                network=name,
+                area=area_stage.mapping.area(),
+                routes_before=area_stage.mapping.global_routes(),
+                routes_after=snu_stage.mapping.global_routes(),
+                det_time=snu_stage.det_time,
+            )
+        )
+    return rows
+
+
 def snu_over_area_optimal(
     name: str, problem: MappingProblem, config: ExperimentConfig
 ) -> SnuRow:
-    """Shared Fig. 5 / Fig. 6 protocol for one (network, target) pair."""
-    area_opt = area_optimize(problem, config)
-    snu_opt = snu_optimize(problem, area_opt.mapping, config)
-    assert snu_opt.mapping.area() <= area_opt.mapping.area() + 1e-9
-    return SnuRow(
-        network=name,
-        area=area_opt.mapping.area(),
-        routes_before=area_opt.mapping.global_routes(),
-        routes_after=snu_opt.mapping.global_routes(),
-        det_time=snu_opt.det_time,
-    )
+    """One (network, target) pair through the same batched protocol."""
+    return snu_rows([(name, problem)], config)[0]
 
 
 def run_fig5(config: ExperimentConfig) -> ExhibitResult:
-    rows: list[SnuRow] = []
-    for name in NETWORK_NAMES:
-        network = paper_network(name, scale=config.scale)
-        rows.append(snu_over_area_optimal(name, homo_problem(network, config), config))
+    named_problems = [
+        (name, homo_problem(paper_network(name, scale=config.scale), config))
+        for name in NETWORK_NAMES
+    ]
+    rows = snu_rows(named_problems, config)
     table_rows = [
         (
             r.network,

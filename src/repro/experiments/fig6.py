@@ -7,16 +7,17 @@ paper observes 11.9-26.4% global-route reduction at unchanged area.
 from __future__ import annotations
 
 from .common import ExhibitResult, het_problem
-from .fig5 import snu_over_area_optimal
+from .fig5 import snu_rows
 from .networks import NETWORK_NAMES, paper_network
 from .runner import ExperimentConfig, format_table
 
 
 def run_fig6(config: ExperimentConfig) -> ExhibitResult:
-    rows = []
-    for name in NETWORK_NAMES:
-        network = paper_network(name, scale=config.scale)
-        rows.append(snu_over_area_optimal(name, het_problem(network, config), config))
+    named_problems = [
+        (name, het_problem(paper_network(name, scale=config.scale), config))
+        for name in NETWORK_NAMES
+    ]
+    rows = snu_rows(named_problems, config)
     table_rows = [
         (
             r.network,

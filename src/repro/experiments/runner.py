@@ -34,6 +34,8 @@ class ExperimentConfig:
     sim_window: int = 24
     num_samples: int = 400
     encoding: str = "ttfs"  # detector hits are single spikes per pixel
+    jobs: int = 1  # worker processes for multi-network sweeps
+    portfolio: bool = False  # race HiGHS vs B&B per solve
 
     def full_scale(self) -> "ExperimentConfig":
         """Paper-scale variant (hours of solver time)."""
@@ -141,6 +143,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="paper-scale networks and budgets"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for multi-network sweeps (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="race HiGHS against branch-and-bound per ILP solve and keep "
+             "the best (evolution traces always use HiGHS time slicing)",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig()
@@ -155,6 +166,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["area_time_limit"] = args.area_time_limit
     if args.route_time_limit is not None:
         overrides["route_time_limit"] = args.route_time_limit
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.portfolio:
+        overrides["portfolio"] = True
     if overrides:
         config = replace(config, **overrides)
 

@@ -6,7 +6,7 @@ backends: :class:`HighsBackend` (SciPy/HiGHS) and :class:`BnBBackend`
 for the OR-Tools CP-SAT stack used by the paper.
 """
 
-from .bnb_backend import BnBBackend, BnBOptions
+from .bnb_backend import BnBBackend, BnBOptions, BranchAndBoundBackend
 from .dettime import DeterministicClock
 from .diagnostics import IisResult, explain_infeasibility, find_iis
 from .expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
@@ -20,10 +20,13 @@ from .presolve import (
     presolve,
 )
 from .result import Incumbent, SolveResult, SolveStatus
+from .solve import BACKEND_NAMES, SolverSpec, solve_model
 
 __all__ = [
+    "BACKEND_NAMES",
     "BnBBackend",
     "BnBOptions",
+    "BranchAndBoundBackend",
     "Constraint",
     "DeterministicClock",
     "IisResult",
@@ -43,6 +46,8 @@ __all__ = [
     "Sense",
     "SolveResult",
     "SolveStatus",
+    "SolverSpec",
+    "solve_model",
     "Variable",
     "VarType",
     "lin_sum",

@@ -193,10 +193,65 @@ class BnBBackend:
         counter = itertools.count()
         heap: list[_Node] = []
         heapq.heappush(heap, _Node(obj, next(counter), root_lb, root_ub))
-        nodes = 0
-        global_bound = obj
+        # Mutable search state shared with _search so that an interrupt
+        # mid-loop still leaves the true node count and bound readable.
+        state = {"nodes": 0, "bound": obj}
 
+        interrupted = False
+        try:
+            self._search(
+                heap, relax, clock, start, counter, int_mask,
+                lambda: best_obj, record, state,
+            )
+        except KeyboardInterrupt:
+            # Cancellation (pool shutdown / Ctrl-C): stop searching and
+            # report whatever incumbent is in hand instead of raising.
+            interrupted = True
+        nodes = state["nodes"]
+        global_bound = state["bound"]
+
+        # An interrupted search proves nothing: the heap may be transiently
+        # empty (node popped, children not yet pushed), so never conclude
+        # OPTIMAL or INFEASIBLE from it.
+        exhausted = not interrupted and (
+            not heap or heap[0].bound >= best_obj - 1e-9
+        )
+        if best_x is None:
+            final = SolveStatus.INFEASIBLE if exhausted else SolveStatus.NO_SOLUTION
+            result = self._finish(
+                final, None, None, global_bound, clock, start, incumbents, nodes
+            )
+            if interrupted:
+                result.backend = f"{self.name}-interrupted"
+            return result
+        within_gap = (
+            best_obj < np.inf
+            and abs(best_obj - global_bound) / max(abs(best_obj), 1e-9) <= opts.gap_tol
+        )
+        final = (
+            SolveStatus.OPTIMAL
+            if exhausted or (within_gap and not interrupted)
+            else SolveStatus.FEASIBLE
+        )
+        result = self._finish(
+            final, best_x, best_obj, global_bound, clock, start, incumbents,
+            nodes, form, names, keep_values,
+        )
+        if interrupted:
+            # Tag the degradation so portfolios and the batch cache can
+            # tell a cancelled incumbent from a genuine limit-out.
+            result.backend = f"{self.name}-interrupted"
+        return result
+
+    def _search(
+        self, heap, relax, clock, start, counter, int_mask,
+        best_obj_fn, record, state,
+    ) -> None:
+        """Best-first node loop; mutates ``state`` ("nodes", "bound")."""
+        opts = self.options
         while heap:
+            best_obj = best_obj_fn()
+            nodes = state["nodes"]
             if nodes >= opts.max_nodes:
                 break
             if opts.time_limit is not None and time.perf_counter() - start > opts.time_limit:
@@ -205,7 +260,7 @@ class BnBBackend:
                 break
 
             node = heapq.heappop(heap)
-            global_bound = node.bound
+            state["bound"] = node.bound
             if node.bound >= best_obj - 1e-9:
                 break  # best-first: nothing left can improve
             if best_obj < np.inf:
@@ -214,6 +269,7 @@ class BnBBackend:
                     break
 
             nodes += 1
+            state["nodes"] = nodes
             clock.charge_node()
             status, obj, x, nit = relax.solve(node.lb, node.ub)
             clock.charge_lp(nit, relax.nnz)
@@ -224,7 +280,7 @@ class BnBBackend:
             if frac.size == 0 or frac.max() <= INT_TOL:
                 snapped = x.copy()
                 snapped[int_mask] = np.round(snapped[int_mask])
-                record(snapped, float(form.c @ snapped))
+                record(snapped, float(relax.form.c @ snapped))
                 continue
 
             if nodes % opts.heuristic_period == 1:
@@ -240,24 +296,6 @@ class BnBBackend:
                 heapq.heappush(heap, _Node(obj, next(counter), node.lb, down_ub))
             if up_lb[branch_var] <= node.ub[branch_var]:
                 heapq.heappush(heap, _Node(obj, next(counter), up_lb, node.ub))
-
-        exhausted = not heap or (heap and heap[0].bound >= best_obj - 1e-9)
-        if best_x is None:
-            final = SolveStatus.NO_SOLUTION if not exhausted else SolveStatus.INFEASIBLE
-            return self._finish(
-                final, None, None, global_bound, clock, start, incumbents, nodes
-            )
-        within_gap = (
-            best_obj < np.inf
-            and abs(best_obj - global_bound) / max(abs(best_obj), 1e-9) <= opts.gap_tol
-        )
-        final = (
-            SolveStatus.OPTIMAL if exhausted or within_gap else SolveStatus.FEASIBLE
-        )
-        return self._finish(
-            final, best_x, best_obj, global_bound, clock, start, incumbents,
-            nodes, form, names, keep_values,
-        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -312,3 +350,7 @@ class BnBBackend:
             node_count=nodes,
             backend=self.name,
         )
+
+
+#: Descriptive alias used by the solver-portfolio layer.
+BranchAndBoundBackend = BnBBackend

@@ -1,0 +1,103 @@
+"""Process-safe solve entry points.
+
+The batch engine runs solves inside worker processes, which needs two
+things the backend classes alone don't give it:
+
+1. a *picklable* description of "which solver, with which limits" that can
+   cross a process boundary cheaply — :class:`SolverSpec`;
+2. a *cancellation-safe* module-level entry — :func:`solve_model` — that
+   turns a ``KeyboardInterrupt`` (pool shutdown, Ctrl-C) into a best-effort
+   result instead of a poisoned worker.
+
+Both backends' option objects are plain frozen dataclasses and every
+:class:`~repro.ilp.result.SolveResult` contains only plain data, so the
+full request/response cycle pickles without custom reducers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .bnb_backend import BnBBackend, BnBOptions
+from .highs_backend import HighsBackend, HighsOptions
+from .model import Model
+from .result import Incumbent, SolveResult, SolveStatus
+
+#: Names accepted by :attr:`SolverSpec.backend`.
+BACKEND_NAMES = ("highs", "bnb")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A picklable (backend, limits) pair.
+
+    ``build()`` instantiates the concrete backend; the spec itself is what
+    travels between processes.  Fields that a backend does not understand
+    are simply ignored by it (e.g. ``det_limit`` for HiGHS).
+    """
+
+    backend: str = "highs"
+    time_limit: float | None = None  # wall seconds
+    mip_rel_gap: float | None = None  # relative-gap stop
+    node_limit: int | None = None  # branch-and-bound node cap
+    det_limit: float | None = None  # deterministic work cap (bnb only)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKEND_NAMES}"
+            )
+
+    def with_time_limit(self, time_limit: float | None) -> "SolverSpec":
+        return replace(self, time_limit=time_limit)
+
+    def build(self):
+        """Instantiate the backend this spec describes."""
+        if self.backend == "highs":
+            return HighsBackend(
+                HighsOptions(
+                    time_limit=self.time_limit,
+                    mip_rel_gap=self.mip_rel_gap,
+                    node_limit=self.node_limit,
+                )
+            )
+        options = BnBOptions(
+            max_nodes=self.node_limit if self.node_limit is not None else 100_000,
+            time_limit=self.time_limit,
+            det_limit=self.det_limit,
+            gap_tol=self.mip_rel_gap if self.mip_rel_gap is not None else 1e-6,
+        )
+        return BnBBackend(options)
+
+
+def solve_model(
+    model: Model,
+    spec: SolverSpec,
+    warm_start: dict[str, float] | None = None,
+    keep_values: bool = True,
+) -> SolveResult:
+    """Solve ``model`` per ``spec``; never lets an interrupt escape empty.
+
+    A ``KeyboardInterrupt`` mid-solve (the way process pools tear workers
+    down) degrades to the warm start when one was supplied — the same
+    fall-back contract :class:`HighsBackend` applies at its time limit —
+    instead of propagating and poisoning the whole batch.
+    """
+    backend = spec.build()
+    try:
+        return backend.solve(model, warm_start=warm_start, keep_values=keep_values)
+    except KeyboardInterrupt:
+        if warm_start is None:
+            return SolveResult(
+                status=SolveStatus.NO_SOLUTION,
+                backend=f"{spec.backend}-interrupted",
+            )
+        objective = model.objective_of(warm_start)
+        values = dict(warm_start) if keep_values else None
+        return SolveResult(
+            status=SolveStatus.FEASIBLE,
+            objective=objective,
+            values=values,
+            incumbents=[Incumbent(objective, 0.0, 0.0, values)],
+            backend=f"{spec.backend}-interrupted",
+        )

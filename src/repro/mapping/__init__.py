@@ -37,7 +37,13 @@ from .precision import (
     validate_sliced,
 )
 from .pgo import SpikeProfile, build_pgo_model, expected_global_packets
-from .pipeline import MappingPipeline, PipelineResult, StageRecord
+from .fingerprint import (
+    architecture_fingerprint,
+    network_fingerprint,
+    options_fingerprint,
+    problem_fingerprint,
+)
+from .pipeline import MappingPipeline, PipelineResult, SolverFactory, StageRecord
 from .problem import MappingProblem
 from .snu import RouteModel, RouteModelOptions, RouteObjective, build_snu_model
 from .solution import Mapping
@@ -75,7 +81,12 @@ __all__ = [
     "SpikeHardPacker",
     "SpikeHardResult",
     "SpikeProfile",
+    "SolverFactory",
     "StageRecord",
+    "architecture_fingerprint",
+    "network_fingerprint",
+    "options_fingerprint",
+    "problem_fingerprint",
     "build_area_model",
     "build_pgo_model",
     "build_snu_model",

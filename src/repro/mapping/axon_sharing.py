@@ -46,6 +46,12 @@ class FormulationOptions:
     include_upper_link: bool = True  # constraint 5
     order_enabled_slots: bool = True  # y_j >= y_{j+1} within identical groups
 
+    def fingerprint(self) -> str:
+        """Process-stable content fingerprint of these options."""
+        from .fingerprint import options_fingerprint
+
+        return options_fingerprint(self)
+
 
 def x_name(i: int, j: int) -> str:
     return f"x_{i}_{j}"

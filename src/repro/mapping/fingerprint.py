@@ -1,0 +1,95 @@
+"""Deterministic content fingerprints for mapping inputs.
+
+The batch engine caches solved instances and deduplicates sweeps by a
+*problem fingerprint*: a SHA-256 digest of the network structure, the
+crossbar pool and the formulation options.  The digests are content-based
+and stable across process boundaries and interpreter runs — they are built
+from canonically ordered plain-data payloads serialized with ``json`` and
+hashed with :mod:`hashlib`, never with Python's per-process-salted
+``hash()``.
+
+Display names (``Network.name``, ``Architecture.name``) are deliberately
+excluded: two structurally identical instances map identically, so they
+must share a fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload (canonical form)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def combine(*parts: str) -> str:
+    """Fold several fingerprints into one (order-sensitive)."""
+    return digest(list(parts))
+
+
+def network_payload(network) -> dict:
+    """Canonical plain-data view of a network's mapped structure."""
+    return {
+        "kind": "network",
+        "neurons": [
+            [n.id, n.threshold, n.leak, bool(n.is_input), bool(n.is_output)]
+            for n in network.neurons()
+        ],
+        "synapses": [
+            [s.pre, s.post, s.weight, s.delay] for s in network.synapses()
+        ],
+    }
+
+
+def network_fingerprint(network) -> str:
+    """Content fingerprint of a :class:`~repro.snn.network.Network`."""
+    return digest(network_payload(network))
+
+
+def architecture_payload(architecture) -> dict:
+    """Canonical plain-data view of a crossbar pool."""
+    return {
+        "kind": "architecture",
+        "slots": [
+            [slot.ctype.inputs, slot.ctype.outputs, slot.ctype.overhead]
+            for slot in architecture.slots
+        ],
+    }
+
+
+def architecture_fingerprint(architecture) -> str:
+    """Content fingerprint of a :class:`~repro.mca.architecture.Architecture`."""
+    return digest(architecture_payload(architecture))
+
+
+def options_fingerprint(options) -> str:
+    """Fingerprint of a (frozen dataclass) options object, field by field."""
+    if not dataclasses.is_dataclass(options):
+        raise TypeError(f"expected a dataclass of options, got {type(options)}")
+    return digest(
+        {
+            "kind": type(options).__name__,
+            "fields": dataclasses.asdict(options),
+        }
+    )
+
+
+def problem_fingerprint(problem, options=None) -> str:
+    """Fingerprint of one (network, architecture[, formulation]) instance.
+
+    ``options`` is any frozen dataclass of formulation options; ``None``
+    hashes as its own distinct token, so "default options" and "no options"
+    are different keys only when callers make them so.
+    """
+    parts = [
+        network_fingerprint(problem.network),
+        architecture_fingerprint(problem.architecture),
+    ]
+    if options is not None:
+        parts.append(options_fingerprint(options))
+    return combine(*parts)

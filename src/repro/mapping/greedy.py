@@ -13,6 +13,7 @@ slot — when needed — is chosen to minimize the area increment.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Iterable
 
@@ -45,7 +46,9 @@ def _bfs_order(problem: MappingProblem) -> list[int]:
     return order
 
 
-def _neuron_order(problem: MappingProblem, strategy: str) -> list[int]:
+def _neuron_order(
+    problem: MappingProblem, strategy: str, seed: int | None = None
+) -> list[int]:
     net = problem.network
     if strategy == "bfs":
         return _bfs_order(problem)
@@ -53,6 +56,10 @@ def _neuron_order(problem: MappingProblem, strategy: str) -> list[int]:
         return sorted(net.neuron_ids(), key=lambda i: -net.fan_in(i))
     if strategy == "id":
         return net.neuron_ids()
+    if strategy == "random":
+        order = net.neuron_ids()
+        random.Random(seed).shuffle(order)
+        return order
     raise ValueError(f"unknown ordering strategy {strategy!r}")
 
 
@@ -80,19 +87,21 @@ class _OpenSlot:
 
 
 def greedy_first_fit(
-    problem: MappingProblem, order: str = "bfs"
+    problem: MappingProblem, order: str = "bfs", seed: int | None = None
 ) -> Mapping:
     """First-fit-decreasing greedy placement.
 
-    Raises ``RuntimeError`` when the pool runs out of fitting slots (grow
-    the architecture's slack in that case).
+    ``order`` picks the visiting strategy (``bfs``, ``fan_in``, ``id``, or
+    ``random`` — the latter shuffled by ``seed`` for reproducible warm-start
+    diversity).  Raises ``RuntimeError`` when the pool runs out of fitting
+    slots (grow the architecture's slack in that case).
     """
     arch = problem.architecture
     open_slots: list[_OpenSlot] = []
     used_indices: set[int] = set()
     assignment: dict[int, int] = {}
 
-    for neuron in _neuron_order(problem, order):
+    for neuron in _neuron_order(problem, order, seed):
         preds = problem.preds(neuron)
         placed = False
         for slot in open_slots:

@@ -17,7 +17,7 @@ stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping as MappingT
+from typing import Callable, Mapping as MappingT, Protocol
 
 from ..ilp.highs_backend import HighsBackend, HighsOptions
 from ..ilp.result import SolveResult
@@ -30,6 +30,23 @@ from .snu import RouteObjective, build_snu_model
 from .solution import Mapping
 
 STAGES = ("area", "snu", "pgo")
+
+
+class SolverBackend(Protocol):
+    """Anything that can solve a lowered model (HiGHS, B&B, a portfolio)."""
+
+    def solve(
+        self,
+        model,
+        warm_start: dict[str, float] | None = None,
+        keep_values: bool = True,
+    ) -> SolveResult: ...
+
+
+#: Maps a per-stage wall-time budget to a backend instance.  The default
+#: factory builds a :class:`HighsBackend`; the batch engine substitutes a
+#: solver-portfolio factory here.
+SolverFactory = Callable[[float | None], SolverBackend]
 
 
 @dataclass
@@ -62,7 +79,12 @@ class PipelineResult:
 
 
 class MappingPipeline:
-    """area -> snu -> pgo with per-stage HiGHS budgets."""
+    """area -> snu -> pgo with per-stage solver budgets.
+
+    ``solver`` swaps the per-stage backend: it receives the stage's wall
+    budget and returns any :class:`SolverBackend` (the default is plain
+    HiGHS; the batch engine injects a racing portfolio here).
+    """
 
     def __init__(
         self,
@@ -70,11 +92,15 @@ class MappingPipeline:
         area_time_limit: float | None = 30.0,
         route_time_limit: float | None = 30.0,
         formulation: FormulationOptions | None = None,
+        solver: SolverFactory | None = None,
     ) -> None:
         self.problem = problem
         self.area_time_limit = area_time_limit
         self.route_time_limit = route_time_limit
         self.formulation = formulation or FormulationOptions()
+        self.solver: SolverFactory = solver or (
+            lambda limit: HighsBackend(HighsOptions(time_limit=limit))
+        )
 
     def run(
         self,
@@ -128,13 +154,13 @@ class MappingPipeline:
 
     def _run_area(self, warm: Mapping) -> tuple[Mapping, SolveResult]:
         handle = AreaModel(self.problem, self.formulation)
-        backend = HighsBackend(HighsOptions(time_limit=self.area_time_limit))
+        backend = self.solver(self.area_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(warm))
         return handle.extract_mapping(solve), solve
 
     def _run_snu(self, base: Mapping) -> tuple[Mapping, SolveResult]:
         handle = build_snu_model(self.problem, base, RouteObjective.GLOBAL)
-        backend = HighsBackend(HighsOptions(time_limit=self.route_time_limit))
+        backend = self.solver(self.route_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
         mapping = handle.extract_mapping(solve)
         # The SNU stage must never regress area (paper Figs. 5/6 premise).
@@ -145,7 +171,7 @@ class MappingPipeline:
         self, base: Mapping, profile: SpikeProfile | MappingT[int, int]
     ) -> tuple[Mapping, SolveResult]:
         handle = build_pgo_model(self.problem, base, profile)
-        backend = HighsBackend(HighsOptions(time_limit=self.route_time_limit))
+        backend = self.solver(self.route_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
         mapping = handle.extract_mapping(solve)
         assert mapping.area() <= base.area() + 1e-9

@@ -84,6 +84,17 @@ class MappingProblem:
         """All (k, i) pairs with a synapse k -> i, deterministic order."""
         return [(s.pre, s.post) for s in self.network.synapses()]
 
+    def fingerprint(self, options=None) -> str:
+        """Deterministic content fingerprint of this instance.
+
+        Stable across processes and runs (see :mod:`repro.mapping.
+        fingerprint`); changes whenever the network structure, the crossbar
+        pool, or the supplied formulation ``options`` change.
+        """
+        from .fingerprint import problem_fingerprint
+
+        return problem_fingerprint(self, options)
+
     def axon_demand(self, neurons: frozenset[int] | set[int]) -> int:
         """Distinct axonal inputs required to host ``neurons`` together.
 

@@ -40,16 +40,36 @@ class MeshNoC:
         return abs(a.x - b.x) + abs(a.y - b.y)
 
     def route(self, src: int, dst: int) -> list[int]:
-        """Tile sequence of the XY route (inclusive of both endpoints)."""
+        """Tile sequence of the XY route (inclusive of both endpoints).
+
+        Dimension-ordered (x-first) routing, except when the source sits in
+        a ragged last row and the x leg would pass through tiles that don't
+        exist — there the route goes y-first through the (always complete)
+        column instead.  Either order has the same Manhattan length, so
+        :meth:`hops` stays exact.
+        """
         a, b = self.position(src), self.position(dst)
         path = [src]
         x, y = a.x, a.y
-        while x != b.x:
-            x += 1 if b.x > x else -1
-            path.append(y * self.width + x)
-        while y != b.y:
-            y += 1 if b.y > y else -1
-            path.append(y * self.width + x)
+
+        def move_x() -> None:
+            nonlocal x
+            while x != b.x:
+                x += 1 if b.x > x else -1
+                path.append(y * self.width + x)
+
+        def move_y() -> None:
+            nonlocal y
+            while y != b.y:
+                y += 1 if b.y > y else -1
+                path.append(y * self.width + x)
+
+        if a.y * self.width + max(a.x, b.x) < self.num_tiles:
+            move_x()
+            move_y()
+        else:
+            move_y()
+            move_x()
         return path
 
 

@@ -1,0 +1,140 @@
+"""Result-cache semantics: identical hits, disk tier, invalidation keys."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.cache import CACHE_FORMAT, ResultCache
+from repro.batch.engine import BatchJob, BatchMapper
+
+pytestmark = pytest.mark.batch
+
+
+class TestCacheHits:
+    def test_hit_returns_identical_mapping(self, batch_jobs):
+        cache = ResultCache()
+        mapper = BatchMapper(jobs=1, cache=cache)
+        first = mapper.map_all(batch_jobs)
+        second = mapper.map_all(batch_jobs)
+        assert all(not r.from_cache for r in first)
+        assert all(r.from_cache for r in second)
+        for fresh, cached in zip(first, second):
+            for stage_name, stage in fresh.stages.items():
+                hit = cached.stages[stage_name]
+                assert hit.mapping.assignment == stage.mapping.assignment
+                assert hit.metrics == stage.metrics
+                assert hit.det_time == stage.det_time
+                assert hit.mapping.is_valid()
+        assert cache.stats.hits == len(batch_jobs)
+        assert cache.stats.misses == len(batch_jobs)
+
+    def test_failed_jobs_are_not_cached(self, batch_jobs):
+        from repro.mca.architecture import custom_architecture
+        from repro.mca.crossbar import CrossbarType
+        from repro.snn.generators import random_network
+
+        hub = random_network(8, 20, seed=9, max_fan_in=6, name="hub")
+        bad = BatchJob(
+            name="bad",
+            network=hub,
+            architecture=custom_architecture([(CrossbarType(4, 4), 8)]),
+            stages=("area",),
+        )
+        cache = ResultCache()
+        mapper = BatchMapper(jobs=1, cache=cache)
+        mapper.map_all([bad])
+        rerun = mapper.map_all([bad]).records[0]
+        assert not rerun.from_cache
+        assert cache.stats.stores == 0
+
+    def test_portfolio_mode_keys_separately(self, batch_jobs):
+        job = batch_jobs[0]
+        assert job.fingerprint(portfolio=False) != job.fingerprint(portfolio=True)
+        cache = ResultCache()
+        BatchMapper(jobs=1, cache=cache).map_all([job])
+        record = BatchMapper(jobs=1, portfolio=True, cache=cache).map_all([job])
+        assert not record.records[0].from_cache
+
+    def test_budgets_do_not_change_the_key(self, batch_jobs):
+        job = batch_jobs[0]
+        cheap = BatchJob(
+            job.name, job.network, job.architecture, stages=job.stages,
+            area_time_limit=0.5, route_time_limit=0.5,
+        )
+        assert cheap.fingerprint() == job.fingerprint()
+
+    def test_limit_bound_entry_is_resolved_under_a_bigger_budget(self, batch_jobs):
+        """A cached non-optimal (budget-starved) answer must not pin quality."""
+        job = batch_jobs[0]
+        starved = BatchJob(
+            job.name, job.network, job.architecture, stages=("area",),
+            area_time_limit=1e-4,  # HiGHS limits out -> warm-start fallback
+        )
+        cache = ResultCache()
+        first = BatchMapper(jobs=1, cache=cache).map_all([starved]).records[0]
+        assert first.stages["area"].solve_result.status.value == "feasible"
+
+        generous = BatchJob(
+            job.name, job.network, job.architecture, stages=("area",),
+            area_time_limit=10.0,
+        )
+        rerun = BatchMapper(jobs=1, cache=cache).map_all([generous]).records[0]
+        assert not rerun.from_cache  # bigger budget -> real re-solve
+        assert (
+            rerun.stages["area"].mapping.area()
+            <= first.stages["area"].mapping.area() + 1e-9
+        )
+
+        # The optimal re-solve replaces the entry and is budget-independent.
+        small_again = BatchMapper(jobs=1, cache=cache).map_all([starved]).records[0]
+        assert small_again.from_cache
+
+
+class TestDiskTier:
+    def test_survives_across_cache_instances(self, batch_jobs, tmp_path):
+        first = BatchMapper(
+            jobs=1, cache=ResultCache(tmp_path / "cache")
+        ).map_all(batch_jobs)
+        reloaded = ResultCache(tmp_path / "cache")
+        assert len(reloaded) == len(batch_jobs)
+        second = BatchMapper(jobs=1, cache=reloaded).map_all(batch_jobs)
+        assert all(r.from_cache for r in second)
+        for fresh, cached in zip(first, second):
+            assert (
+                cached.final().mapping.assignment
+                == fresh.final().mapping.assignment
+            )
+
+    def test_corrupt_entries_degrade_to_misses(self, batch_jobs, tmp_path):
+        cache_dir = tmp_path / "cache"
+        BatchMapper(jobs=1, cache=ResultCache(cache_dir)).map_all(batch_jobs[:1])
+        (entry,) = cache_dir.glob("*.json")
+        entry.write_text("{ not json")
+        record = (
+            BatchMapper(jobs=1, cache=ResultCache(cache_dir))
+            .map_all(batch_jobs[:1])
+            .records[0]
+        )
+        assert record.ok and not record.from_cache
+
+    def test_stale_format_entries_are_ignored(self, batch_jobs, tmp_path):
+        cache_dir = tmp_path / "cache"
+        BatchMapper(jobs=1, cache=ResultCache(cache_dir)).map_all(batch_jobs[:1])
+        (entry,) = cache_dir.glob("*.json")
+        payload = json.loads(entry.read_text())
+        payload["format"] = CACHE_FORMAT + 1
+        entry.write_text(json.dumps(payload))
+        cache = ResultCache(cache_dir)
+        assert cache.get(payload["key"]) is None
+
+    def test_contains_and_clear(self, batch_jobs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        mapper = BatchMapper(jobs=1, cache=cache)
+        mapper.map_all(batch_jobs[:1])
+        key = batch_jobs[0].fingerprint()
+        assert key in cache
+        cache.clear()
+        assert key not in cache
+        assert len(cache) == 0

@@ -1,0 +1,167 @@
+"""Solver-portfolio semantics: winner selection, determinism, racing."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.batch.portfolio import (
+    PortfolioOptions,
+    PortfolioSolver,
+    portfolio_solver_factory,
+)
+from repro.ilp.model import Model
+from repro.ilp.result import SolveStatus
+from repro.ilp.solve import SolverSpec
+from repro.ilp.expr import lin_sum
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+pytestmark = pytest.mark.batch
+
+
+def _area_instance():
+    net = random_network(10, 20, seed=18, max_fan_in=5)
+    arch = custom_architecture([(CrossbarType(4, 4), 4), (CrossbarType(8, 8), 2)])
+    problem = MappingProblem(net, arch)
+    handle = AreaModel(problem)
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    return handle, warm
+
+
+class TestWinnerSelection:
+    def test_picks_the_better_incumbent(self):
+        """A crippled B&B (0 nodes = warm start only) must lose to HiGHS."""
+        handle, warm = _area_instance()
+        crippled = PortfolioSolver(
+            PortfolioOptions(
+                specs=(
+                    SolverSpec("bnb", node_limit=0),
+                    SolverSpec("highs", time_limit=5.0),
+                ),
+                stop_on_optimal=False,
+            )
+        )
+        result = crippled.solve(handle.model, warm_start=warm)
+        alone = SolverSpec("highs", time_limit=5.0).build().solve(
+            handle.model, warm_start=warm
+        )
+        assert result.objective == pytest.approx(alone.objective)
+        assert "highs" in result.backend
+        assert result.backend.startswith("portfolio[")
+
+    def test_det_time_charges_every_member(self):
+        handle, warm = _area_instance()
+        solver = PortfolioSolver(
+            PortfolioOptions(
+                specs=(
+                    SolverSpec("highs", time_limit=5.0),
+                    SolverSpec("bnb", node_limit=50),
+                ),
+                stop_on_optimal=False,
+            )
+        )
+        result = solver.solve(handle.model, warm_start=warm)
+        alone = SolverSpec("highs", time_limit=5.0).build().solve(
+            handle.model, warm_start=warm
+        )
+        assert result.det_time > alone.det_time
+
+    def test_stop_on_optimal_skips_remaining_members(self):
+        handle, warm = _area_instance()
+        solver = PortfolioSolver(
+            PortfolioOptions(
+                specs=(
+                    SolverSpec("highs", time_limit=5.0),
+                    SolverSpec("bnb", node_limit=50),
+                ),
+                stop_on_optimal=True,
+            )
+        )
+        result = solver.solve(handle.model, warm_start=warm)
+        alone = SolverSpec("highs", time_limit=5.0).build().solve(
+            handle.model, warm_start=warm
+        )
+        if alone.status is SolveStatus.OPTIMAL:
+            # B&B never ran, so no extra deterministic effort was charged.
+            assert result.det_time == pytest.approx(alone.det_time)
+
+    def test_sequential_solve_is_deterministic(self):
+        handle, warm = _area_instance()
+        factory = portfolio_solver_factory()
+        first = factory(5.0).solve(handle.model, warm_start=warm)
+        second = factory(5.0).solve(handle.model, warm_start=warm)
+        assert first.objective == pytest.approx(second.objective)
+        assert first.backend == second.backend
+
+    def test_maximize_models_pick_the_larger_objective(self):
+        """Winner selection must honor the objective sense."""
+        model = Model("maximize")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(lin_sum([x, y]) <= 2, name="cap")
+        model.maximize(lin_sum([x, y]))
+        warm = {"x": 1.0, "y": 0.0}  # objective 1; the optimum is 2
+        solver = PortfolioSolver(
+            PortfolioOptions(
+                specs=(
+                    SolverSpec("bnb", node_limit=0),  # stuck at the warm start
+                    SolverSpec("highs", time_limit=5.0),
+                ),
+                stop_on_optimal=False,
+            )
+        )
+        result = solver.solve(model, warm_start=warm)
+        assert result.objective == pytest.approx(2.0)
+        assert "highs" in result.backend
+
+    def test_infeasible_model_reports_conclusively(self):
+        model = Model("infeasible")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(lin_sum([x, y]) >= 3, name="impossible")
+        model.minimize(lin_sum([x, y]))
+        result = PortfolioSolver().solve(model)
+        assert result.status is SolveStatus.INFEASIBLE
+
+
+class TestThreadRace:
+    def test_threads_mode_matches_sequential_winner(self):
+        handle, warm = _area_instance()
+        sequential = PortfolioSolver(
+            PortfolioOptions(stop_on_optimal=False)
+        ).solve(handle.model, warm_start=warm)
+        threaded = PortfolioSolver(
+            PortfolioOptions(race="threads")
+        ).solve(handle.model, warm_start=warm)
+        assert threaded.objective == pytest.approx(sequential.objective)
+        assert threaded.status.has_solution()
+
+
+class TestOptionsValidation:
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PortfolioOptions(specs=())
+
+    def test_unknown_race_mode_rejected(self):
+        with pytest.raises(ValueError, match="race mode"):
+            PortfolioOptions(race="carrier-pigeon")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SolverSpec("cplex")
+
+    def test_specs_and_results_pickle(self):
+        """The pool ships specs out and results back; both must pickle."""
+        handle, warm = _area_instance()
+        spec = SolverSpec("highs", time_limit=5.0)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        result = spec.build().solve(handle.model, warm_start=warm)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.objective == result.objective
+        assert clone.status is result.status

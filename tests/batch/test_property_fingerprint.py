@@ -1,0 +1,136 @@
+"""Property-based invariants of the problem fingerprint.
+
+The cache key must be *stable* — identical content fingerprints the same
+across rebuilds, pickling and process boundaries — and *sensitive* — any
+change to the network, the pool, or the formulation options changes it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.axon_sharing import FormulationOptions
+from repro.mapping.fingerprint import (
+    architecture_fingerprint,
+    network_fingerprint,
+    options_fingerprint,
+)
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+from repro.snn.io import network_from_dict, network_to_dict
+
+pytestmark = pytest.mark.batch
+
+
+@st.composite
+def fingerprint_instance(draw):
+    n = draw(st.integers(6, 14))
+    m = min(int(n * draw(st.floats(0.8, 2.0))), n * 4)
+    seed = draw(st.integers(0, 10_000))
+    net = random_network(n, m, seed=seed, max_fan_in=4)
+    pool = draw(
+        st.sampled_from(
+            [
+                [(CrossbarType(4, 4), n), (CrossbarType(8, 8), (n + 7) // 8)],
+                [(CrossbarType(8, 4), n // 2 + 2), (CrossbarType(8, 8), n // 2 + 2)],
+                [(CrossbarType(16, 16), (n + 3) // 4)],
+            ]
+        )
+    )
+    options = FormulationOptions(
+        symmetry_breaking=draw(st.booleans()),
+        disaggregate_sharing=draw(st.booleans()),
+    )
+    return net, custom_architecture(pool), options
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=fingerprint_instance())
+def test_fingerprint_survives_serialization_roundtrip(instance):
+    """JSON- and pickle-rebuilt copies fingerprint identically."""
+    net, arch, options = instance
+    problem = MappingProblem(net, arch)
+    original = problem.fingerprint(options)
+
+    json_clone = network_from_dict(network_to_dict(net))
+    assert MappingProblem(json_clone, arch).fingerprint(options) == original
+
+    pickled = pickle.loads(pickle.dumps(problem))
+    assert pickled.fingerprint(options) == original
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=fingerprint_instance())
+def test_fingerprint_ignores_display_names(instance):
+    net, arch, options = instance
+    renamed = net.copy(name="something-else")
+    assert network_fingerprint(renamed) == network_fingerprint(net)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=fingerprint_instance(), delta=st.floats(0.25, 2.0))
+def test_fingerprint_changes_when_network_changes(instance, delta):
+    net, arch, options = instance
+    fp = network_fingerprint(net)
+
+    # Changing any synapse weight changes the fingerprint.
+    syn = next(iter(net.synapses()))
+    reweighted = net.copy()
+    reweighted.replace_synapse(replace(syn, weight=syn.weight + delta))
+    assert network_fingerprint(reweighted) != fp
+
+    # Removing a synapse changes it too.
+    trimmed = net.copy()
+    trimmed.remove_synapse(syn.pre, syn.post)
+    assert network_fingerprint(trimmed) != fp
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=fingerprint_instance(), extra=st.integers(1, 4))
+def test_fingerprint_changes_when_pool_changes(instance, extra):
+    net, arch, options = instance
+    fp = architecture_fingerprint(arch)
+    grown = custom_architecture(
+        [(slot.ctype, 1) for slot in arch.slots] + [(CrossbarType(4, 4), extra)]
+    )
+    assert architecture_fingerprint(grown) != fp
+
+
+@settings(max_examples=10, deadline=None)
+@given(instance=fingerprint_instance())
+def test_fingerprint_changes_when_options_change(instance):
+    net, arch, options = instance
+    problem = MappingProblem(net, arch)
+    flipped = replace(options, symmetry_breaking=not options.symmetry_breaking)
+    assert problem.fingerprint(options) != problem.fingerprint(flipped)
+    assert options_fingerprint(options) != options_fingerprint(flipped)
+    # And "no options" is its own key.
+    assert problem.fingerprint(None) != problem.fingerprint(options)
+
+
+def _fingerprints_in_child(problems):
+    """Module-level worker: fingerprint each problem in a fresh process."""
+    return [problem.fingerprint(options) for problem, options in problems]
+
+
+def test_fingerprint_stable_across_process_boundaries():
+    """The cache key computed in a worker equals the parent's."""
+    problems = []
+    for seed in (1, 7, 42):
+        net = random_network(10, 20, seed=seed, max_fan_in=4)
+        arch = custom_architecture([(CrossbarType(8, 8), 4)])
+        problems.append(
+            (MappingProblem(net, arch), FormulationOptions(symmetry_breaking=bool(seed % 2)))
+        )
+    parent = [problem.fingerprint(options) for problem, options in problems]
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        child = pool.submit(_fingerprints_in_child, problems).result(timeout=60)
+    assert child == parent
+    assert len(set(parent)) == len(parent)  # distinct instances, distinct keys

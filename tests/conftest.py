@@ -1,9 +1,20 @@
-"""Shared fixtures: small deterministic networks and architectures."""
+"""Shared fixtures: small deterministic networks and architectures.
+
+Marker conventions (registered in pytest.ini):
+
+- ``slow`` — long-budget, multi-process or exhibit-scale tests.  The
+  default run deselects them (``addopts = -m "not slow"``), so pooled and
+  portfolio behavior is covered by the tight-budget variants below and the
+  heavyweight versions opt in via ``pytest -m slow``.
+- ``batch`` — tests that exercise the :mod:`repro.batch` engine (useful
+  for ``pytest -m batch``).
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.batch.engine import BatchJob
 from repro.mapping.problem import MappingProblem
 from repro.mca.architecture import (
     custom_architecture,
@@ -66,3 +77,32 @@ def tiny_het_problem(small_random_network) -> MappingProblem:
 def two_slot_arch():
     """Two 4x4 crossbars — enough for the hand-checkable examples."""
     return custom_architecture([(CrossbarType(4, 4), 2)], name="two-4x4")
+
+
+# ----------------------------------------------------------------------
+# Batch-engine fixtures: tiny instances with tight solver budgets, so the
+# default (non-slow) run still exercises pools and portfolios in seconds.
+# ----------------------------------------------------------------------
+
+#: Per-stage solver budget used by default-run batch tests.
+TIGHT_BUDGET = 2.0
+
+
+@pytest.fixture
+def batch_jobs() -> list[BatchJob]:
+    """Four small independent area+SNU jobs with tight budgets."""
+    jobs = []
+    for i in range(4):
+        net = random_network(12, 24, seed=200 + i, max_fan_in=6, name=f"job{i}")
+        arch = homogeneous_architecture(net.num_neurons, dimension=8)
+        jobs.append(
+            BatchJob(
+                name=f"job{i}",
+                network=net,
+                architecture=arch,
+                stages=("area", "snu"),
+                area_time_limit=TIGHT_BUDGET,
+                route_time_limit=TIGHT_BUDGET,
+            )
+        )
+    return jobs

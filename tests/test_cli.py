@@ -37,6 +37,45 @@ class TestInspect:
         assert "depth (synapses)" in out
 
 
+class TestBatch:
+    def test_batch_maps_many_networks(self, tmp_path, capsys):
+        paths = []
+        for i in range(2):
+            net = random_network(10, 20, seed=70 + i, max_fan_in=5, name=f"b{i}")
+            path = tmp_path / f"b{i}.json"
+            save_network(net, path)
+            paths.append(str(path))
+        out_dir = tmp_path / "maps"
+        code = main(
+            ["batch", *paths, "--homogeneous", "--dimension", "8",
+             "--time-limit", "3", "-o", str(out_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b0" in out and "b1" in out
+        assert sorted(p.name for p in out_dir.glob("*.json")) == [
+            "b0.mapping.json", "b1.mapping.json",
+        ]
+
+    def test_batch_deduplicates_same_basename_inputs(self, tmp_path, capsys):
+        """net.json from two directories must not collide."""
+        paths = []
+        for sub in ("a", "b"):
+            net = random_network(10, 20, seed=71, max_fan_in=5, name=sub)
+            (tmp_path / sub).mkdir()
+            path = tmp_path / sub / "net.json"
+            save_network(net, path)
+            paths.append(str(path))
+        code = main(
+            ["batch", *paths, "--homogeneous", "--dimension", "8",
+             "--time-limit", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "net " in out or "net\t" in out or "net  " in out
+        assert "net-2" in out
+
+
 class TestMapAndSimulate:
     def test_map_writes_valid_mapping(self, network_file, tmp_path, capsys):
         out_path = tmp_path / "mapping.json"

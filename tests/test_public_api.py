@@ -13,6 +13,32 @@ class TestQuickMap:
         assert mapping.is_valid()
         assert mapping.problem.network is network
 
+    def test_seed_controls_the_warm_start_reproducibly(self):
+        network = random_network(20, 40, seed=3, max_fan_in=6)
+        first = repro.quick_map(network, heterogeneous=False, time_limit=5.0, seed=11)
+        again = repro.quick_map(network, heterogeneous=False, time_limit=5.0, seed=11)
+        assert first.is_valid()
+        assert first.assignment == again.assignment
+
+    def test_bnb_backend_choice(self):
+        network = random_network(12, 24, seed=3, max_fan_in=4)
+        mapping = repro.quick_map(
+            network, heterogeneous=False, time_limit=5.0, backend="bnb"
+        )
+        assert mapping.is_valid()
+
+    def test_portfolio_backend_choice(self):
+        network = random_network(12, 24, seed=3, max_fan_in=4)
+        mapping = repro.quick_map(
+            network, heterogeneous=False, time_limit=5.0, backend="portfolio"
+        )
+        assert mapping.is_valid()
+
+    def test_unknown_backend_rejected(self):
+        network = random_network(12, 24, seed=3, max_fan_in=4)
+        with pytest.raises(ValueError, match="unknown backend"):
+            repro.quick_map(network, backend="gurobi")
+
     def test_homogeneous_variant(self):
         network = random_network(20, 40, seed=3, max_fan_in=6)
         mapping = repro.quick_map(network, heterogeneous=False, time_limit=5.0)
@@ -33,12 +59,19 @@ class TestExports:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
+    def test_batch_surface_is_exported(self):
+        """The batch engine is first-class public API."""
+        for name in ("BatchJob", "BatchMapper", "BatchResult", "JobRecord",
+                     "ResultCache", "SolverSpec"):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
     def test_version(self):
         assert repro.__version__
 
     @pytest.mark.parametrize(
         "module",
-        ["ilp", "snn", "mca", "mapping", "profile", "experiments"],
+        ["ilp", "snn", "mca", "mapping", "profile", "experiments", "batch"],
     )
     def test_subpackage_all_resolves(self, module):
         import importlib
