@@ -158,7 +158,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     mapping = load_mapping(args.mapping)
     network = mapping.problem.network
-    proc = MappedProcessor(network, mapping.assignment, mapping.problem.architecture)
+    proc = MappedProcessor(
+        network,
+        mapping.assignment,
+        mapping.problem.architecture,
+        engine=args.engine,
+    )
     spikes = {nid: list(range(0, args.duration, args.period))
               for nid in network.input_ids()}
     sim, traffic = proc.run(args.duration, input_spikes=spikes)
@@ -239,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=int, default=64)
     simulate.add_argument("--period", type=int, default=4,
                           help="input spike period per input neuron")
+    simulate.add_argument("--engine", choices=("vector", "reference"),
+                          default=None,
+                          help="simulation engine (default: $REPRO_SIM_ENGINE "
+                               "or 'vector'); profiling library paths "
+                               "(spike_profile, collect_profile, "
+                               "evaluate_packets) accept the same engine=")
     simulate.set_defaults(func=_cmd_simulate)
 
     exhibits = sub.add_parser("exhibits", help="reproduce paper tables/figures")

@@ -9,6 +9,7 @@ from .axon_sharing import (
     build_area_model,
     canonicalize_mapping,
 )
+from .delta import DeltaEvaluator
 from .greedy import greedy_first_fit
 from .hierarchical import HierarchicalOptions, hierarchical_map, partition_regions
 from .incremental import RemapOptions, RemapResult, remap_incremental
@@ -60,6 +61,7 @@ from .spikehard import (
 
 __all__ = [
     "AreaModel",
+    "DeltaEvaluator",
     "FormulationOptions",
     "MCC",
     "Mapping",

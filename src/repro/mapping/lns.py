@@ -23,6 +23,7 @@ import numpy as np
 
 from ..ilp.highs_backend import HighsBackend, HighsOptions
 from .axon_sharing import AreaModel, FormulationOptions, x_name
+from .delta import DeltaEvaluator
 from .greedy import greedy_first_fit
 from .problem import MappingProblem
 from .solution import Mapping
@@ -37,6 +38,9 @@ class LnsOptions:
     repair_time_limit: float = 3.0  # HiGHS seconds per repair
     seed: int = 0
     adaptive: bool = True  # grow the neighbourhood after stalls
+    #: Assert delta-evaluated objectives against full re-evaluation after
+    #: every applied move (slow; tests and debugging only).
+    verify_deltas: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -93,6 +97,12 @@ def lns_area(
     improved_count = 0
     fraction = opts.destroy_fraction
     stall = 0
+    # The incumbent's objective is tracked incrementally: a repair is
+    # scored by replaying only its changed placements through the delta
+    # evaluator (O(affected slots)), not by re-evaluating the mapping.
+    evaluator = DeltaEvaluator.from_mapping(
+        incumbent, verify=opts.verify_deltas
+    )
 
     for round_idx in range(1, opts.rounds + 1):
         size = max(1, int(round(fraction * len(neurons))))
@@ -100,17 +110,25 @@ def lns_area(
             int(i) for i in rng.choice(neurons, size=min(size, len(neurons)), replace=False)
         )
         repaired = _repair(problem, incumbent, destroyed, opts.repair_time_limit)
-        if repaired.area() < incumbent.area() - 1e-9:
+        before_area = evaluator.area()
+        applied = [
+            (i, evaluator.move(i, j))
+            for i, j in repaired.assignment.items()
+            if evaluator.slot_of(i) != j
+        ]
+        if evaluator.area() < before_area - 1e-9:
             incumbent = repaired
             improved_count += 1
             stall = 0
         else:
+            for neuron, src in reversed(applied):
+                evaluator.move(neuron, src)
             stall += 1
             if opts.adaptive and stall >= 2 and fraction < 1.0:
                 # Widen the neighbourhood when small repairs stop paying.
                 fraction = min(1.0, fraction * 1.5)
                 stall = 0
-        history.append((round_idx, incumbent.area()))
+        history.append((round_idx, evaluator.area()))
 
     issues = incumbent.validate()
     if issues:  # pragma: no cover - repairs are extract-validated

@@ -19,7 +19,10 @@ Moves:
   slot that still fits them (heterogeneous pools only).
 
 The objective is lexicographic ``(area, global routes)``, matching the
-paper's area-then-SNU pipeline.
+paper's area-then-SNU pipeline.  All candidate moves are scored through
+the incremental :class:`~repro.mapping.delta.DeltaEvaluator` — O(affected
+slots) per trial instead of a full O(V + E) re-evaluation — which is what
+lets a round visit every (neuron, slot) pair at interactive speed.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .delta import DeltaEvaluator
 from .greedy import greedy_first_fit
 from .problem import MappingProblem
 from .solution import Mapping
@@ -42,90 +46,39 @@ class LocalSearchOptions:
     allow_drain: bool = True
     allow_downsize: bool = True
     allow_swap: bool = True
+    #: Re-derive the objective from scratch after *every* move and assert
+    #: it matches the incremental value (slow; tests and debugging only).
+    verify_deltas: bool = False
 
 
-@dataclass
-class _State:
-    """Mutable packing state mirrored from a Mapping for O(1) moves."""
-
-    problem: MappingProblem
-    slot_of: dict[int, int]
-    members: dict[int, set[int]]
-
-    @classmethod
-    def from_mapping(cls, mapping: Mapping) -> "_State":
-        members: dict[int, set[int]] = {}
-        for i, j in mapping.assignment.items():
-            members.setdefault(j, set()).add(i)
-        return cls(mapping.problem, dict(mapping.assignment), members)
-
-    def slot_feasible(self, j: int) -> bool:
-        group = self.members.get(j, set())
-        if not group:
-            return True
-        spec = self.problem.architecture.slot(j)
-        if len(group) > spec.outputs:
-            return False
-        return self.problem.axon_demand(group) <= spec.inputs
-
-    def area(self) -> float:
-        arch = self.problem.architecture
-        return sum(arch.slot(j).area for j, g in self.members.items() if g)
-
-    def global_routes(self) -> int:
-        total = 0
-        for j, group in self.members.items():
-            if not group:
-                continue
-            inputs: set[int] = set()
-            for i in group:
-                inputs |= self.problem.preds(i)
-            total += sum(1 for k in inputs if self.slot_of[k] != j)
-        return total
-
-    def move(self, neuron: int, dst: int) -> int:
-        src = self.slot_of[neuron]
-        self.members[src].discard(neuron)
-        self.members.setdefault(dst, set()).add(neuron)
-        self.slot_of[neuron] = dst
-        return src
-
-    def to_mapping(self) -> Mapping:
-        return Mapping(self.problem, dict(self.slot_of))
-
-
-def _score(state: _State) -> tuple[float, int]:
-    return (state.area(), state.global_routes())
-
-
-def _try_relocate(state: _State, neuron: int, dst: int) -> bool:
+def _try_relocate(state: DeltaEvaluator, neuron: int, dst: int) -> bool:
     """Commit the move iff it keeps both slots feasible and improves."""
-    src = state.slot_of[neuron]
+    src = state.slot_of(neuron)
     if src == dst:
         return False
-    before = _score(state)
+    before = state.score()
     state.move(neuron, dst)
     if (
         state.slot_feasible(dst)
         and state.slot_feasible(src)
-        and _score(state) < before
+        and state.score() < before
     ):
         return True
     state.move(neuron, src)
     return False
 
 
-def _try_swap(state: _State, a: int, b: int) -> bool:
-    ja, jb = state.slot_of[a], state.slot_of[b]
+def _try_swap(state: DeltaEvaluator, a: int, b: int) -> bool:
+    ja, jb = state.slot_of(a), state.slot_of(b)
     if ja == jb:
         return False
-    before = _score(state)
+    before = state.score()
     state.move(a, jb)
     state.move(b, ja)
     if (
         state.slot_feasible(ja)
         and state.slot_feasible(jb)
-        and _score(state) < before
+        and state.score() < before
     ):
         return True
     state.move(a, ja)
@@ -133,16 +86,16 @@ def _try_swap(state: _State, a: int, b: int) -> bool:
     return False
 
 
-def _try_drain(state: _State, victim: int, rng: np.random.Generator) -> bool:
+def _try_drain(
+    state: DeltaEvaluator, victim: int, rng: np.random.Generator
+) -> bool:
     """Attempt to empty ``victim`` by relocating every member elsewhere."""
-    group = list(state.members.get(victim, set()))
+    group = sorted(state.members_of(victim))
     if not group:
         return False
-    before = _score(state)
+    before = state.score()
     undo: list[tuple[int, int]] = []
-    targets = [
-        j for j, g in state.members.items() if g and j != victim
-    ]
+    targets = sorted(j for j in state.occupied_slots() if j != victim)
     rng.shuffle(targets)
     for neuron in group:
         placed = False
@@ -157,22 +110,22 @@ def _try_drain(state: _State, victim: int, rng: np.random.Generator) -> bool:
             for neuron_back, src in undo:
                 state.move(neuron_back, src)
             return False
-    if _score(state) < before:
+    if state.score() < before:
         return True
     for neuron_back, src in undo:
         state.move(neuron_back, src)
     return False
 
 
-def _try_downsize(state: _State, j: int) -> bool:
+def _try_downsize(state: DeltaEvaluator, j: int) -> bool:
     """Move slot j's whole population to a cheaper, unused, fitting slot."""
-    group = state.members.get(j, set())
+    group = state.members_of(j)
     if not group:
         return False
     arch = state.problem.architecture
-    demand_in = state.problem.axon_demand(group)
+    demand_in = state.inputs_used(j)
     current_area = arch.slot(j).area
-    used = {jj for jj, g in state.members.items() if g}
+    used = set(state.occupied_slots())
     candidates = [
         s for s in arch.slots
         if s.index not in used
@@ -183,7 +136,7 @@ def _try_downsize(state: _State, j: int) -> bool:
     if not candidates:
         return False
     best = min(candidates, key=lambda s: (s.area, s.index))
-    for neuron in list(group):
+    for neuron in sorted(group):
         state.move(neuron, best.index)
     return True
 
@@ -203,25 +156,26 @@ def local_search(
         raise ValueError("max_rounds must be >= 1")
     rng = np.random.default_rng(opts.seed)
     base = initial if initial is not None else greedy_first_fit(problem)
-    state = _State.from_mapping(base)
+    state = DeltaEvaluator.from_mapping(base, verify=opts.verify_deltas)
     neurons = problem.network.neuron_ids()
 
     for _ in range(opts.max_rounds):
         improved = False
 
         if opts.allow_downsize:
-            for j in sorted(j for j, g in state.members.items() if g):
+            for j in sorted(state.occupied_slots()):
                 improved |= _try_downsize(state, j)
 
         if opts.allow_drain:
             # Attack the least-utilized crossbars first.
-            occupied = [(len(g), j) for j, g in state.members.items() if g]
+            occupied = [
+                (state.outputs_used(j), j) for j in state.occupied_slots()
+            ]
             for _, victim in sorted(occupied):
                 improved |= _try_drain(state, victim, rng)
 
         for neuron in neurons:
-            targets = [j for j, g in state.members.items() if g]
-            for dst in targets:
+            for dst in sorted(state.occupied_slots()):
                 if _try_relocate(state, neuron, dst):
                     improved = True
                     break

@@ -9,12 +9,21 @@ All paper metrics derive from it:
 - **global routes** (objective 11): routes whose source neuron lives on a
   different crossbar (``sum s - b``);
 - **packets** (objective 12): routes weighted by profiled spike counts.
+
+The dataclass is frozen, so every structural quantity (members and axon
+inputs per slot, enabled-slot list, area, route counts) is derived once
+in ``__post_init__`` and served from caches afterwards; the spike-profile
+weighting of :meth:`packet_count` additionally keeps per-(slot, source)
+arrays so repeated profile queries are one NumPy gather instead of a
+nested Python loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Mapping as MappingT
+
+import numpy as np
 
 from .problem import MappingProblem
 
@@ -26,6 +35,15 @@ class Mapping:
     problem: MappingProblem
     assignment: dict[int, int]
     _inputs_by_slot: dict[int, frozenset[int]] = field(init=False, repr=False)
+    _members_by_slot: dict[int, frozenset[int]] = field(init=False, repr=False)
+    _enabled: tuple[int, ...] = field(init=False, repr=False)
+    _area: float = field(init=False, repr=False, compare=False)
+    _total_routes: int = field(init=False, repr=False, compare=False)
+    _local_routes: int = field(init=False, repr=False, compare=False)
+    #: Lazy (pair -> source index, locality mask, source ids) packet tables.
+    _packet_tables: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         missing = set(self.problem.network.neuron_ids()) - set(self.assignment)
@@ -40,23 +58,43 @@ class Mapping:
         }
         if bad:
             raise ValueError(f"assignment targets unknown slots {sorted(bad)}")
+        members: dict[int, set[int]] = {}
         inputs: dict[int, set[int]] = {}
         for i, j in self.assignment.items():
+            members.setdefault(j, set()).add(i)
             inputs.setdefault(j, set()).update(self.problem.preds(i))
+        object.__setattr__(
+            self,
+            "_members_by_slot",
+            {j: frozenset(g) for j, g in members.items()},
+        )
         object.__setattr__(
             self,
             "_inputs_by_slot",
             {j: frozenset(ks) for j, ks in inputs.items()},
         )
+        enabled = tuple(sorted(members))
+        object.__setattr__(self, "_enabled", enabled)
+        arch = self.problem.architecture
+        object.__setattr__(
+            self, "_area", sum(arch.slot(j).area for j in enabled)
+        )
+        object.__setattr__(
+            self,
+            "_total_routes",
+            sum(len(inputs.get(j, ())) for j in enabled),
+        )
+        local = 0
+        for j in enabled:
+            local += sum(1 for k in inputs.get(j, ()) if self.assignment[k] == j)
+        object.__setattr__(self, "_local_routes", local)
 
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
     def neurons_on(self, slot: int) -> frozenset[int]:
         """Neurons whose output line is on crossbar ``slot``."""
-        return frozenset(
-            i for i, j in self.assignment.items() if j == slot
-        )
+        return self._members_by_slot.get(slot, frozenset())
 
     def axon_inputs(self, slot: int) -> frozenset[int]:
         """Distinct axonal inputs crossbar ``slot`` receives (``Inputs_j``)."""
@@ -64,36 +102,52 @@ class Mapping:
 
     def enabled_slots(self) -> list[int]:
         """Slots hosting at least one neuron, ascending."""
-        return sorted(set(self.assignment.values()))
+        return list(self._enabled)
 
     # ------------------------------------------------------------------
     # paper metrics
     # ------------------------------------------------------------------
     def area(self) -> float:
         """Objective 8: summed area cost of enabled crossbars."""
-        arch = self.problem.architecture
-        return sum(arch.slot(j).area for j in self.enabled_slots())
+        return self._area
 
     def memristor_count(self) -> int:
         """Enabled-crossbar device count (the paper's area unit)."""
         arch = self.problem.architecture
-        return sum(arch.slot(j).ctype.memristors for j in self.enabled_slots())
+        return sum(arch.slot(j).ctype.memristors for j in self._enabled)
 
     def total_routes(self) -> int:
         """Objective 9: ``sum_{k,j} s[k, j]`` — all axonal route endpoints."""
-        return sum(len(self.axon_inputs(j)) for j in self.enabled_slots())
+        return self._total_routes
 
     def local_routes(self) -> int:
         """``sum b[k, j]``: axon inputs whose source lives on the same slot."""
-        count = 0
-        for j in self.enabled_slots():
-            inputs = self.axon_inputs(j)
-            count += sum(1 for k in inputs if self.assignment[k] == j)
-        return count
+        return self._local_routes
 
     def global_routes(self) -> int:
         """Objective 11: inter-crossbar routes (``sum s - b``)."""
-        return self.total_routes() - self.local_routes()
+        return self._total_routes - self._local_routes
+
+    def _packet_arrays(self) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+        """(per-pair source index, per-pair locality mask, source ids)."""
+        if self._packet_tables is None:
+            sources = sorted(
+                {k for j in self._enabled for k in self._inputs_by_slot.get(j, ())}
+            )
+            src_index = {k: idx for idx, k in enumerate(sources)}
+            pair_src: list[int] = []
+            pair_local: list[bool] = []
+            for j in self._enabled:
+                for k in self._inputs_by_slot.get(j, ()):
+                    pair_src.append(src_index[k])
+                    pair_local.append(self.assignment[k] == j)
+            tables = (
+                np.asarray(pair_src, dtype=np.int64),
+                np.asarray(pair_local, dtype=bool),
+                tuple(sources),
+            )
+            object.__setattr__(self, "_packet_tables", tables)
+        return self._packet_tables
 
     def packet_count(self, spike_counts: MappingT[int, int]) -> tuple[int, int]:
         """(local, global) runtime packets under a spike profile.
@@ -102,22 +156,24 @@ class Mapping:
         sends one packet per target crossbar, and the packet to ``k``'s own
         crossbar never crosses the router network.
         """
-        local = 0
-        global_ = 0
-        for j in self.enabled_slots():
-            for k in self.axon_inputs(j):
-                fires = spike_counts.get(k, 0)
-                if self.assignment[k] == j:
-                    local += fires
-                else:
-                    global_ += fires
+        pair_src, pair_local, sources = self._packet_arrays()
+        if not sources:
+            return 0, 0
+        fires = np.fromiter(
+            (spike_counts.get(k, 0) for k in sources),
+            dtype=np.int64,
+            count=len(sources),
+        )
+        pair_fires = fires[pair_src]
+        local = int(pair_fires[pair_local].sum())
+        global_ = int(pair_fires.sum()) - local
         return local, global_
 
     def crossbar_histogram(self) -> dict[str, int]:
         """Enabled crossbar count per dimension label (paper Fig. 3b-f)."""
         arch = self.problem.architecture
         hist: dict[str, int] = {}
-        for j in self.enabled_slots():
+        for j in self._enabled:
             label = arch.slot(j).ctype.label
             hist[label] = hist.get(label, 0) + 1
         return hist
@@ -133,7 +189,7 @@ class Mapping:
         """
         arch = self.problem.architecture
         violations: list[str] = []
-        for j in self.enabled_slots():
+        for j in self._enabled:
             slot = arch.slot(j)
             outputs = len(self.neurons_on(j))
             inputs = len(self.axon_inputs(j))

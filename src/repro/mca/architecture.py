@@ -15,8 +15,10 @@ enable — the index set ``j`` with dimensions ``(A_j, N_j)`` and costs
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from .crossbar import CrossbarSlot, CrossbarType
 
@@ -57,6 +59,9 @@ class Architecture:
 
     name: str
     slots: tuple[CrossbarSlot, ...]
+    _areas: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for pos, slot in enumerate(self.slots):
@@ -72,6 +77,21 @@ class Architecture:
 
     def slot(self, index: int) -> CrossbarSlot:
         return self.slots[index]
+
+    @property
+    def slot_areas(self) -> np.ndarray:
+        """Per-slot area costs ``C_j`` as one cached float array.
+
+        Metric and energy reports index this instead of walking slot
+        objects per query.
+        """
+        if self._areas is None:
+            object.__setattr__(
+                self,
+                "_areas",
+                np.asarray([s.area for s in self.slots], dtype=np.float64),
+            )
+        return self._areas
 
     def types(self) -> list[CrossbarType]:
         """Distinct crossbar types present, sorted."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from .architecture import Architecture
 from .processor import TrafficReport
 
@@ -56,7 +58,11 @@ def enabled_area(
 ) -> tuple[int, float]:
     """(enabled crossbar count, summed area C_j) for a placement."""
     enabled = sorted(set(assignment.values()))
-    area = sum(architecture.slot(j).area for j in enabled)
+    if not enabled:
+        return 0, 0.0
+    area = float(
+        architecture.slot_areas[np.asarray(enabled, dtype=np.int64)].sum()
+    )
     return len(enabled), area
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class MeshPosition:
@@ -28,16 +30,43 @@ class MeshNoC:
         self.num_tiles = num_tiles
         self.width = width or max(1, math.ceil(math.sqrt(num_tiles)))
         self.height = math.ceil(num_tiles / self.width)
+        self._hop_matrix: np.ndarray | None = None
 
     def position(self, tile: int) -> MeshPosition:
         if not 0 <= tile < self.num_tiles:
             raise IndexError(f"tile {tile} out of range")
         return MeshPosition(tile % self.width, tile // self.width)
 
+    @property
+    def hop_matrix(self) -> np.ndarray:
+        """All-pairs Manhattan hop counts, built once and cached.
+
+        For all-pairs analyses (congestion heatmaps, batch hop weighting)
+        this is one int32 lookup table instead of per-pair position math.
+        """
+        if self._hop_matrix is None:
+            tiles = np.arange(self.num_tiles, dtype=np.int32)
+            xs, ys = tiles % self.width, tiles // self.width
+            self._hop_matrix = (
+                np.abs(xs[:, None] - xs[None, :])
+                + np.abs(ys[:, None] - ys[None, :])
+            )
+        return self._hop_matrix
+
     def hops(self, src: int, dst: int) -> int:
-        """Manhattan (XY-routing) hop count between two tiles."""
-        a, b = self.position(src), self.position(dst)
-        return abs(a.x - b.x) + abs(a.y - b.y)
+        """Manhattan (XY-routing) hop count between two tiles.
+
+        O(1) arithmetic — no position objects, no matrix build; serves
+        from :attr:`hop_matrix` when that is already materialized.
+        """
+        if not (0 <= src < self.num_tiles and 0 <= dst < self.num_tiles):
+            raise IndexError(f"tile pair ({src}, {dst}) out of range")
+        if self._hop_matrix is not None:
+            return int(self._hop_matrix[src, dst])
+        width = self.width
+        return abs(src % width - dst % width) + abs(
+            src // width - dst // width
+        )
 
     def route(self, src: int, dst: int) -> list[int]:
         """Tile sequence of the XY route (inclusive of both endpoints).
@@ -101,6 +130,8 @@ def hop_weighted_packets(
 
     ``packet_counts`` maps ``(src_tile, dst_tile)`` to packets sent.
     Returns total hop-packets (energy proxy) and the per-link load map.
+    One walk per pair serves both: the route feeds the load map and its
+    length is the (exact, property-tested) hop count.
     """
     load = LinkLoad()
     total_hops = 0

@@ -11,6 +11,7 @@ from .analysis import (
     weakly_connected_components,
 )
 from .encoding import decode_rate, encode_frame, rate_encode, ttfs_encode
+from .engine import ENGINE_ENV_VAR, ENGINES, CompiledNetwork, resolve_engine
 from .eons import Eons, EonsConfig, EonsResult
 from .generators import (
     TwinSpec,
@@ -35,9 +36,13 @@ from .stats import (
 )
 
 __all__ = [
+    "CompiledNetwork",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
     "Eons",
     "EonsConfig",
     "EonsResult",
+    "resolve_engine",
     "Network",
     "NetworkStats",
     "Neuron",

@@ -15,61 +15,153 @@ Dynamics per timestep (TENNLab RISP-style):
 3. every neuron at or above threshold fires: the spike is recorded,
    outgoing charges are scheduled at ``t + delay``, and the potential
    resets to zero.
+
+Two engines implement these dynamics behind one API: the default
+``"vector"`` engine (:mod:`repro.snn.engine`) runs them as dense NumPy
+array operations, and the scalar ``"reference"`` engine keeps the original
+dict-walking loop as the executable specification.  Select per simulator
+via ``Simulator(net, engine=...)`` or globally via ``$REPRO_SIM_ENGINE``;
+both produce identical spike rasters (enforced by the property suite).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
+from .engine import CompiledNetwork, resolve_engine, run_compiled
 from .network import Network
 
 
-@dataclass
 class SimulationResult:
     """Outcome of one simulator run.
 
     ``spikes`` is the raster as ``(timestep, neuron_id)`` pairs in firing
     order; ``spike_counts`` aggregates them per neuron (every neuron id
     appears, silent neurons with count 0).
+
+    The vector engine hands the raster over as arrays; the tuple list is
+    materialized only when ``spikes`` is first accessed, and per-neuron
+    queries go through a lazily built neuron -> firing-times index.  Do
+    not mutate ``spikes`` after the first per-neuron query.
     """
 
-    duration: int
-    spikes: list[tuple[int, int]] = field(default_factory=list)
-    spike_counts: dict[int, int] = field(default_factory=dict)
-    final_potentials: dict[int, float] = field(default_factory=dict)
+    def __init__(
+        self,
+        duration: int,
+        spikes: list[tuple[int, int]] | None = None,
+        spike_counts: dict[int, int] | None = None,
+        final_potentials: dict[int, float] | None = None,
+    ) -> None:
+        self.duration = duration
+        self.spike_counts = spike_counts if spike_counts is not None else {}
+        self.final_potentials = (
+            final_potentials if final_potentials is not None else {}
+        )
+        self._spikes = spikes if spikes is not None else []
+        self._raster: tuple[np.ndarray, np.ndarray] | None = None
+        self._neuron_index: dict[int, list[int]] | None = None
+
+    @classmethod
+    def from_raster(
+        cls,
+        duration: int,
+        times: np.ndarray,
+        neuron_ids: np.ndarray,
+        spike_counts: dict[int, int],
+        final_potentials: dict[int, float],
+    ) -> "SimulationResult":
+        """Build from the vector engine's raw arrays (tuple list deferred)."""
+        result = cls(
+            duration,
+            spike_counts=spike_counts,
+            final_potentials=final_potentials,
+        )
+        result._raster = (times, neuron_ids)
+        return result
+
+    @property
+    def spikes(self) -> list[tuple[int, int]]:
+        if self._raster is not None:
+            times, ids = self._raster
+            self._spikes = list(zip(times.tolist(), ids.tolist()))
+            self._raster = None
+        return self._spikes
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(duration={self.duration}, "
+            f"total_spikes={self.total_spikes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality on the observable record (as the former
+        dataclass had): duration, raster, counts, final potentials."""
+        if not isinstance(other, SimulationResult):
+            return NotImplemented
+        return (
+            self.duration == other.duration
+            and self.spikes == other.spikes
+            and self.spike_counts == other.spike_counts
+            and self.final_potentials == other.final_potentials
+        )
 
     @property
     def total_spikes(self) -> int:
-        return len(self.spikes)
+        if self._raster is not None:
+            return int(self._raster[0].size)
+        return len(self._spikes)
+
+    def _index(self) -> dict[int, list[int]]:
+        if self._neuron_index is None:
+            index: dict[int, list[int]] = {}
+            if self._raster is not None:
+                times, ids = self._raster
+                for t, nid in zip(times.tolist(), ids.tolist()):
+                    index.setdefault(nid, []).append(t)
+            else:
+                for t, nid in self._spikes:
+                    index.setdefault(nid, []).append(t)
+            self._neuron_index = index
+        return self._neuron_index
 
     def spikes_of(self, neuron_id: int) -> list[int]:
-        """Firing times of one neuron."""
-        return [t for t, nid in self.spikes if nid == neuron_id]
+        """Firing times of one neuron (O(1) after the first query)."""
+        return list(self._index().get(neuron_id, ()))
 
     def spike_train(self, neuron_id: int) -> list[int]:
         """0/1 train of length ``duration`` for one neuron."""
         train = [0] * self.duration
-        for t in self.spikes_of(neuron_id):
+        for t in self._index().get(neuron_id, ()):
             train[t] = 1
         return train
 
 
 class Simulator:
-    """Executes a network over discrete timesteps."""
+    """Executes a network over discrete timesteps.
 
-    def __init__(self, network: Network) -> None:
+    ``engine`` selects the implementation: ``"vector"`` (NumPy kernel,
+    the default), ``"reference"`` (scalar specification loop), or ``None``
+    to defer to ``$REPRO_SIM_ENGINE`` (falling back to ``"vector"``).
+    """
+
+    def __init__(self, network: Network, engine: str | None = None) -> None:
         self.network = network
-        # Cache outgoing synapse tuples for the hot loop.
-        self._out_syn: dict[int, list[tuple[int, float, int]]] = {
-            nid: [
-                (post, network.synapse(nid, post).weight,
-                 network.synapse(nid, post).delay)
-                for post in sorted(network.successors(nid))
-            ]
-            for nid in network.neuron_ids()
-        }
+        self.engine = resolve_engine(engine)
+        if self.engine == "vector":
+            self._compiled = CompiledNetwork.from_network(network)
+        else:
+            # Cache outgoing synapse tuples for the scalar hot loop.
+            self._out_syn: dict[int, list[tuple[int, float, int]]] = {
+                nid: [
+                    (post, network.synapse(nid, post).weight,
+                     network.synapse(nid, post).delay)
+                    for post in sorted(network.successors(nid))
+                ]
+                for nid in network.neuron_ids()
+            }
 
     def run(
         self,
@@ -89,6 +181,40 @@ class Simulator:
             arbitrary ``(neuron_id, timestep, amount)`` injections for
             sub-threshold stimulation.
         """
+        if self.engine == "vector":
+            return self._run_vector(duration, input_spikes, input_charges)
+        return self._run_reference(duration, input_spikes, input_charges)
+
+    # ------------------------------------------------------------------
+    # vector engine (default)
+    # ------------------------------------------------------------------
+    def _run_vector(
+        self,
+        duration: int,
+        input_spikes: Mapping[int, Iterable[int]] | None,
+        input_charges: Iterable[tuple[int, int, float]] | None,
+    ) -> SimulationResult:
+        times, ids, counts, potentials = run_compiled(
+            self._compiled, duration, input_spikes, input_charges
+        )
+        neuron_ids = self._compiled.ids.tolist()
+        return SimulationResult.from_raster(
+            duration,
+            times,
+            ids,
+            spike_counts=dict(zip(neuron_ids, counts.tolist())),
+            final_potentials=dict(zip(neuron_ids, potentials.tolist())),
+        )
+
+    # ------------------------------------------------------------------
+    # reference engine (scalar specification)
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        duration: int,
+        input_spikes: Mapping[int, Iterable[int]] | None,
+        input_charges: Iterable[tuple[int, int, float]] | None,
+    ) -> SimulationResult:
         if duration < 0:
             raise ValueError("duration must be non-negative")
         net = self.network
@@ -146,13 +272,14 @@ def spike_profile(
     network: Network,
     samples: Iterable[Mapping[int, Iterable[int]]],
     duration: int,
+    engine: str | None = None,
 ) -> dict[int, int]:
     """Aggregate per-neuron spike counts over many input samples.
 
     This is the PGO profile ``W[i]`` of §IV-D: the number of times each
     neuron fired across the profiling dataset.
     """
-    sim = Simulator(network)
+    sim = Simulator(network, engine=engine)
     totals = {nid: 0 for nid in network.neuron_ids()}
     for sample in samples:
         result = sim.run(duration, input_spikes=sample)

@@ -1,0 +1,167 @@
+"""Delta-evaluated objectives must equal full re-evaluation, move by move.
+
+The DeltaEvaluator underpins local search and LNS acceptance decisions;
+any drift between its incremental ``(area, global routes)`` and a
+from-scratch :class:`Mapping` evaluation silently corrupts the search.
+Every test here checks the equality after *each* individual move.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.delta import DeltaEvaluator
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.lns import LnsOptions, lns_area
+from repro.mapping.local_search import LocalSearchOptions, local_search
+from repro.mapping.problem import MappingProblem
+from repro.mapping.solution import Mapping
+from repro.mca.architecture import (
+    heterogeneous_architecture,
+    homogeneous_architecture,
+)
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+def _random_problem(seed: int) -> MappingProblem:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 16))
+    m = int(rng.integers(n, 2 * n + 1))
+    net = random_network(n, m, seed=seed, max_fan_in=5)
+    arch = homogeneous_architecture(n, dimension=8, slack=2.0)
+    return MappingProblem(net, arch)
+
+
+class TestDeltaVsFull:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 400))
+    def test_random_move_sequences(self, seed):
+        problem = _random_problem(seed)
+        rng = np.random.default_rng(seed + 1)
+        assignment = {
+            i: int(rng.integers(problem.num_slots))
+            for i in problem.network.neuron_ids()
+        }
+        evaluator = DeltaEvaluator(problem, assignment)
+        neurons = problem.network.neuron_ids()
+        for _ in range(40):
+            neuron = int(rng.choice(neurons))
+            dst = int(rng.integers(problem.num_slots))
+            evaluator.move(neuron, dst)
+            # Full re-derivation after *every* move.
+            evaluator.assert_consistent()
+        rebuilt = evaluator.to_mapping()
+        assert evaluator.area() == rebuilt.area()
+        assert evaluator.global_routes() == rebuilt.global_routes()
+
+    def test_move_returns_previous_slot_and_undo_restores(self):
+        problem = _random_problem(3)
+        base = greedy_first_fit(problem)
+        evaluator = DeltaEvaluator.from_mapping(base)
+        before = evaluator.score()
+        neuron = problem.network.neuron_ids()[0]
+        src = evaluator.move(neuron, (base.assignment[neuron] + 1) % problem.num_slots)
+        assert src == base.assignment[neuron]
+        evaluator.move(neuron, src)
+        assert evaluator.score() == before
+        assert evaluator.assignment() == base.assignment
+
+    def test_noop_move_is_free(self):
+        problem = _random_problem(4)
+        evaluator = DeltaEvaluator.from_mapping(greedy_first_fit(problem))
+        neuron = problem.network.neuron_ids()[0]
+        before = evaluator.score()
+        assert evaluator.move(neuron, evaluator.slot_of(neuron)) == evaluator.slot_of(neuron)
+        assert evaluator.score() == before
+
+    def test_feasibility_matches_mapping_validate(self):
+        problem = _random_problem(5)
+        rng = np.random.default_rng(9)
+        # Cram everything into few slots to force violations.
+        assignment = {
+            i: int(rng.integers(2)) for i in problem.network.neuron_ids()
+        }
+        evaluator = DeltaEvaluator(problem, assignment)
+        mapping = Mapping(problem, assignment)
+        bad_slots = {
+            int(msg.split()[1]) for msg in mapping.validate()
+        }
+        for j in evaluator.occupied_slots():
+            assert evaluator.slot_feasible(j) == (j not in bad_slots)
+
+    def test_self_loop_locality(self):
+        """A neuron feeding itself: the route is local wherever it lives."""
+        from repro.snn.network import Network
+        from repro.mca.architecture import custom_architecture
+
+        net = Network("loop")
+        net.add_neuron(0)
+        net.add_neuron(1)
+        net.add_synapse(0, 0)
+        net.add_synapse(0, 1)
+        arch = custom_architecture([(CrossbarType(4, 4), 3)])
+        problem = MappingProblem(net, arch)
+        evaluator = DeltaEvaluator(problem, {0: 0, 1: 0}, verify=True)
+        evaluator.move(0, 1)
+        evaluator.move(1, 2)
+        evaluator.move(0, 2)
+        evaluator.move(0, 0)
+        assert evaluator.to_mapping().is_valid()
+
+
+class TestSearchConsultsDeltas:
+    def test_local_search_verified_move_by_move(self):
+        net = random_network(20, 40, seed=21, max_fan_in=6)
+        arch = heterogeneous_architecture(
+            20,
+            types=[CrossbarType(4, 4), CrossbarType(8, 4), CrossbarType(8, 8)],
+            max_slots_per_type=8,
+        )
+        problem = MappingProblem(net, arch)
+        initial = greedy_first_fit(problem)
+        # verify_deltas re-derives the objective from scratch after every
+        # single move and asserts equality inside DeltaEvaluator.move.
+        result = local_search(
+            problem,
+            initial,
+            LocalSearchOptions(max_rounds=3, verify_deltas=True),
+        )
+        assert result.is_valid()
+        assert (result.area(), result.global_routes()) <= (
+            initial.area(),
+            initial.global_routes(),
+        )
+
+    def test_local_search_same_result_with_and_without_verification(self):
+        net = random_network(16, 32, seed=8, max_fan_in=5)
+        problem = MappingProblem(
+            net, homogeneous_architecture(16, dimension=8, slack=2.0)
+        )
+        plain = local_search(
+            problem, options=LocalSearchOptions(max_rounds=4, seed=2)
+        )
+        checked = local_search(
+            problem,
+            options=LocalSearchOptions(max_rounds=4, seed=2, verify_deltas=True),
+        )
+        assert plain.assignment == checked.assignment
+
+    def test_lns_verified_move_by_move(self):
+        net = random_network(12, 24, seed=31, max_fan_in=5)
+        problem = MappingProblem(
+            net, homogeneous_architecture(12, dimension=8, slack=2.0)
+        )
+        result = lns_area(
+            problem,
+            options=LnsOptions(
+                rounds=2, repair_time_limit=2.0, verify_deltas=True
+            ),
+        )
+        assert result.mapping.is_valid()
+        # Anytime history is non-increasing (LNS never accepts a worse repair).
+        areas = [area for _, area in result.history]
+        assert areas == sorted(areas, reverse=True)
+        # The history values come from the delta evaluator; the final one
+        # must equal the full evaluation of the returned mapping.
+        assert areas[-1] == result.mapping.area()

@@ -22,6 +22,8 @@ def test_mesh_hops_is_a_metric(tiles, a, b, c):
     assert noc.hops(a, a) == 0
     assert noc.hops(a, b) == noc.hops(b, a)
     assert noc.hops(a, c) <= noc.hops(a, b) + noc.hops(b, c)
+    # The cached all-pairs matrix agrees with the arithmetic path.
+    assert int(noc.hop_matrix[a, b]) == noc.hops(a, b)
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,70 @@
+"""One tiny sweep end-to-end under the vectorized engine.
+
+Covers the full per-instance path the exhibits exercise — profile a
+network with the vector simulator, map it, weight the mapping with the
+profile, execute it on the processor model and price the result — with
+``$REPRO_SIM_ENGINE`` pinned to ``vector``, so a regression anywhere in
+the engine selection plumbing fails fast in the tier-1 run.
+"""
+
+import pytest
+
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.local_search import LocalSearchOptions, local_search
+from repro.mapping.metrics import evaluate_mapping
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture
+from repro.mca.energy import cost_summary
+from repro.mca.processor import MappedProcessor
+from repro.snn.generators import random_network
+from repro.snn.simulator import Simulator, spike_profile
+
+pytestmark = pytest.mark.engines
+
+DURATION = 24
+
+
+def test_tiny_sweep_end_to_end_vector_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "vector")
+    net = random_network(16, 32, seed=9, max_fan_in=6, name="smoke")
+
+    # Profile: W[i] over a few input programs.
+    samples = [
+        {nid: list(range(offset, DURATION, 5)) for nid in (0, 3, 7)}
+        for offset in (0, 1, 2)
+    ]
+    profile = spike_profile(net, samples, DURATION)
+    assert set(profile) == set(net.neuron_ids())
+    assert sum(profile.values()) > 0
+
+    # Map: greedy start refined by (delta-evaluated) local search.
+    problem = MappingProblem(net, heterogeneous_architecture(16))
+    mapping = local_search(
+        problem, greedy_first_fit(problem), LocalSearchOptions(max_rounds=3)
+    )
+    assert mapping.is_valid()
+    metrics = evaluate_mapping(mapping, spike_counts=profile)
+    assert metrics.total_packets is not None
+    assert metrics.total_packets >= 0
+
+    # Execute on the processor model (vector engine via env var) and price.
+    proc = MappedProcessor(net, mapping.assignment, problem.architecture)
+    assert proc._simulator.engine == "vector"
+    sim_result, traffic = proc.run(DURATION, input_spikes=samples[0])
+    assert sim_result.total_spikes > 0
+    assert traffic.total_packets >= traffic.global_packets
+    summary = cost_summary(
+        problem.architecture, mapping.assignment, traffic, DURATION
+    )
+    assert summary.total_energy_pj > 0
+    assert summary.area_memristors == pytest.approx(mapping.area())
+
+    # The reference engine agrees on the same sweep (spot check).
+    ref = Simulator(net, engine="reference").run(
+        DURATION, input_spikes=samples[0]
+    )
+    assert ref.spikes == sim_result.spikes
+    assert mapping.packet_count(ref.spike_counts) == (
+        traffic.local_packets,
+        traffic.global_packets,
+    )
