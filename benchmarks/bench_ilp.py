@@ -1,0 +1,276 @@
+"""Columnar ILP core bench: array-built models vs the per-expression path.
+
+Measures build / lower / presolve / solve wall-clock for the two hottest
+formulations (area and SNU) on fig2- and fig5-scale instances, comparing:
+
+- **columnar** — the production builders (``AreaModel`` /
+  ``build_snu_model``), which emit every constraint family as one
+  :meth:`~repro.ilp.model.Model.add_block` over index arrays;
+- **per-expression** — the same formulations restated through the
+  operator/`lin_sum` compatibility path, i.e. exactly what the builders
+  did before the columnar refactor.
+
+Asserted, per instance:
+
+- both paths lower to *identical* matrix forms (same CSR entries, bounds,
+  objective vector), and a node-capped HiGHS solve of each returns
+  bit-identical status + objective;
+- the columnar path is **>= 5x** faster at build+lower on every fig-scale
+  SNU instance (the acceptance floor; observed is typically ~10x).
+
+Emits ``BENCH_ilp.json`` at the **repo root** so the solver-core perf
+trajectory is tracked across PRs alongside ``BENCH_simcore.json``.
+
+Run:  pytest benchmarks/bench_ilp.py --benchmark-only
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_config import once
+from repro.experiments.common import het_problem
+from repro.experiments.networks import paper_network
+from repro.experiments.runner import ExperimentConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.ilp.model import Model
+from repro.ilp.presolve import presolve
+from repro.mapping.axon_sharing import AreaModel, s_name, x_name, y_name, b_name
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.snu import RouteModel, build_snu_model
+
+#: Repo root (benchmarks/ is one level below it).
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ilp.json"
+
+#: (label, paper network, scale) — fig2 runs its exhibit scale, fig5 the
+#: shared SMALL exhibit scale (see bench_config).
+INSTANCES = [
+    ("fig2-E", "E", 0.25),
+    ("fig5-C", "C", 0.12),
+]
+#: Acceptance floor for columnar vs per-expression build+lower on SNU.
+MIN_BUILD_SPEEDUP = 5.0
+#: Deterministic solve effort cap: identical model inputs + a node limit
+#: (never a wall-clock limit) keep the two paths' solves bit-comparable.
+SOLVE_NODE_LIMIT = 150
+BUILD_REPEATS = 3
+
+
+def _expression_area_model(problem) -> Model:
+    """The area formulation via the per-expression compat path (the exact
+    shape the builder emitted before the columnar refactor)."""
+    model = Model("area-expr")
+    neurons = problem.network.neuron_ids()
+    slots = range(problem.num_slots)
+    sources = problem.sources()
+    y = {j: model.add_binary(y_name(j)) for j in slots}
+    x = {(i, j): model.add_binary(x_name(i, j)) for i in neurons for j in slots}
+    s = {(k, j): model.add_binary(s_name(k, j)) for k in sources for j in slots}
+    for i in neurons:
+        model.add(lin_sum(x[(i, j)] for j in slots) == 1, name=f"place_{i}")
+    for j in slots:
+        slot = problem.architecture.slot(j)
+        model.add(
+            lin_sum(x[(i, j)] for i in neurons) <= slot.outputs * y[j],
+            name=f"outputs_{j}",
+        )
+    for k, i in problem.edges():
+        for j in slots:
+            model.add(s[(k, j)] >= x[(i, j)], name=f"share_{k}_{i}_{j}")
+    for k in sources:
+        succ = sorted(problem.succs(k))
+        for j in slots:
+            model.add(
+                s[(k, j)] <= lin_sum(x[(i, j)] for i in succ),
+                name=f"uplink_{k}_{j}",
+            )
+    for j in slots:
+        slot = problem.architecture.slot(j)
+        model.add(
+            lin_sum(s[(k, j)] for k in sources) <= slot.inputs * y[j],
+            name=f"inputs_{j}",
+        )
+    for group in problem.architecture.identical_slot_groups():
+        for a, b in zip(group, group[1:]):
+            model.add(y[a] >= y[b], name=f"sym_{a}_{b}")
+    model.minimize(
+        lin_sum(problem.architecture.slot(j).area * y[j] for j in slots)
+    )
+    return model
+
+
+def _expression_snu_model(problem, base) -> Model:
+    """The SNU (GLOBAL objective) formulation via the compat path."""
+    model = Model("routes-expr")
+    neurons = problem.network.neuron_ids()
+    sources = problem.sources()
+    slots = sorted(base.enabled_slots())
+    y = {j: model.add_binary(y_name(j)) for j in slots}
+    x = {(i, j): model.add_binary(x_name(i, j)) for i in neurons for j in slots}
+    s = {(k, j): model.add_binary(s_name(k, j)) for k in sources for j in slots}
+    for i in neurons:
+        model.add(lin_sum(x[(i, j)] for j in slots) == 1, name=f"place_{i}")
+    # Row families in the same order the columnar builder emits its blocks
+    # (outputs, then inputs), so the lowered forms compare entry-for-entry.
+    for j in slots:
+        slot = problem.architecture.slot(j)
+        model.add(
+            lin_sum(x[(i, j)] for i in neurons) <= slot.outputs * y[j],
+            name=f"outputs_{j}",
+        )
+    for j in slots:
+        slot = problem.architecture.slot(j)
+        model.add(
+            lin_sum(s[(k, j)] for k in sources) <= slot.inputs * y[j],
+            name=f"inputs_{j}",
+        )
+    for k, i in problem.edges():
+        for j in slots:
+            model.add(s[(k, j)] >= x[(i, j)], name=f"share_{k}_{i}_{j}")
+    for k in sources:
+        succ = sorted(problem.succs(k))
+        for j in slots:
+            model.add(
+                s[(k, j)] <= lin_sum(x[(i, j)] for i in succ),
+                name=f"uplink_{k}_{j}",
+            )
+    model.add(
+        lin_sum(problem.architecture.slot(j).area * y[j] for j in slots)
+        <= base.area(),
+        name="area_budget",
+    )
+    b = {
+        (k, j): model.add_binary(b_name(k, j)) for k in sources for j in slots
+    }
+    # Linearization rows family-major (all b<=s, then b<=x, then b>=s+x-1),
+    # matching the columnar builder's block order entry-for-entry.
+    for k in sources:
+        for j in slots:
+            model.add(b[(k, j)] <= s[(k, j)], name=f"b_le_s_{k}_{j}")
+    for k in sources:
+        for j in slots:
+            model.add(b[(k, j)] <= x[(k, j)], name=f"b_le_x_{k}_{j}")
+    for k in sources:
+        for j in slots:
+            model.add(
+                b[(k, j)] >= s[(k, j)] + x[(k, j)] - 1, name=f"b_ge_{k}_{j}"
+            )
+    model.minimize(
+        lin_sum(s[(k, j)] - b[(k, j)] for k in sources for j in slots)
+    )
+    return model
+
+
+def _best_of(fn, repeats=BUILD_REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_forms_identical(fa, fb) -> None:
+    assert fa.a_matrix.shape == fb.a_matrix.shape
+    assert abs(fa.a_matrix - fb.a_matrix).nnz == 0
+    np.testing.assert_array_equal(fa.c, fb.c)
+    np.testing.assert_array_equal(fa.row_lb, fb.row_lb)
+    np.testing.assert_array_equal(fa.row_ub, fb.row_ub)
+    np.testing.assert_array_equal(fa.var_lb, fb.var_lb)
+    np.testing.assert_array_equal(fa.var_ub, fb.var_ub)
+
+
+def _bench_instance(label: str, network_name: str, scale: float) -> list[dict]:
+    config = ExperimentConfig(scale=scale)
+    network = paper_network(network_name, scale=scale)
+    problem = het_problem(network, config)
+    base = greedy_first_fit(problem)
+    backend = HighsBackend(HighsOptions(node_limit=SOLVE_NODE_LIMIT))
+    rows = []
+
+    builders = {
+        "area": (
+            lambda: AreaModel(problem).model,
+            lambda: _expression_area_model(problem),
+        ),
+        "snu": (
+            lambda: build_snu_model(problem, base).model,
+            lambda: _expression_snu_model(problem, base),
+        ),
+    }
+    for formulation, (columnar_fn, expression_fn) in builders.items():
+        col_s, _ = _best_of(lambda: columnar_fn().lower())
+        col_model = columnar_fn()
+        form_col = col_model.lower()
+        expr_s, _ = _best_of(lambda: expression_fn().lower())
+        expr_model = expression_fn()
+        form_expr = expr_model.lower()
+        _assert_forms_identical(form_expr, form_col)
+
+        start = time.perf_counter()
+        _, report = presolve(col_model)
+        presolve_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        res_col = backend.solve(col_model)
+        solve_s = time.perf_counter() - start
+        res_expr = backend.solve(expr_model)
+        # Identical lowered inputs + node-capped effort: the two paths'
+        # solver outcomes must agree bit for bit.
+        assert res_expr.status is res_col.status, (
+            f"{label}/{formulation}: {res_expr.status} != {res_col.status}"
+        )
+        assert res_expr.objective == res_col.objective, (
+            f"{label}/{formulation}: {res_expr.objective} != {res_col.objective}"
+        )
+
+        rows.append(
+            {
+                "instance": label,
+                "formulation": formulation,
+                "neurons": problem.num_neurons,
+                "slots": problem.num_slots,
+                "variables": col_model.num_vars,
+                "rows": col_model.num_constraints,
+                "nonzeros": col_model.stats()["nonzeros"],
+                "expression_build_lower_seconds": expr_s,
+                "columnar_build_lower_seconds": col_s,
+                "build_lower_speedup": expr_s / col_s,
+                "presolve_seconds": presolve_s,
+                "presolve_rows_dropped": report.rows_dropped,
+                "solve_seconds_node_capped": solve_s,
+                "solve_status": res_col.status.value,
+                "solve_objective": res_col.objective,
+            }
+        )
+    return rows
+
+
+def test_benchmark_ilp_core(benchmark):
+    rows = once(
+        benchmark,
+        lambda: [
+            row
+            for label, name, scale in INSTANCES
+            for row in _bench_instance(label, name, scale)
+        ],
+    )
+
+    payload = {
+        "schema": "repro.bench_ilp/1",
+        "source": "benchmarks/bench_ilp.py",
+        "min_snu_build_lower_speedup": MIN_BUILD_SPEEDUP,
+        "instances": rows,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for row in rows:
+        if row["formulation"] == "snu":
+            assert row["build_lower_speedup"] >= MIN_BUILD_SPEEDUP, (
+                f"{row['instance']}: columnar SNU build+lower only "
+                f"{row['build_lower_speedup']:.1f}x faster "
+                f"(< {MIN_BUILD_SPEEDUP}x floor)"
+            )

@@ -33,6 +33,9 @@ from repro.snn.generators import random_network
 from repro.snn.simulator import Simulator
 
 OUTPUT = Path(__file__).resolve().parent / "BENCH_simcore.json"
+#: Root-level copy: the cross-PR perf trajectory is read from the repo
+#: root (alongside BENCH_ilp.json), so every run refreshes both.
+ROOT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_simcore.json"
 
 #: (neurons, synapses, duration) — sizes/densities swept by the bench.
 SIM_CONFIGS = [
@@ -144,7 +147,9 @@ def test_benchmark_simcore(benchmark):
         "simulator": sim_rows,
         "local_search_delta": delta_row,
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    serialized = json.dumps(payload, indent=2) + "\n"
+    OUTPUT.write_text(serialized)
+    ROOT_OUTPUT.write_text(serialized)
 
     for row in sim_rows:
         if row["neurons"] >= 1000 and row["duration"] == 100:

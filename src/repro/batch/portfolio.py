@@ -67,7 +67,7 @@ class PortfolioSolver:
     def solve(
         self,
         model: Model,
-        warm_start: dict[str, float] | None = None,
+        warm_start=None,
         keep_values: bool = True,
     ) -> SolveResult:
         """Race every member on ``model`` and return the best result.
@@ -78,6 +78,11 @@ class PortfolioSolver:
         wins).
         """
         opts = self.options
+        # Assemble the shared matrix form once, up front: every racer's
+        # Model.lower() (and warm-start feasibility check) then reuses the
+        # cached system instead of re-lowering per backend — including in
+        # thread mode, where racers would otherwise assemble concurrently.
+        model.lower()
         results: list[SolveResult] = []
         if opts.race == "threads" and len(opts.specs) > 1:
             with ThreadPoolExecutor(max_workers=len(opts.specs)) as pool:

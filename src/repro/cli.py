@@ -10,6 +10,8 @@ Subcommands:
 - ``repro simulate`` — run a saved mapping on the processor model and
   report traffic/energy.
 - ``repro exhibits`` — alias of ``python -m repro.experiments.runner``.
+- ``repro bench``    — run the benchmark scripts under ``benchmarks/``
+  and refresh the root-level ``BENCH_*.json`` perf-trajectory files.
 
 Usage:  python -m repro.cli <subcommand> --help
 """
@@ -179,6 +181,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path.cwd() / "benchmarks"
+    if not bench_dir.is_dir():
+        print(
+            "no benchmarks/ directory here; run `repro bench` from the repo root",
+            file=sys.stderr,
+        )
+        return 2
+    if args.benches:
+        targets = []
+        for name in args.benches:
+            stem = name if name.startswith("bench_") else f"bench_{name}"
+            path = bench_dir / f"{Path(stem).stem}.py"
+            if not path.is_file():
+                print(f"unknown bench {name!r} ({path} missing)", file=sys.stderr)
+                return 2
+            targets.append(path)
+    else:
+        targets = sorted(bench_dir.glob("bench_*.py"))
+        if args.trajectory_only:
+            # Just the benches that emit BENCH_*.json trajectory files.
+            targets = [t for t in targets if t.name in ("bench_ilp.py", "bench_simulator.py")]
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[str(t) for t in targets],
+        "--benchmark-only",
+        "-q",
+    ]
+    print("running:", " ".join(command))
+    import time
+
+    run_started = time.time()
+    status = subprocess.run(command).returncode
+
+    # Refresh the root perf trajectory: mirror only the BENCH_*.json
+    # artifacts this run actually (re)wrote — a stale artifact from a
+    # bench that was not selected must never clobber a newer root file.
+    refreshed = []
+    for artifact in sorted(bench_dir.glob("BENCH_*.json")):
+        if artifact.stat().st_mtime < run_started:
+            continue
+        target = bench_dir.parent / artifact.name
+        target.write_text(artifact.read_text())
+        refreshed.append(target.name)
+    roots = sorted(p.name for p in bench_dir.parent.glob("BENCH_*.json"))
+    print(f"root trajectory files: {', '.join(roots) or '(none)'}"
+          + (f" (refreshed {', '.join(refreshed)})" if refreshed else ""))
+    return status
+
+
 def _cmd_exhibits(args: argparse.Namespace) -> int:
     from .experiments import runner
 
@@ -251,6 +308,22 @@ def build_parser() -> argparse.ArgumentParser:
                                "(spike_profile, collect_profile, "
                                "evaluate_packets) accept the same engine=")
     simulate.set_defaults(func=_cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmark scripts and refresh the root BENCH_*.json files",
+    )
+    bench.add_argument(
+        "benches",
+        nargs="*",
+        help="bench names to run (e.g. ilp, simulator, batch); default: all",
+    )
+    bench.add_argument(
+        "--trajectory-only",
+        action="store_true",
+        help="with no names: run only the BENCH_*.json-emitting benches",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     exhibits = sub.add_parser("exhibits", help="reproduce paper tables/figures")
     exhibits.add_argument("--exhibit", default="all")

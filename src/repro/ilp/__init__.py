@@ -12,7 +12,7 @@ from .diagnostics import IisResult, explain_infeasibility, find_iis
 from .expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
 from .greedy_rounding import lp_rounding_warm_start
 from .highs_backend import HighsBackend, HighsOptions, solve_with_trace
-from .model import MatrixForm, Model, ObjectiveSense
+from .model import CODE_SENSES, SENSE_CODES, MatrixForm, Model, ObjectiveSense, RowSystem
 from .presolve import (
     InfeasibleModelError,
     PresolveReport,
@@ -24,6 +24,9 @@ from .solve import BACKEND_NAMES, SolverSpec, solve_model
 
 __all__ = [
     "BACKEND_NAMES",
+    "CODE_SENSES",
+    "SENSE_CODES",
+    "RowSystem",
     "BnBBackend",
     "BnBOptions",
     "BranchAndBoundBackend",

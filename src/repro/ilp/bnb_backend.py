@@ -129,7 +129,7 @@ class BnBBackend:
     def solve(
         self,
         model: Model,
-        warm_start: dict[str, float] | None = None,
+        warm_start: dict[str, float] | np.ndarray | None = None,
         keep_values: bool = True,
     ) -> SolveResult:
         opts = self.options
@@ -138,7 +138,7 @@ class BnBBackend:
         clock = DeterministicClock()
         clock.charge("setup", relax.nnz * 0.001)
         start = time.perf_counter()
-        names = [v.name for v in model.variables]
+        names = model.var_names()
         int_mask = form.integrality > 0
 
         best_x: np.ndarray | None = None
@@ -162,11 +162,12 @@ class BnBBackend:
                 )
 
         if warm_start is not None:
-            violations = model.check_feasible(warm_start)
+            # Index-based warm start: the incumbent goes straight in as a
+            # dense vector — no name-keyed dict hop on the hot path.
+            x0 = model.dense_values(warm_start)
+            violations = model.check_feasible(x0)
             if violations:
                 raise ValueError(f"warm start infeasible: {violations[:3]}")
-            by_index = model.values_by_index(warm_start)
-            x0 = np.array([by_index[i] for i in range(model.num_vars)])
             record(x0, float(form.c @ x0))
 
         root_lb = form.var_lb.copy()
@@ -343,6 +344,7 @@ class BnBBackend:
             status=status,
             objective=objective,
             values=values,
+            x=best_x if (best_x is not None and keep_values) else None,
             bound=user_bound,
             det_time=clock.now(),
             wall_time=time.perf_counter() - start,

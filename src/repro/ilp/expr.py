@@ -5,6 +5,16 @@ of PuLP / OR-Tools' model builders) used by :mod:`repro.ilp.model` to state
 ILP formulations declaratively.  Expressions are affine combinations of
 variables; comparisons against expressions or numbers produce
 :class:`Constraint` objects that a :class:`~repro.ilp.model.Model` collects.
+
+Operator-built expressions are the *convenience* path: every ``x + y <= 1``
+allocates a coefficient dict per intermediate, so cost grows with the
+number of Python-level terms.  :class:`~repro.ilp.model.Model` stores all
+constraints columnarly regardless of how they were stated; when a builder
+can phrase a whole constraint family as index arithmetic over NumPy
+arrays, it should call :meth:`~repro.ilp.model.Model.add_block` directly
+and skip this layer entirely — that is the O(nnz) fast path.  Prefer
+operators for small models, tests and one-off rows; prefer ``add_block``
+for anything sized by the instance (neurons x slots, synapse lists).
 """
 
 from __future__ import annotations

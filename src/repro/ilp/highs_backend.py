@@ -59,29 +59,31 @@ class HighsBackend:
     def solve(
         self,
         model: Model,
-        warm_start: dict[str, float] | None = None,
+        warm_start: dict[str, float] | np.ndarray | None = None,
         keep_values: bool = True,
     ) -> SolveResult:
         """Solve ``model``.
 
-        ``warm_start`` cannot seed HiGHS through SciPy, but a feasible warm
-        start still helps: its objective is added as a cutoff constraint
+        ``warm_start`` (name-keyed dict or dense index-ordered vector)
+        cannot seed HiGHS through SciPy, but a feasible warm start still
+        helps: its objective is added as a cutoff constraint
         (``objective <= warm_obj``), which prunes the tree, and it is
         returned as the solution whenever HiGHS itself finds nothing better
         within its limits.
         """
-        work = model
+        form = model.lower()
+        warm_x: np.ndarray | None = None
         warm_obj: float | None = None
         if warm_start is not None:
-            violations = model.check_feasible(warm_start)
+            warm_x = model.dense_values(warm_start)
+            violations = model.check_feasible(warm_x)
             if violations:
                 raise ValueError(
                     f"warm start infeasible: {violations[:3]}"
                     + ("..." if len(violations) > 3 else "")
                 )
-            warm_obj = model.objective_of(warm_start)
+            warm_obj = form.objective_value(warm_x)
 
-        form = work.lower()
         start = time.perf_counter()
         constraints = []
         if form.num_rows:
@@ -110,18 +112,20 @@ class HighsBackend:
         )
 
         status = _translate_status(res)
+        best_x: np.ndarray | None = None
         values: dict[str, float] | None = None
         objective: float | None = None
         if status.has_solution() and res.x is not None:
-            x = _snap_integers(np.asarray(res.x), form.integrality)
-            values = {v.name: float(x[v.index]) for v in model.variables}
-            objective = form.objective_value(x)
-        elif warm_start is not None:
+            best_x = _snap_integers(np.asarray(res.x), form.integrality)
+            objective = form.objective_value(best_x)
+        elif warm_x is not None:
             # HiGHS hit a limit (or pruned everything past the cutoff)
             # without an incumbent: fall back to the warm start.
             status = SolveStatus.FEASIBLE
-            values = dict(warm_start)
+            best_x = warm_x
             objective = warm_obj
+        if best_x is not None and keep_values:
+            values = model.values_dict(best_x)
 
         bound = None
         dual = getattr(res, "mip_dual_bound", None)
@@ -130,13 +134,12 @@ class HighsBackend:
 
         incumbents = []
         if objective is not None:
-            incumbents.append(
-                Incumbent(objective, det_time, wall, values if keep_values else None)
-            )
+            incumbents.append(Incumbent(objective, det_time, wall, values))
         return SolveResult(
             status=status,
             objective=objective,
-            values=values if keep_values else None,
+            values=values,
+            x=best_x if keep_values else None,
             bound=bound,
             det_time=det_time,
             wall_time=wall,
@@ -150,7 +153,7 @@ def solve_with_trace(
     model: Model,
     total_time: float,
     num_slices: int = 8,
-    warm_start: dict[str, float] | None = None,
+    warm_start: dict[str, float] | np.ndarray | None = None,
 ) -> SolveResult:
     """Emulate an incumbent trajectory with geometric time-sliced re-solves.
 
@@ -169,8 +172,9 @@ def solve_with_trace(
     det_accum = 0.0
     if warm_start is not None:
         # The warm start is the time-zero incumbent (as CP-SAT reports it).
-        seen_best = model.objective_of(warm_start)
-        trace.append(Incumbent(seen_best, 0.0, 0.0, dict(warm_start)))
+        x0 = model.dense_values(warm_start)
+        seen_best = model.objective_of(x0)
+        trace.append(Incumbent(seen_best, 0.0, 0.0, model.values_dict(x0)))
     for limit in limits:
         backend = HighsBackend(HighsOptions(time_limit=limit))
         res = backend.solve(model, warm_start=warm_start)

@@ -1,13 +1,39 @@
-"""Declarative ILP model container and matrix lowering.
+"""Declarative ILP model container with columnar constraint storage.
 
 :class:`Model` plays the role PuLP / OR-Tools' CpModel played for the paper:
-formulations are stated as named variables plus algebraic constraints, then
-lowered once into sparse-matrix form for whichever backend solves them.
+formulations are stated as named variables plus constraints, then lowered
+once into sparse-matrix form for whichever backend solves them.
+
+Constraints are stored *columnarly*: every row — whether added one
+expression at a time through :meth:`Model.add` or thousands at a time
+through :meth:`Model.add_block` — lands in shared COO triplet buffers
+(row/col/coef arrays) plus per-row sense and right-hand-side arrays.
+:meth:`Model.lower` assembles those buffers into one CSR matrix in O(nnz)
+NumPy work; there is no per-constraint Python loop anywhere on the
+lowering path, and the assembled system is cached until the model mutates,
+so warm-start feasibility checks and portfolio racers share a single
+assembly.
+
+Two construction styles, one storage format:
+
+- **Block API** (:meth:`add_block`, :meth:`add_vars`) — the fast path.
+  Formulation builders that can phrase a constraint *family* as index
+  arithmetic (``rows``/``cols``/``coefs`` NumPy arrays) should use it; the
+  mapping builders (:mod:`repro.mapping.axon_sharing`, ``snu``, ``pgo``)
+  emit their constraint families this way.
+- **Per-expression API** (:meth:`add` with ``x + y <= 1``) — the thin
+  compatibility path, unchanged in behavior.  Right for small models,
+  tests and one-off rows; each call appends a single row to the same
+  buffers.
+
+Both styles lower to identical :class:`MatrixForm`s (enforced by the
+block/expression equivalence property suite).
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -15,6 +41,11 @@ import numpy as np
 from scipy import sparse
 
 from .expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
+
+#: Stable integer codes for constraint senses in the columnar buffers.
+SENSE_CODES: dict[Sense, int] = {Sense.LE: 0, Sense.GE: 1, Sense.EQ: 2}
+#: Inverse of :data:`SENSE_CODES` (index with a code).
+CODE_SENSES: tuple[Sense, ...] = (Sense.LE, Sense.GE, Sense.EQ)
 
 
 class ObjectiveSense(enum.Enum):
@@ -56,6 +87,65 @@ class MatrixForm:
         return self.sign * (float(self.c @ x) + self.offset)
 
 
+@dataclass(frozen=True)
+class RowSystem:
+    """The assembled constraint system of a model.
+
+    ``a_matrix`` is canonical CSR (duplicates summed, explicit zeros
+    eliminated, indices sorted); ``sense_code`` holds :data:`SENSE_CODES`
+    entries per row and ``rhs`` the right-hand sides (a row reads
+    ``A[r] . x  <sense>  rhs[r]``).
+    """
+
+    a_matrix: sparse.csr_matrix
+    sense_code: np.ndarray
+    rhs: np.ndarray
+
+
+def _owned(array, source) -> np.ndarray:
+    """Ensure ``array`` does not share memory with the caller's ``source``.
+
+    The columnar buffers retain every array they are handed; a caller
+    reusing its scratch buffers after ``add_block`` must not be able to
+    mutate the stored constraint data.
+    """
+    if isinstance(source, np.ndarray) and np.shares_memory(array, source):
+        return array.copy()
+    return array
+
+
+def _coerce_sense_codes(sense, num_rows: int) -> np.ndarray:
+    """Normalize a sense spec (scalar or per-row) to an int8 code array."""
+
+    def one(item) -> int:
+        if isinstance(item, Sense):
+            return SENSE_CODES[item]
+        if isinstance(item, str):
+            return SENSE_CODES[Sense(item)]
+        code = int(item)
+        if not 0 <= code <= 2:
+            raise ValueError(f"invalid sense code {item!r}")
+        return code
+
+    if isinstance(sense, (Sense, str)):
+        return np.full(num_rows, one(sense), dtype=np.int8)
+    if isinstance(sense, np.ndarray) and sense.dtype.kind in "iu":
+        codes = np.asarray(sense, dtype=np.int8)
+        if codes.shape != (num_rows,):
+            raise ValueError(
+                f"sense array has shape {codes.shape}, expected ({num_rows},)"
+            )
+        if codes.size and (codes.min() < 0 or codes.max() > 2):
+            raise ValueError("sense codes must be 0 (<=), 1 (>=) or 2 (==)")
+        return codes
+    codes = np.fromiter((one(item) for item in sense), dtype=np.int8)
+    if codes.shape != (num_rows,):
+        raise ValueError(
+            f"got {codes.size} senses for {num_rows} rows"
+        )
+    return codes
+
+
 class Model:
     """An integer linear program under construction.
 
@@ -72,9 +162,25 @@ class Model:
         self.name = name
         self._vars: list[Variable] = []
         self._by_name: dict[str, Variable] = {}
-        self._constraints: list[Constraint] = []
         self._objective: LinExpr = LinExpr()
         self._sense = ObjectiveSense.MINIMIZE
+        # Columnar constraint store: COO triplet chunks plus parallel
+        # per-row sense/rhs chunks.  One chunk per add()/add_block() call.
+        self._coo_rows: list[np.ndarray] = []
+        self._coo_cols: list[np.ndarray] = []
+        self._coo_data: list[np.ndarray] = []
+        self._sense_chunks: list[np.ndarray] = []
+        self._rhs_chunks: list[np.ndarray] = []
+        self._num_rows = 0
+        # Row-name segments: (base_row, count, prefix_or_None, names_or_None).
+        self._segments: list[tuple[int, int, str | None, list[str] | None]] = []
+        self._seg_starts: list[int] = []
+        # Structure version: bumped on any variable/constraint addition so
+        # the assembled system (and the materialized-constraint view) can
+        # be cached and shared across backends and feasibility checks.
+        self._version = 0
+        self._system_cache: tuple[int, RowSystem] | None = None
+        self._cons_cache: tuple[int, tuple[Constraint, ...]] | None = None
 
     # ------------------------------------------------------------------
     # variables
@@ -94,10 +200,38 @@ class Model:
         var = Variable(name, len(self._vars), float(lb), float(ub), vartype)
         self._vars.append(var)
         self._by_name[name] = var
+        self._version += 1
         return var
+
+    def add_vars(
+        self,
+        names: Iterable[str],
+        lb: float = 0.0,
+        ub: float = float("inf"),
+        vartype: VarType = VarType.CONTINUOUS,
+    ) -> list[Variable]:
+        """Bulk :meth:`add_var`: register every name with shared bounds."""
+        if lb > ub:
+            raise ValueError(f"variable block has lb {lb} > ub {ub}")
+        lb, ub = float(lb), float(ub)
+        vars_, by_name = self._vars, self._by_name
+        out: list[Variable] = []
+        for name in names:
+            if name in by_name:
+                raise ValueError(f"duplicate variable name {name!r}")
+            var = Variable(name, len(vars_), lb, ub, vartype)
+            vars_.append(var)
+            by_name[name] = var
+            out.append(var)
+        self._version += 1
+        return out
 
     def add_binary(self, name: str) -> Variable:
         return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def add_binaries(self, names: Iterable[str]) -> list[Variable]:
+        """Bulk :meth:`add_binary`."""
+        return self.add_vars(names, 0.0, 1.0, VarType.BINARY)
 
     def add_integer(self, name: str, lb: float = 0.0, ub: float = float("inf")) -> Variable:
         return self.add_var(name, lb, ub, VarType.INTEGER)
@@ -114,6 +248,10 @@ class Model:
     def has_var(self, name: str) -> bool:
         return name in self._by_name
 
+    def var_names(self) -> list[str]:
+        """All variable names in index order."""
+        return [v.name for v in self._vars]
+
     @property
     def variables(self) -> Sequence[Variable]:
         return tuple(self._vars)
@@ -126,27 +264,172 @@ class Model:
     # constraints and objective
     # ------------------------------------------------------------------
     def add(self, constraint: Constraint, name: str = "") -> Constraint:
-        """Register a constraint built with <=, >= or ==."""
+        """Register a constraint built with <=, >= or == (compat path).
+
+        The constraint is decomposed into one columnar row; the original
+        ``Constraint`` object is not retained (reading
+        :attr:`constraints` materializes an equivalent view).
+        """
         if not isinstance(constraint, Constraint):
             raise TypeError(
                 "Model.add expects a Constraint; build one with <=, >= or =="
             )
         if name:
             constraint.named(name)
-        self._constraints.append(constraint)
+        coeffs = constraint.expr.coeffs
+        k = len(coeffs)
+        self._append_chunk(
+            np.zeros(k, dtype=np.int64),
+            np.fromiter(coeffs.keys(), dtype=np.int64, count=k),
+            np.fromiter(coeffs.values(), dtype=np.float64, count=k),
+            np.full(1, SENSE_CODES[constraint.sense], dtype=np.int8),
+            np.full(1, -constraint.expr.constant, dtype=np.float64),
+            1,
+            constraint.name or None,
+            None,
+        )
         return constraint
 
     def add_all(self, constraints: Iterable[Constraint]) -> None:
         for con in constraints:
             self.add(con)
 
+    def add_block(
+        self,
+        rows,
+        cols,
+        coefs,
+        sense,
+        rhs,
+        *,
+        num_rows: int | None = None,
+        name: str | Sequence[str] = "",
+    ) -> int:
+        """Add a family of constraints from COO triplets in one call.
+
+        ``rows``/``cols``/``coefs`` are parallel arrays of matrix entries
+        (``rows`` are block-local, 0-based); duplicate ``(row, col)``
+        entries are summed during assembly.  ``sense`` is a
+        :class:`~repro.ilp.expr.Sense` (or ``"<="``/``">="``/``"=="``, or
+        a per-row array of sense codes) and ``rhs`` a scalar or per-row
+        array, giving rows ``sum(coefs) <sense> rhs``.  ``num_rows`` makes
+        trailing entry-free rows explicit (default: ``rows.max() + 1``).
+        ``name`` is either a family prefix (rows report as
+        ``name[<local>]``) or a per-row name sequence.
+
+        Returns the global index of the block's first row.  This is the
+        fast path: cost is O(entries) in NumPy, independent of row count.
+        """
+        rows = _owned(np.ascontiguousarray(rows, dtype=np.int64), rows)
+        cols = _owned(np.ascontiguousarray(cols, dtype=np.int64), cols)
+        coefs = _owned(np.ascontiguousarray(coefs, dtype=np.float64), coefs)
+        if not (rows.shape == cols.shape == coefs.shape) or rows.ndim != 1:
+            raise ValueError(
+                "rows, cols and coefs must be 1-D arrays of equal length"
+            )
+        if num_rows is None:
+            num_rows = int(rows.max()) + 1 if rows.size else 0
+        else:
+            num_rows = int(num_rows)
+        if rows.size and (rows.min() < 0 or rows.max() >= num_rows):
+            raise ValueError(
+                f"block row indices must lie in [0, {num_rows})"
+            )
+        n = len(self._vars)
+        if cols.size and (cols.min() < 0 or cols.max() >= n):
+            raise ValueError(
+                f"column indices must lie in [0, {n}); add variables first"
+            )
+        codes = _owned(_coerce_sense_codes(sense, num_rows), sense)
+        rhs_arr = _owned(
+            np.ascontiguousarray(
+                np.broadcast_to(np.asarray(rhs, dtype=np.float64), (num_rows,))
+            ),
+            rhs,
+        )
+        prefix: str | None = None
+        names: list[str] | None = None
+        if isinstance(name, str):
+            prefix = name or None
+        else:
+            names = list(name)
+            if len(names) != num_rows:
+                raise ValueError(
+                    f"got {len(names)} row names for {num_rows} rows"
+                )
+        base = self._num_rows
+        self._append_chunk(rows, cols, coefs, codes, rhs_arr, num_rows, prefix, names)
+        return base
+
+    def _append_chunk(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        data: np.ndarray,
+        codes: np.ndarray,
+        rhs: np.ndarray,
+        num_rows: int,
+        prefix: str | None,
+        names: list[str] | None,
+    ) -> None:
+        base = self._num_rows
+        self._coo_rows.append(rows + base if base else rows)
+        self._coo_cols.append(cols)
+        self._coo_data.append(data)
+        self._sense_chunks.append(codes)
+        self._rhs_chunks.append(rhs)
+        self._segments.append((base, num_rows, prefix, names))
+        self._seg_starts.append(base)
+        self._num_rows += num_rows
+        self._version += 1
+
+    def row_name(self, row: int) -> str:
+        """Name of global constraint row ``row`` ("" when unnamed).
+
+        Rows from a prefix-named block report as ``prefix[<local>]``.
+        """
+        if not 0 <= row < self._num_rows:
+            raise IndexError(f"row {row} out of range")
+        base, count, prefix, names = self._segments[
+            bisect_right(self._seg_starts, row) - 1
+        ]
+        if names is not None:
+            return names[row - base]
+        if prefix is None:
+            return ""
+        return prefix if count == 1 else f"{prefix}[{row - base}]"
+
     @property
     def constraints(self) -> Sequence[Constraint]:
-        return tuple(self._constraints)
+        """Materialized per-row :class:`Constraint` view (compat path).
+
+        Built on demand from the columnar store; rows reflect canonical
+        assembly (duplicate entries summed, zero coefficients dropped).
+        """
+        cached = self._cons_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        system = self.row_system()
+        indptr = system.a_matrix.indptr
+        indices = system.a_matrix.indices
+        data = system.a_matrix.data
+        out = []
+        for r in range(self._num_rows):
+            lo, hi = indptr[r], indptr[r + 1]
+            expr = LinExpr(
+                dict(zip(indices[lo:hi].tolist(), data[lo:hi].tolist())),
+                -float(system.rhs[r]),
+            )
+            out.append(
+                Constraint(expr, CODE_SENSES[system.sense_code[r]], self.row_name(r))
+            )
+        view = tuple(out)
+        self._cons_cache = (self._version, view)
+        return view
 
     @property
     def num_constraints(self) -> int:
-        return len(self._constraints)
+        return self._num_rows
 
     def minimize(self, expr) -> None:
         self._objective = lin_sum([expr])
@@ -184,86 +467,159 @@ class Model:
             out[var.index] = float(values.get(var.name, var.lb))
         return out
 
+    def dense_values(self, values: Mapping[str, float] | np.ndarray) -> np.ndarray:
+        """Assignment as a dense index-ordered vector.
+
+        Accepts either a name-keyed mapping (missing variables default to
+        their lower bound; unknown names are ignored) or an already-dense
+        vector, which is validated for length and passed through.
+        """
+        n = len(self._vars)
+        if isinstance(values, np.ndarray):
+            x = np.asarray(values, dtype=np.float64)
+            if x.shape != (n,):
+                raise ValueError(
+                    f"dense assignment has shape {x.shape}, expected ({n},)"
+                )
+            return x
+        x = np.fromiter((v.lb for v in self._vars), dtype=np.float64, count=n)
+        by_name = self._by_name
+        for name, val in values.items():
+            var = by_name.get(name)
+            if var is not None:
+                x[var.index] = val
+        return x
+
+    def values_dict(self, x: np.ndarray) -> dict[str, float]:
+        """Dense vector back to a name-keyed assignment."""
+        return dict(zip(self.var_names(), np.asarray(x, dtype=np.float64).tolist()))
+
     def check_feasible(
-        self, values: Mapping[str, float], tol: float = 1e-6
+        self, values: Mapping[str, float] | np.ndarray, tol: float = 1e-6
     ) -> list[str]:
         """Return human-readable violations of ``values`` (empty = feasible).
 
-        Checks bounds, integrality and every constraint.  Used heavily by
-        tests and by mapping validators.
+        Checks bounds, integrality and every constraint row against the
+        assembled sparse system (one mat-vec, no per-constraint Python).
+        Accepts name-keyed mappings or dense index-ordered vectors.
         """
-        by_index = self.values_by_index(values)
+        x = self.dense_values(values)
         violations: list[str] = []
-        for var in self._vars:
-            val = by_index[var.index]
-            if val < var.lb - tol or val > var.ub + tol:
+        n = len(self._vars)
+        lb = np.fromiter((v.lb for v in self._vars), dtype=np.float64, count=n)
+        ub = np.fromiter((v.ub for v in self._vars), dtype=np.float64, count=n)
+        for i in np.flatnonzero((x < lb - tol) | (x > ub + tol)):
+            var = self._vars[i]
+            violations.append(
+                f"variable {var.name}={float(x[i])} outside [{var.lb}, {var.ub}]"
+            )
+        is_int = np.fromiter(
+            (v.is_integer() for v in self._vars), dtype=bool, count=n
+        )
+        off_grid = np.abs(x - np.round(x)) > tol
+        for i in np.flatnonzero(is_int & off_grid):
+            violations.append(
+                f"variable {self._vars[i].name}={float(x[i])} not integral"
+            )
+        system = self.row_system()
+        if self._num_rows:
+            lhs = system.a_matrix @ x - system.rhs
+            code = system.sense_code
+            bad = (
+                ((code == 0) & (lhs > tol))
+                | ((code == 1) & (lhs < -tol))
+                | ((code == 2) & (np.abs(lhs) > tol))
+            )
+            for r in np.flatnonzero(bad):
+                label = self.row_name(r) or f"#{r}"
                 violations.append(
-                    f"variable {var.name}={val} outside [{var.lb}, {var.ub}]"
-                )
-            if var.is_integer() and abs(val - round(val)) > tol:
-                violations.append(f"variable {var.name}={val} not integral")
-        for pos, con in enumerate(self._constraints):
-            if not con.satisfied(by_index, tol):
-                label = con.name or f"#{pos}"
-                violations.append(
-                    f"constraint {label} violated: {con.expr.evaluate(by_index):g} "
-                    f"{con.sense.value} 0"
+                    f"constraint {label} violated: {lhs[r]:g} "
+                    f"{CODE_SENSES[code[r]].value} 0"
                 )
         return violations
 
-    def objective_of(self, values: Mapping[str, float]) -> float:
-        """Objective value of a name-keyed assignment."""
-        return self._objective.evaluate(self.values_by_index(values))
+    def objective_of(self, values: Mapping[str, float] | np.ndarray) -> float:
+        """Objective value of a name-keyed or dense assignment."""
+        x = self.dense_values(values)
+        coeffs = self._objective.coeffs
+        if not coeffs:
+            return self._objective.constant
+        k = len(coeffs)
+        idx = np.fromiter(coeffs.keys(), dtype=np.int64, count=k)
+        vals = np.fromiter(coeffs.values(), dtype=np.float64, count=k)
+        return float(vals @ x[idx]) + self._objective.constant
 
     # ------------------------------------------------------------------
     # lowering
     # ------------------------------------------------------------------
+    def row_system(self) -> RowSystem:
+        """Assemble (and cache) the canonical CSR constraint system.
+
+        O(nnz) NumPy/SciPy work; the result is reused until the model
+        gains variables or rows, so repeated lowers (warm-start checks,
+        portfolio racers, presolve) pay for assembly once.
+        """
+        cached = self._system_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        n = len(self._vars)
+        if self._coo_rows:
+            rows = np.concatenate(self._coo_rows)
+            cols = np.concatenate(self._coo_cols)
+            data = np.concatenate(self._coo_data)
+            codes = np.concatenate(self._sense_chunks)
+            rhs = np.concatenate(self._rhs_chunks)
+        else:
+            rows = cols = np.empty(0, dtype=np.int64)
+            data = np.empty(0, dtype=np.float64)
+            codes = np.empty(0, dtype=np.int8)
+            rhs = np.empty(0, dtype=np.float64)
+        a_matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self._num_rows, n)
+        )
+        a_matrix.eliminate_zeros()
+        a_matrix.sort_indices()
+        system = RowSystem(a_matrix=a_matrix, sense_code=codes, rhs=rhs)
+        self._system_cache = (self._version, system)
+        return system
+
     def lower(self) -> MatrixForm:
         """Lower the model to sparse-matrix form for the backends.
 
         Maximization is converted to minimization by negating the
-        objective; :attr:`MatrixForm.sign` undoes this in reports.
+        objective; :attr:`MatrixForm.sign` undoes this in reports.  The
+        constraint matrix comes from the cached :meth:`row_system`;
+        variable bounds are re-read on every call so direct ``Variable``
+        bound mutations (``fix_var``, presolve tightening) always land.
         """
+        system = self.row_system()
         n = len(self._vars)
         sign = 1.0 if self._sense is ObjectiveSense.MINIMIZE else -1.0
 
         c = np.zeros(n)
-        for idx, coef in self._objective.coeffs.items():
-            c[idx] = sign * coef
+        coeffs = self._objective.coeffs
+        if coeffs:
+            k = len(coeffs)
+            idx = np.fromiter(coeffs.keys(), dtype=np.int64, count=k)
+            vals = np.fromiter(coeffs.values(), dtype=np.float64, count=k)
+            c[idx] = sign * vals
         offset = sign * self._objective.constant
 
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        row_lb = np.empty(len(self._constraints))
-        row_ub = np.empty(len(self._constraints))
-        for r, con in enumerate(self._constraints):
-            for idx, coef in con.expr.coeffs.items():
-                if coef != 0.0:
-                    rows.append(r)
-                    cols.append(idx)
-                    data.append(coef)
-            rhs = -con.expr.constant
-            if con.sense is Sense.LE:
-                row_lb[r], row_ub[r] = -np.inf, rhs
-            elif con.sense is Sense.GE:
-                row_lb[r], row_ub[r] = rhs, np.inf
-            else:
-                row_lb[r], row_ub[r] = rhs, rhs
-
-        a_matrix = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(len(self._constraints), n)
-        )
-        var_lb = np.array([v.lb for v in self._vars])
-        var_ub = np.array([v.ub for v in self._vars])
-        integrality = np.array(
-            [1 if v.is_integer() else 0 for v in self._vars], dtype=np.int8
+        code = system.sense_code
+        row_lb = np.where(code == 0, -np.inf, system.rhs)
+        row_ub = np.where(code == 1, np.inf, system.rhs)
+        var_lb = np.fromiter((v.lb for v in self._vars), dtype=np.float64, count=n)
+        var_ub = np.fromiter((v.ub for v in self._vars), dtype=np.float64, count=n)
+        integrality = np.fromiter(
+            (1 if v.is_integer() else 0 for v in self._vars),
+            dtype=np.int8,
+            count=n,
         )
         # Note: MatrixForm.offset stores the minimized-form constant, so
         # objective_value computes sign * (c.x + offset) = original objective.
         return MatrixForm(
             c=c,
-            a_matrix=a_matrix,
+            a_matrix=system.a_matrix,
             row_lb=row_lb,
             row_ub=row_ub,
             var_lb=var_lb,
@@ -278,13 +634,12 @@ class Model:
         by_type = {t: 0 for t in VarType}
         for var in self._vars:
             by_type[var.vartype] += 1
-        nnz = sum(len(c.expr.coeffs) for c in self._constraints)
         return {
             "binary": by_type[VarType.BINARY],
             "integer": by_type[VarType.INTEGER],
             "continuous": by_type[VarType.CONTINUOUS],
-            "constraints": len(self._constraints),
-            "nonzeros": nnz,
+            "constraints": self._num_rows,
+            "nonzeros": int(self.row_system().a_matrix.nnz),
         }
 
     def __repr__(self) -> str:

@@ -8,7 +8,7 @@ instance (and so tests can reason about the transformations explicitly):
 - **empty / tautological rows** (no variables, constant satisfies) drop;
 - **singleton rows** tighten the single variable's bounds, then drop;
 - **binary fixing**: bounds tightened into {0} or {1} fix the variable;
-- **duplicate rows** (identical normalized coefficient vectors with
+- **duplicate rows** (identical sign-normalized coefficient vectors with
   compatible senses) keep only the tightest;
 - **fixed-variable substitution** folds ``lb == ub`` variables into row
   constants.
@@ -17,6 +17,13 @@ All reductions are *safe*: the reduced model has exactly the same set of
 feasible completions and optimal objective value.  :func:`presolve`
 returns a new model plus a report of what happened; solutions of the
 reduced model extend to the original by re-adding fixed variables.
+
+The passes run on the model's assembled sparse system
+(:meth:`~repro.ilp.model.Model.row_system`), not on per-constraint Python
+objects: empty/singleton rows come from row-nnz masks, fixed-variable
+substitution is one sparse mat-vec, and duplicate detection hashes each
+sign-normalized row exactly once (linear in total nonzeros, where the old
+per-object scan re-normalized rows per comparison).
 """
 
 from __future__ import annotations
@@ -24,8 +31,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from .expr import Constraint, LinExpr, Sense, VarType
-from .model import Model
+import numpy as np
+
+from .expr import LinExpr, Sense, Variable
+from .model import CODE_SENSES, Model
+
+#: Sense codes (see :data:`repro.ilp.model.SENSE_CODES`).
+_LE, _GE, _EQ = 0, 1, 2
 
 
 @dataclass
@@ -48,21 +60,18 @@ class InfeasibleModelError(ValueError):
 
 
 def _tighten_from_singleton(
-    model: Model, con: Constraint, report: PresolveReport
+    var: Variable, coef: float, rhs: float, sense: Sense, report: PresolveReport
 ) -> None:
-    """Apply ``a*x (<=|>=|==) rhs`` to x's bounds."""
-    ((idx, coef),) = con.expr.coeffs.items()
-    var = model.variables[idx]
-    rhs = -con.expr.constant
+    """Apply ``coef * x (<=|>=|==) rhs`` to x's bounds."""
     bound = rhs / coef
     senses: list[Sense]
-    if con.sense is Sense.EQ:
+    if sense is Sense.EQ:
         senses = [Sense.LE, Sense.GE]
     else:
-        senses = [con.sense]
-    for sense in senses:
-        # a*x <= rhs: upper bound if a > 0 else lower bound (and dually).
-        upper = (sense is Sense.LE) == (coef > 0)
+        senses = [sense]
+    for one in senses:
+        # coef*x <= rhs: upper bound if coef > 0 else lower bound (dually).
+        upper = (one is Sense.LE) == (coef > 0)
         if upper:
             if bound < var.ub - 1e-12:
                 var.ub = bound
@@ -80,117 +89,174 @@ def _tighten_from_singleton(
         )
 
 
-def _row_signature(con: Constraint) -> tuple:
-    """Normalized coefficient signature for duplicate detection."""
-    items = sorted(con.expr.coeffs.items())
-    if not items:
-        return ()
-    # Scale so the first coefficient is +1 (sign-normalized).
-    scale = items[0][1]
-    return tuple((i, round(c / scale, 12)) for i, c in items)
+def _constant_rows_ok(codes: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Feasibility of variable-free rows ``0 <sense> rhs`` (tolerance 1e-9)."""
+    return np.where(
+        codes == _LE,
+        rhs >= -1e-9,
+        np.where(codes == _GE, rhs <= 1e-9, np.abs(rhs) <= 1e-9),
+    )
 
 
 def presolve(model: Model) -> tuple[Model, PresolveReport]:
     """Produce a reduced, equivalent model.
 
     Raises :class:`InfeasibleModelError` when a reduction proves the
-    model infeasible outright.
+    model infeasible outright.  Singleton-row tightening mutates the
+    *original* model's variable bounds (Variable objects are shared with
+    callers), exactly as before.
     """
     report = PresolveReport()
+    variables = model.variables
+    system = model.row_system()
+    a = system.a_matrix
+    codes = system.sense_code
+    rhs = system.rhs
+    nnz = np.diff(a.indptr)
 
-    # Pass 1: singleton rows tighten bounds on the ORIGINAL model's
-    # variables (Variable objects are shared), then get dropped.
-    survivors: list[Constraint] = []
-    for con in model.constraints:
-        nonzero = {i: c for i, c in con.expr.coeffs.items() if c != 0.0}
-        if not nonzero:
-            lhs = con.expr.constant
-            ok = (
-                (con.sense is Sense.LE and lhs <= 1e-9)
-                or (con.sense is Sense.GE and lhs >= -1e-9)
-                or (con.sense is Sense.EQ and abs(lhs) <= 1e-9)
+    # Pass 1: empty rows must be tautological; singleton rows tighten the
+    # single variable's bounds.  Both kinds then drop.
+    empty = np.flatnonzero(nnz == 0)
+    if empty.size:
+        ok = _constant_rows_ok(codes[empty], rhs[empty])
+        if not ok.all():
+            bad = int(empty[np.argmin(ok)])
+            label = model.row_name(bad) or f"#{bad}"
+            raise InfeasibleModelError(
+                f"constant constraint {label} is violated"
             )
-            if not ok:
-                raise InfeasibleModelError(
-                    f"constant constraint {con.name or con!r} is violated"
-                )
-            report.rows_dropped += 1
-            continue
-        if len(nonzero) == 1:
-            _tighten_from_singleton(model, con, report)
-            report.singleton_rows += 1
-            report.rows_dropped += 1
-            continue
-        survivors.append(con)
+        report.rows_dropped += int(empty.size)
+    singles = np.flatnonzero(nnz == 1)
+    for r in singles:
+        entry = a.indptr[r]
+        _tighten_from_singleton(
+            variables[int(a.indices[entry])],
+            float(a.data[entry]),
+            float(rhs[r]),
+            CODE_SENSES[codes[r]],
+            report,
+        )
+    report.singleton_rows = int(singles.size)
+    report.rows_dropped += int(singles.size)
 
     # Pass 2: collect fixed variables (including freshly fixed binaries).
-    fixed: dict[int, float] = {}
-    for var in model.variables:
-        if var.ub - var.lb <= 1e-9:
-            fixed[var.index] = var.lb
-            report.fixed_values[var.name] = var.lb
-    report.vars_fixed = len(fixed)
+    n = len(variables)
+    var_lb = np.fromiter((v.lb for v in variables), dtype=np.float64, count=n)
+    var_ub = np.fromiter((v.ub for v in variables), dtype=np.float64, count=n)
+    fixed_mask = var_ub - var_lb <= 1e-9
+    fixed_idx = np.flatnonzero(fixed_mask)
+    for i in fixed_idx:
+        report.fixed_values[variables[i].name] = float(var_lb[i])
+    report.vars_fixed = int(fixed_idx.size)
 
-    # Pass 3: rebuild with fixed variables substituted into constants.
-    reduced = Model(f"{model.name}-presolved")
-    index_map: dict[int, int] = {}
-    for var in model.variables:
-        if var.index in fixed:
-            continue
-        new = reduced.add_var(var.name, var.lb, var.ub, var.vartype)
-        index_map[var.index] = new.index
+    # Pass 3: substitute fixed variables into the surviving (nnz >= 2)
+    # rows' constants and drop their columns — one sparse mat-vec.
+    surv = np.flatnonzero(nnz >= 2)
+    a_surv = a[surv]
+    rhs_surv = rhs[surv].copy()
+    codes_surv = codes[surv]
+    if fixed_idx.size:
+        rhs_surv -= a_surv[:, fixed_idx] @ var_lb[fixed_idx]
+    free_idx = np.flatnonzero(~fixed_mask)
+    a_free = a_surv[:, free_idx].tocsr()
+    a_free.sort_indices()
+    nnz_free = np.diff(a_free.indptr)
 
-    def translate(expr: LinExpr) -> LinExpr:
-        coeffs: dict[int, float] = {}
-        constant = expr.constant
-        for idx, coef in expr.coeffs.items():
-            if idx in fixed:
-                constant += coef * fixed[idx]
-            elif coef != 0.0:
-                coeffs[index_map[idx]] = coef
-        return LinExpr(coeffs, constant)
-
-    seen: dict[tuple, Constraint] = {}
-    for con in survivors:
-        expr = translate(con.expr)
-        if not expr.coeffs:
-            lhs = expr.constant
-            ok = (
-                (con.sense is Sense.LE and lhs <= 1e-9)
-                or (con.sense is Sense.GE and lhs >= -1e-9)
-                or (con.sense is Sense.EQ and abs(lhs) <= 1e-9)
+    emptied = nnz_free == 0
+    if emptied.any():
+        ok = _constant_rows_ok(codes_surv[emptied], rhs_surv[emptied])
+        if not ok.all():
+            bad = int(surv[np.flatnonzero(emptied)[np.argmin(ok)]])
+            label = model.row_name(bad) or f"#{bad}"
+            raise InfeasibleModelError(
+                f"constraint {label} violated after fixing"
             )
-            if not ok:
-                raise InfeasibleModelError(
-                    f"constraint {con.name or con!r} violated after fixing"
-                )
-            report.rows_dropped += 1
-            continue
-        new_con = Constraint(expr, con.sense, con.name)
-        sig = (_row_signature(new_con), con.sense)
-        prior = seen.get(sig)
-        if prior is not None and prior.sense is con.sense:
-            # Keep the tighter of two parallel rows.
-            scale_new = sorted(expr.coeffs.items())[0][1]
-            scale_old = sorted(prior.expr.coeffs.items())[0][1]
-            rhs_new = -expr.constant / scale_new
-            rhs_old = -prior.expr.constant / scale_old
-            tighter_new = rhs_new < rhs_old if con.sense is Sense.LE else rhs_new > rhs_old
-            if con.sense is Sense.EQ:
-                if abs(rhs_new - rhs_old) > 1e-9:
-                    raise InfeasibleModelError(
-                        "conflicting duplicate equality rows"
-                    )
-                tighter_new = False
-            if tighter_new:
-                prior.expr.coeffs, prior.expr.constant = expr.coeffs, expr.constant
-            report.duplicate_rows += 1
-            report.rows_dropped += 1
-            continue
-        seen[sig] = new_con
-        reduced.add(new_con)
+        report.rows_dropped += int(np.count_nonzero(emptied))
+    live = ~emptied
+    a_free = a_free[live]
+    rhs_live = rhs_surv[live]
+    codes_live = codes_surv[live]
+    orig_rows = surv[live]
 
-    objective = translate(model.objective)
+    # Pass 4: duplicate rows.  Sign-normalize each row (first coefficient
+    # becomes +1; LE/GE flip when it was negative), hash the normalized
+    # pattern ONCE, and keep the tightest right-hand side per group.
+    indptr = a_free.indptr
+    indices = a_free.indices
+    data = a_free.data
+    num_live = a_free.shape[0]
+    scale = data[indptr[:-1]] if num_live else np.empty(0)
+    norm_data = np.round(data / np.repeat(scale, np.diff(indptr)), 12) + 0.0
+    norm_rhs = rhs_live / scale
+    flip = scale < 0
+    norm_codes = np.where(
+        flip & (codes_live == _LE),
+        _GE,
+        np.where(flip & (codes_live == _GE), _LE, codes_live),
+    )
+
+    keep_pos: list[int] = []
+    kept_rhs: list[float] = []
+    seen: dict[tuple, int] = {}
+    for pos in range(num_live):
+        lo, hi = indptr[pos], indptr[pos + 1]
+        key = (
+            int(norm_codes[pos]),
+            indices[lo:hi].tobytes(),
+            norm_data[lo:hi].tobytes(),
+        )
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = len(keep_pos)
+            keep_pos.append(pos)
+            kept_rhs.append(float(norm_rhs[pos]))
+            continue
+        code = int(norm_codes[pos])
+        if code == _EQ:
+            if abs(float(norm_rhs[pos]) - kept_rhs[prior]) > 1e-9:
+                raise InfeasibleModelError("conflicting duplicate equality rows")
+        elif code == _LE:
+            kept_rhs[prior] = min(kept_rhs[prior], float(norm_rhs[pos]))
+        else:
+            kept_rhs[prior] = max(kept_rhs[prior], float(norm_rhs[pos]))
+        report.duplicate_rows += 1
+        report.rows_dropped += 1
+
+    keep_arr = np.asarray(keep_pos, dtype=np.int64)
+    a_kept = a_free[keep_arr]
+    # Tightened rhs is tracked in normalized space; map back through the
+    # kept row's own scale so its stored coefficients stay untouched.
+    rhs_kept = np.asarray(kept_rhs) * scale[keep_arr] if keep_arr.size else np.empty(0)
+    codes_kept = codes_live[keep_arr]
+
+    # Rebuild: surviving variables (with tightened bounds), surviving rows
+    # as one block, objective with fixed variables folded into constants.
+    reduced = Model(f"{model.name}-presolved")
+    for i in free_idx:
+        v = variables[i]
+        reduced.add_var(v.name, v.lb, v.ub, v.vartype)
+    if keep_arr.size:
+        coo = a_kept.tocoo()
+        reduced.add_block(
+            coo.row,
+            coo.col,
+            coo.data,
+            codes_kept,
+            rhs_kept,
+            num_rows=int(a_kept.shape[0]),
+            name=[model.row_name(int(r)) for r in orig_rows[keep_arr]],
+        )
+
+    colmap = np.full(n, -1, dtype=np.int64)
+    colmap[free_idx] = np.arange(free_idx.size)
+    obj_coeffs: dict[int, float] = {}
+    constant = model.objective.constant
+    for idx, coef in model.objective.coeffs.items():
+        if fixed_mask[idx]:
+            constant += coef * var_lb[idx]
+        elif coef != 0.0:
+            obj_coeffs[int(colmap[idx])] = coef
+    objective = LinExpr(obj_coeffs, constant)
     if model.objective_sense.value == "minimize":
         reduced.minimize(objective)
     else:

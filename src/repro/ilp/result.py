@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 
 class SolveStatus(enum.Enum):
     """Outcome of a solve call."""
@@ -48,6 +50,10 @@ class SolveResult:
         Objective value of the best solution (``None`` without a solution).
     values:
         Best assignment, variable name -> value (``None`` without one).
+    x:
+        Best assignment as a dense index-ordered vector (``None`` without
+        one).  The preferred form for index-based consumers (mapping
+        extraction, warm-start chaining); ``values`` is derived from it.
     bound:
         Best proven dual bound on the objective, if known.
     det_time:
@@ -65,6 +71,7 @@ class SolveResult:
     status: SolveStatus
     objective: float | None = None
     values: dict[str, float] | None = None
+    x: np.ndarray | None = None
     bound: float | None = None
     det_time: float = 0.0
     wall_time: float = 0.0

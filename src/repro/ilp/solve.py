@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from .bnb_backend import BnBBackend, BnBOptions
 from .highs_backend import HighsBackend, HighsOptions
 from .model import Model
@@ -73,7 +75,7 @@ class SolverSpec:
 def solve_model(
     model: Model,
     spec: SolverSpec,
-    warm_start: dict[str, float] | None = None,
+    warm_start: dict[str, float] | np.ndarray | None = None,
     keep_values: bool = True,
 ) -> SolveResult:
     """Solve ``model`` per ``spec``; never lets an interrupt escape empty.
@@ -92,12 +94,14 @@ def solve_model(
                 status=SolveStatus.NO_SOLUTION,
                 backend=f"{spec.backend}-interrupted",
             )
-        objective = model.objective_of(warm_start)
-        values = dict(warm_start) if keep_values else None
+        x0 = model.dense_values(warm_start)
+        objective = model.objective_of(x0)
+        values = model.values_dict(x0) if keep_values else None
         return SolveResult(
             status=SolveStatus.FEASIBLE,
             objective=objective,
             values=values,
+            x=x0 if keep_values else None,
             incumbents=[Incumbent(objective, 0.0, 0.0, values)],
             backend=f"{spec.backend}-interrupted",
         )

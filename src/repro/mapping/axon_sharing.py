@@ -20,6 +20,17 @@ Constraints (paper numbering):
 
 Objective (8): ``min sum_j y[j] * C_j``.
 
+Every constraint family is emitted as one columnar block
+(:meth:`~repro.ilp.model.Model.add_block`) over index arrays — variables
+live in a fixed layout (``y`` block, then ``x`` row-major over
+(neuron, slot), then ``s`` over (source, slot)) so rows/cols are pure
+index arithmetic and build cost is O(nnz) NumPy work, not one ``LinExpr``
+per synapse/slot pair.  The layout and the families shared with the
+route formulation live in :class:`_SlotFormulation`, which
+:class:`~repro.mapping.snu.RouteModel` reuses — there is exactly one copy
+of the index arithmetic.  Warm starts and solution extraction ride the
+same layout end to end as dense vectors.
+
 Options cover the ablations DESIGN.md calls out: symmetry breaking between
 identical slots, aggregated vs. per-edge form of constraint 6, inclusion
 of the (never-binding under these objectives) upper link (5), and
@@ -29,9 +40,12 @@ warm-start construction from any valid mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-from ..ilp.expr import Variable, lin_sum
-from ..ilp.model import Model
+import numpy as np
+
+from ..ilp.expr import LinExpr, Variable
+from ..ilp.model import Model, Sense
 from ..ilp.result import SolveResult
 from .problem import MappingProblem
 from .solution import Mapping
@@ -69,6 +83,198 @@ def b_name(k: int, j: int) -> str:
     return f"b_{k}_{j}"
 
 
+class _SlotFormulation:
+    """Fixed y/x/s layout over (neurons x model slots) plus the constraint
+    families shared by the area and route formulations.
+
+    One instance owns the index arithmetic for a model whose slot universe
+    is ``slots`` (every architecture slot for the area model, the frozen
+    allowed set for the route model): variable bases, source positions,
+    per-(edge, slot) entry coordinates, columnar emission of families
+    (3)/(4)/(7)/(6)/(5), dense warm-start filling and dense extraction.
+    """
+
+    def __init__(self, problem: MappingProblem, slots: Iterable[int]) -> None:
+        self.problem = problem
+        self.slot_list = list(slots)
+        neurons = problem.network.neuron_ids()  # compact: 0..n-1
+        sources = problem.sources()
+        n, m, p = len(neurons), len(self.slot_list), len(sources)
+        self.neurons = neurons
+        self.num_neurons = n
+        self.num_model_slots = m
+        self.num_sources = p
+        self.slot_ids = np.asarray(self.slot_list, dtype=np.int64)
+        self.slot_pos_of = {j: pos for pos, j in enumerate(self.slot_list)}
+        self.sources = np.asarray(sources, dtype=np.int64)
+        self.x_base = m
+        self.s_base = m + n * m
+        kpos_of = np.full(n, -1, dtype=np.int64)
+        kpos_of[self.sources] = np.arange(p)
+        self.kpos_of = kpos_of
+
+        arch = problem.architecture
+        self.outputs = np.array(
+            [arch.slot(j).outputs for j in self.slot_list], dtype=np.float64
+        )
+        self.inputs = np.array(
+            [arch.slot(j).inputs for j in self.slot_list], dtype=np.float64
+        )
+        self.areas = np.array(
+            [arch.slot(j).area for j in self.slot_list], dtype=np.float64
+        )
+
+        edges = problem.edges()
+        self.edge_src = np.array([k for k, _ in edges], dtype=np.int64)
+        self.edge_dst = np.array([i for _, i in edges], dtype=np.int64)
+        self.num_edges = self.edge_src.size
+        if self.num_edges:
+            # Edge e replicated across every slot position j — the entry
+            # coordinates of the per-edge sharing and uplink families.
+            j_tile = np.tile(np.arange(m, dtype=np.int64), self.num_edges)
+            edge_kpos_rep = np.repeat(kpos_of[self.edge_src], m)
+            self.edge_s_cols = self.s_base + edge_kpos_rep * m + j_tile
+            self.edge_x_cols = self.x_base + np.repeat(self.edge_dst, m) * m + j_tile
+            self.edge_src_rows = edge_kpos_rep * m + j_tile
+
+    # ------------------------------------------------------------------
+    # variable registration and index arithmetic
+    # ------------------------------------------------------------------
+    def register_variables(self, model: Model):
+        """Create the y/x/s blocks in layout order; returns handle dicts."""
+        slots = self.slot_list
+        ys = model.add_binaries(y_name(j) for j in slots)
+        xs = model.add_binaries(x_name(i, j) for i in self.neurons for j in slots)
+        ss = model.add_binaries(
+            s_name(k, j) for k in self.sources.tolist() for j in slots
+        )
+        y = dict(zip(slots, ys))
+        x = dict(zip(((i, j) for i in self.neurons for j in slots), xs))
+        s = dict(zip(((k, j) for k in self.sources.tolist() for j in slots), ss))
+        return y, x, s
+
+    def x_index(self, i: int, jpos: int) -> int:
+        return self.x_base + i * self.num_model_slots + jpos
+
+    def s_index(self, kpos: int, jpos: int) -> int:
+        return self.s_base + kpos * self.num_model_slots + jpos
+
+    # ------------------------------------------------------------------
+    # shared constraint families (columnar blocks)
+    # ------------------------------------------------------------------
+    def emit_place(self, model: Model) -> None:
+        """(3) each neuron's output maps to exactly one crossbar."""
+        n, m = self.num_neurons, self.num_model_slots
+        model.add_block(
+            rows=np.repeat(np.arange(n, dtype=np.int64), m),
+            cols=self.x_base + np.arange(n * m, dtype=np.int64),
+            coefs=np.ones(n * m),
+            sense=Sense.EQ,
+            rhs=1.0,
+            num_rows=n,
+            name=[f"place_{i}" for i in self.neurons],
+        )
+
+    def emit_outputs(self, model: Model) -> None:
+        """(4) output-line capacity: sum_i x[i, j] - N_j * y[j] <= 0."""
+        n, m = self.num_neurons, self.num_model_slots
+        all_j = np.arange(m, dtype=np.int64)
+        model.add_block(
+            rows=np.concatenate([np.tile(all_j, n), all_j]),
+            cols=np.concatenate(
+                [self.x_base + np.arange(n * m, dtype=np.int64), all_j]
+            ),
+            coefs=np.concatenate([np.ones(n * m), -self.outputs]),
+            sense=Sense.LE,
+            rhs=0.0,
+            num_rows=m,
+            name=[f"outputs_{j}" for j in self.slot_list],
+        )
+
+    def emit_inputs(self, model: Model) -> None:
+        """(7) input-line capacity: sum_k s[k, j] - A_j * y[j] <= 0."""
+        p, m = self.num_sources, self.num_model_slots
+        all_j = np.arange(m, dtype=np.int64)
+        model.add_block(
+            rows=np.concatenate([np.tile(all_j, p), all_j]),
+            cols=np.concatenate(
+                [self.s_base + np.arange(p * m, dtype=np.int64), all_j]
+            ),
+            coefs=np.concatenate([np.ones(p * m), -self.inputs]),
+            sense=Sense.LE,
+            rhs=0.0,
+            num_rows=m,
+            name=[f"inputs_{j}" for j in self.slot_list],
+        )
+
+    def emit_share(self, model: Model) -> None:
+        """(6) per-edge sharing: s[k, j] - x[i, j] >= 0 per (edge, slot)."""
+        if not self.num_edges:
+            return
+        count = self.num_edges * self.num_model_slots
+        rows = np.arange(count, dtype=np.int64)
+        model.add_block(
+            rows=np.concatenate([rows, rows]),
+            cols=np.concatenate([self.edge_s_cols, self.edge_x_cols]),
+            coefs=np.concatenate([np.ones(count), -np.ones(count)]),
+            sense=Sense.GE,
+            rhs=0.0,
+            num_rows=count,
+            name="share",
+        )
+
+    def emit_uplink(self, model: Model) -> None:
+        """(5) upper link: s[k, j] - sum_{i in succ(k)} x[i, j] <= 0."""
+        if not self.num_edges:
+            return
+        p, m = self.num_sources, self.num_model_slots
+        s_rows = np.arange(p * m, dtype=np.int64)
+        model.add_block(
+            rows=np.concatenate([s_rows, self.edge_src_rows]),
+            cols=np.concatenate(
+                [self.s_base + np.arange(p * m, dtype=np.int64), self.edge_x_cols]
+            ),
+            coefs=np.concatenate(
+                [np.ones(p * m), -np.ones(self.num_edges * m)]
+            ),
+            sense=Sense.LE,
+            rhs=0.0,
+            num_rows=p * m,
+            name="uplink",
+        )
+
+    # ------------------------------------------------------------------
+    # dense warm starts and extraction
+    # ------------------------------------------------------------------
+    def warm_vector(self, model: Model, mapping: Mapping) -> np.ndarray:
+        """Dense x/y/s assignment consistent with ``mapping`` (no b vars)."""
+        x0 = np.zeros(model.num_vars)
+        pos = self.slot_pos_of
+        for i, j in mapping.assignment.items():
+            x0[self.x_index(i, pos[j])] = 1.0
+        for j in mapping.enabled_slots():
+            jpos = pos[j]
+            x0[jpos] = 1.0  # y_j
+            for k in mapping.axon_inputs(j):
+                x0[self.s_index(int(self.kpos_of[k]), jpos)] = 1.0
+        return x0
+
+    def placement_from_x(self, x: np.ndarray) -> tuple[dict[int, int], np.ndarray]:
+        """Placed-slot assignment and per-neuron placement counts from a
+        dense solution vector."""
+        n, m = self.num_neurons, self.num_model_slots
+        placed = (
+            np.asarray(x)[self.x_base : self.x_base + n * m].reshape(n, m) > 0.5
+        )
+        counts = np.count_nonzero(placed, axis=1)
+        jpos = np.argmax(placed, axis=1)
+        assignment = {
+            int(i): int(self.slot_ids[jpos[i]])
+            for i in np.flatnonzero(counts >= 1)
+        }
+        return assignment, counts
+
+
 class AreaModel:
     """The lowered area-optimization ILP plus its variable handles."""
 
@@ -90,94 +296,75 @@ class AreaModel:
         prob = self.problem
         model = self.model
         opts = self.options
-        neurons = prob.network.neuron_ids()
-        slots = range(prob.num_slots)
-        sources = prob.sources()
+        layout = _SlotFormulation(prob, range(prob.num_slots))
+        self._layout = layout
+        self.y, self.x, self.s = layout.register_variables(model)
+        m = layout.num_model_slots
 
-        for j in slots:
-            self.y[j] = model.add_binary(y_name(j))
-        for i in neurons:
-            for j in slots:
-                self.x[(i, j)] = model.add_binary(x_name(i, j))
-        for k in sources:
-            for j in slots:
-                self.s[(k, j)] = model.add_binary(s_name(k, j))
+        layout.emit_place(model)
+        layout.emit_outputs(model)
 
-        # (3) each neuron's output maps to exactly one crossbar.
-        for i in neurons:
-            model.add(
-                lin_sum(self.x[(i, j)] for j in slots) == 1,
-                name=f"place_{i}",
-            )
-
-        # (4) output-line capacity, gated by the enable variable.
-        for j in slots:
-            slot = prob.architecture.slot(j)
-            model.add(
-                lin_sum(self.x[(i, j)] for i in neurons)
-                <= slot.outputs * self.y[j],
-                name=f"outputs_{j}",
-            )
-
-        # (6) axon sharing: any consumer of k on j forces s[k, j].
+        # (6) axon sharing: per-edge (tighter LP) or aggregated per source.
         if opts.disaggregate_sharing:
-            for k, i in prob.edges():
-                for j in slots:
-                    model.add(
-                        self.s[(k, j)] >= self.x[(i, j)],
-                        name=f"share_{k}_{i}_{j}",
-                    )
-        else:
-            # Aggregated form: |succ(k)| * s[k, j] >= sum of consumers on j.
-            for k in sources:
-                succ = prob.succs(k)
-                for j in slots:
-                    model.add(
-                        len(succ) * self.s[(k, j)]
-                        >= lin_sum(self.x[(i, j)] for i in sorted(succ)),
-                        name=f"share_agg_{k}_{j}",
-                    )
-
-        # (5) upper link: the axon may only be routed where a consumer is.
-        if opts.include_upper_link:
-            for k in sources:
-                succ = sorted(prob.succs(k))
-                for j in slots:
-                    model.add(
-                        self.s[(k, j)]
-                        <= lin_sum(self.x[(i, j)] for i in succ),
-                        name=f"uplink_{k}_{j}",
-                    )
-
-        # (7) input-line (word-line) capacity with true axon sharing.
-        for j in slots:
-            slot = prob.architecture.slot(j)
-            model.add(
-                lin_sum(self.s[(k, j)] for k in sources)
-                <= slot.inputs * self.y[j],
-                name=f"inputs_{j}",
+            layout.emit_share(model)
+        elif layout.num_edges:
+            # |succ(k)| * s[k, j] - sum_{i in succ(k)} x[i, j] >= 0.
+            p = layout.num_sources
+            fanout = np.bincount(
+                layout.kpos_of[layout.edge_src], minlength=p
+            ).astype(np.float64)
+            s_rows = np.arange(p * m, dtype=np.int64)
+            model.add_block(
+                rows=np.concatenate([s_rows, layout.edge_src_rows]),
+                cols=np.concatenate(
+                    [
+                        layout.s_base + np.arange(p * m, dtype=np.int64),
+                        layout.edge_x_cols,
+                    ]
+                ),
+                coefs=np.concatenate(
+                    [np.repeat(fanout, m), -np.ones(layout.num_edges * m)]
+                ),
+                sense=Sense.GE,
+                rhs=0.0,
+                num_rows=p * m,
+                name="share_agg",
             )
+
+        if opts.include_upper_link:
+            layout.emit_uplink(model)
+        layout.emit_inputs(model)
 
         # Symmetry breaking: identical slots are interchangeable; force
         # enabled ones to be the lowest-indexed of each group.  Cheap rows
         # that cut the search space by the product of group factorials.
         if opts.symmetry_breaking and opts.order_enabled_slots:
-            for group in prob.architecture.identical_slot_groups():
-                for a, b in zip(group, group[1:]):
-                    model.add(
-                        self.y[a] >= self.y[b], name=f"sym_{a}_{b}"
-                    )
+            pairs = [
+                (a, b)
+                for group in prob.architecture.identical_slot_groups()
+                for a, b in zip(group, group[1:])
+            ]
+            if pairs:
+                pair_arr = np.asarray(pairs, dtype=np.int64)
+                rows = np.arange(len(pairs), dtype=np.int64)
+                model.add_block(
+                    rows=np.concatenate([rows, rows]),
+                    cols=np.concatenate([pair_arr[:, 0], pair_arr[:, 1]]),
+                    coefs=np.concatenate(
+                        [np.ones(len(pairs)), -np.ones(len(pairs))]
+                    ),
+                    sense=Sense.GE,
+                    rhs=0.0,
+                    num_rows=len(pairs),
+                    name=[f"sym_{a}_{b}" for a, b in pairs],
+                )
 
-        # (8) minimize enabled area.
-        model.minimize(
-            lin_sum(
-                prob.architecture.slot(j).area * self.y[j] for j in slots
-            )
-        )
+        # (8) minimize enabled area (y variables occupy columns 0..m-1).
+        model.minimize(LinExpr(dict(zip(range(m), layout.areas.tolist()))))
 
     # ------------------------------------------------------------------
-    def warm_start_from(self, mapping: Mapping) -> dict[str, float]:
-        """Variable assignment (x, s, y all consistent) for a valid mapping.
+    def warm_start_from(self, mapping: Mapping) -> np.ndarray:
+        """Dense variable assignment (x, s, y consistent) for a valid mapping.
 
         With symmetry breaking enabled the mapping is first canonicalized:
         enabled slots are compacted to the lowest indices of their identical
@@ -188,23 +375,28 @@ class AreaModel:
             if self.options.symmetry_breaking
             else mapping
         )
-        values: dict[str, float] = {}
-        for i, j in canonical.assignment.items():
-            values[x_name(i, j)] = 1.0
-        for j in canonical.enabled_slots():
-            values[y_name(j)] = 1.0
-            for k in canonical.axon_inputs(j):
-                values[s_name(k, j)] = 1.0
-        return values
+        return self._layout.warm_vector(self.model, canonical)
 
     def extract_mapping(self, result: SolveResult) -> Mapping:
         """Recover the neuron placement from a solve result."""
-        if not result.status.has_solution() or result.values is None:
+        if not result.status.has_solution():
+            raise ValueError(f"no solution to extract (status {result.status})")
+        if result.x is not None:
+            return self.mapping_from_x(result.x)
+        if result.values is None:
             raise ValueError(f"no solution to extract (status {result.status})")
         return self.mapping_from_values(result.values)
 
+    def mapping_from_x(self, x: np.ndarray) -> Mapping:
+        """Recover a placement from a dense index-ordered assignment."""
+        assignment, counts = self._layout.placement_from_x(x)
+        if np.any(counts > 1):
+            dup = int(np.argmax(counts > 1))
+            raise ValueError(f"neuron {dup} placed twice in ILP solution")
+        return self._validated(assignment)
+
     def mapping_from_values(self, values: dict[str, float]) -> Mapping:
-        """Recover a placement from a raw variable assignment (e.g. one
+        """Recover a placement from a raw name-keyed assignment (e.g. one
         incumbent of a solve trace)."""
         assignment: dict[int, int] = {}
         for (i, j), var in self.x.items():
@@ -212,6 +404,9 @@ class AreaModel:
                 if i in assignment:
                     raise ValueError(f"neuron {i} placed twice in ILP solution")
                 assignment[i] = j
+        return self._validated(assignment)
+
+    def _validated(self, assignment: dict[int, int]) -> Mapping:
         mapping = Mapping(self.problem, assignment)
         issues = mapping.validate()
         if issues:

@@ -9,6 +9,13 @@ minimizes *anticipated chip-router traffic* (objective 12):
 Sources that never fired in the profile contribute nothing and are
 eliminated from the objective (and need no ``b`` variables), which is why
 the paper observes 1-3 orders of magnitude lower solver time than SNU.
+
+Model construction is fully columnar: the weighted objective and the
+hot-source-only linearization rows are emitted by
+:class:`~repro.mapping.snu.RouteModel` as
+:meth:`~repro.ilp.model.Model.add_block` families over index arrays, so
+PGO's *build* time shrinks with its objective support exactly as its
+solve time does.
 """
 
 from __future__ import annotations

@@ -12,6 +12,12 @@ Section V's experiments compose the formulations in a fixed order:
 :class:`MappingPipeline` runs any prefix of that sequence with per-stage
 solver budgets, recording the mapping, metrics and solver effort of every
 stage.
+
+Warm starts flow through each stage index-based: the previous stage's
+mapping becomes a dense variable vector (``warm_start_from``), the
+backend checks and seeds it against the model's cached matrix form, and
+the solved vector comes back as :attr:`SolveResult.x` for dense mapping
+extraction — no name-keyed dict hops anywhere on the stage hot path.
 """
 
 from __future__ import annotations

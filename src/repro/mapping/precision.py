@@ -26,7 +26,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..ilp.expr import lin_sum
+import numpy as np
+
+from ..ilp.model import Sense
 from ..ilp.result import SolveResult
 from .axon_sharing import AreaModel, FormulationOptions
 from .problem import MappingProblem
@@ -83,19 +85,30 @@ class PrecisionAreaModel(AreaModel):
 
         The base class already added the unweighted rows; rather than
         reach into the model to delete them (they remain valid but
-        looser), we add the tighter sliced rows alongside.
+        looser), we add the tighter sliced rows alongside — as one
+        columnar block over the base class's x/y index layout:
+        ``sum_i slices_i * x[i, j] - N_j * y[j] <= 0``.
         """
         prob = self.problem
         neurons = prob.network.neuron_ids()
-        for j in range(prob.num_slots):
-            slot = prob.architecture.slot(j)
-            self.model.add(
-                lin_sum(
-                    self._slices[i] * self.x[(i, j)] for i in neurons
-                )
-                <= slot.outputs * self.y[j],
-                name=f"sliced_outputs_{j}",
-            )
+        n, m = len(neurons), prob.num_slots
+        slices = np.array([self._slices[i] for i in neurons], dtype=np.float64)
+        outputs = np.array(
+            [prob.architecture.slot(j).outputs for j in range(m)],
+            dtype=np.float64,
+        )
+        all_j = np.arange(m, dtype=np.int64)
+        self.model.add_block(
+            rows=np.concatenate([np.tile(all_j, n), all_j]),
+            cols=np.concatenate(
+                [self._layout.x_base + np.arange(n * m, dtype=np.int64), all_j]
+            ),
+            coefs=np.concatenate([np.repeat(slices, m), -outputs]),
+            sense=Sense.LE,
+            rhs=0.0,
+            num_rows=m,
+            name=[f"sliced_outputs_{j}" for j in range(m)],
+        )
 
     def extract_mapping(self, result: SolveResult) -> Mapping:
         mapping = super().extract_mapping(result)

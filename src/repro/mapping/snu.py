@@ -13,6 +13,15 @@ objective 11 into the PGO objective 12 (see :mod:`repro.mapping.pgo`);
 weight-zero sources drop out of the objective and need no ``b`` variable —
 the variable-elimination the paper credits for PGO's 1-3 orders-of-
 magnitude solver-time advantage.
+
+Like :class:`~repro.mapping.axon_sharing.AreaModel`, every constraint
+family — including the per-(hot source, slot) linearization rows (10) —
+is emitted as a columnar :meth:`~repro.ilp.model.Model.add_block` over
+index arrays, and warm starts / extraction are dense-vector end to end.
+The y/x/s layout and the families shared with the area model come from
+:class:`~repro.mapping.axon_sharing._SlotFormulation` (one copy of the
+index arithmetic); this module only owns the area budget, the b
+variables and the routing objectives.
 """
 
 from __future__ import annotations
@@ -21,10 +30,12 @@ import enum
 from dataclasses import dataclass
 from typing import Mapping as MappingT, Sequence
 
-from ..ilp.expr import Variable, lin_sum
-from ..ilp.model import Model
+import numpy as np
+
+from ..ilp.expr import LinExpr, Variable
+from ..ilp.model import Model, Sense
 from ..ilp.result import SolveResult
-from .axon_sharing import b_name, s_name, x_name, y_name
+from .axon_sharing import _SlotFormulation, b_name
 from .problem import MappingProblem
 from .solution import Mapping
 
@@ -96,124 +107,162 @@ class RouteModel:
         prob = self.problem
         model = self.model
         opts = self.options
-        neurons = prob.network.neuron_ids()
         sources = prob.sources()
         slots = self.slots
 
-        for j in slots:
-            self.y[j] = model.add_binary(y_name(j))
-        for i in neurons:
-            for j in slots:
-                self.x[(i, j)] = model.add_binary(x_name(i, j))
-        for k in sources:
-            for j in slots:
-                self.s[(k, j)] = model.add_binary(s_name(k, j))
+        # Shared y/x/s layout over the frozen allowed-slot set, plus a b
+        # block (hot-source-major) appended after it.
+        layout = _SlotFormulation(prob, slots)
+        self._layout = layout
+        self.y, self.x, self.s = layout.register_variables(model)
+        m, p = layout.num_model_slots, layout.num_sources
+        xb, sb = layout.x_base, layout.s_base
+        kpos_of = layout.kpos_of
+        all_j = np.arange(m, dtype=np.int64)
 
-        for i in neurons:
-            model.add(
-                lin_sum(self.x[(i, j)] for j in slots) == 1, name=f"place_{i}"
-            )
-        for j in slots:
-            slot = prob.architecture.slot(j)
-            model.add(
-                lin_sum(self.x[(i, j)] for i in neurons)
-                <= slot.outputs * self.y[j],
-                name=f"outputs_{j}",
-            )
-            model.add(
-                lin_sum(self.s[(k, j)] for k in sources)
-                <= slot.inputs * self.y[j],
-                name=f"inputs_{j}",
-            )
-        for k, i in prob.edges():
-            for j in slots:
-                model.add(self.s[(k, j)] >= self.x[(i, j)], name=f"share_{k}_{i}_{j}")
+        layout.emit_place(model)  # (3)
+        layout.emit_outputs(model)  # (4)
+        layout.emit_inputs(model)  # (7)
+        layout.emit_share(model)  # (6) per-edge
         if opts.include_upper_link:
-            for k in sources:
-                succ = sorted(prob.succs(k))
-                for j in slots:
-                    model.add(
-                        self.s[(k, j)] <= lin_sum(self.x[(i, j)] for i in succ),
-                        name=f"uplink_{k}_{j}",
-                    )
+            layout.emit_uplink(model)  # (5)
 
         # Area must not regress: the allowed set is frozen and disabling
         # slots can only reduce area, but a budget row keeps this explicit.
         budget = opts.area_budget
         if budget is None:
-            budget = sum(prob.architecture.slot(j).area for j in slots)
-        model.add(
-            lin_sum(prob.architecture.slot(j).area * self.y[j] for j in slots)
-            <= budget,
+            budget = float(layout.areas.sum())
+        model.add_block(
+            rows=np.zeros(m, dtype=np.int64),
+            cols=all_j,
+            coefs=layout.areas,
+            sense=Sense.LE,
+            rhs=float(budget),
+            num_rows=1,
             name="area_budget",
+        )
+
+        # Objective support: sources with nonzero weight ("hot").  Silent
+        # sources (weight 0) vanish from the objective — and, below, need
+        # no b variables at all (the PGO variable-elimination speedup).
+        hot = [k for k in sources if self._weight(k) > 0]
+        hot_arr = np.asarray(hot, dtype=np.int64)
+        h = hot_arr.size
+        w_hot = np.array([self._weight(k) for k in hot], dtype=np.float64)
+        hot_s_cols = (
+            sb + kpos_of[hot_arr].repeat(m) * m + np.tile(all_j, h)
+            if h
+            else np.empty(0, dtype=np.int64)
         )
 
         if opts.objective is RouteObjective.TOTAL:
             # Objective 9: every route endpoint counts (weighted for PGO).
             model.minimize(
-                lin_sum(
-                    self._weight(k) * self.s[(k, j)]
-                    for k in sources
-                    for j in slots
-                    if self._weight(k) > 0
-                )
+                LinExpr(dict(zip(hot_s_cols.tolist(), np.repeat(w_hot, m).tolist())))
             )
             return
 
         # Objective 11/12: only global routes count.  b[k, j] = x AND s is
-        # only materialized where its objective coefficient is nonzero —
-        # silent sources (weight 0) vanish entirely (the PGO speedup).
-        hot_sources = [k for k in sources if self._weight(k) > 0]
-        for k in hot_sources:
-            for j in slots:
-                b = model.add_binary(b_name(k, j))
-                self.b[(k, j)] = b
-                model.add(b <= self.s[(k, j)], name=f"b_le_s_{k}_{j}")
-                model.add(b <= self.x[(k, j)], name=f"b_le_x_{k}_{j}")
-                if opts.include_b_lower:
-                    model.add(
-                        b >= self.s[(k, j)] + self.x[(k, j)] - 1,
-                        name=f"b_ge_{k}_{j}",
-                    )
-        model.minimize(
-            lin_sum(
-                self._weight(k) * (self.s[(k, j)] - self.b[(k, j)])
-                for k in hot_sources
-                for j in slots
+        # only materialized where its objective coefficient is nonzero.
+        bb = sb + p * m
+        self._b_base = bb
+        self._hot = hot_arr
+        self._hpos_of = {int(k): hpos for hpos, k in enumerate(hot)}
+        bs = model.add_binaries(b_name(k, j) for k in hot for j in slots)
+        self.b = dict(zip(((k, j) for k in hot for j in slots), bs))
+        if h:
+            b_rows = np.arange(h * m, dtype=np.int64)
+            b_cols = bb + np.arange(h * m, dtype=np.int64)
+            hot_x_cols = xb + hot_arr.repeat(m) * m + np.tile(all_j, h)
+            ones = np.ones(h * m)
+            # (10a) b <= s:  b[k, j] - s[k, j] <= 0.
+            model.add_block(
+                rows=np.concatenate([b_rows, b_rows]),
+                cols=np.concatenate([b_cols, hot_s_cols]),
+                coefs=np.concatenate([ones, -ones]),
+                sense=Sense.LE,
+                rhs=0.0,
+                num_rows=h * m,
+                name="b_le_s",
             )
+            # (10b) b <= x:  b[k, j] - x[k, j] <= 0.
+            model.add_block(
+                rows=np.concatenate([b_rows, b_rows]),
+                cols=np.concatenate([b_cols, hot_x_cols]),
+                coefs=np.concatenate([ones, -ones]),
+                sense=Sense.LE,
+                rhs=0.0,
+                num_rows=h * m,
+                name="b_le_x",
+            )
+            if opts.include_b_lower:
+                # (10c) b >= s + x - 1:  b[k, j] - s[k, j] - x[k, j] >= -1.
+                model.add_block(
+                    rows=np.concatenate([b_rows, b_rows, b_rows]),
+                    cols=np.concatenate([b_cols, hot_s_cols, hot_x_cols]),
+                    coefs=np.concatenate([ones, -ones, -ones]),
+                    sense=Sense.GE,
+                    rhs=-1.0,
+                    num_rows=h * m,
+                    name="b_ge",
+                )
+        obj_cols = np.concatenate(
+            [hot_s_cols, bb + np.arange(h * m, dtype=np.int64)]
         )
+        obj_coefs = np.concatenate([np.repeat(w_hot, m), -np.repeat(w_hot, m)])
+        model.minimize(LinExpr(dict(zip(obj_cols.tolist(), obj_coefs.tolist()))))
 
     # ------------------------------------------------------------------
-    def warm_start_from(self, mapping: Mapping) -> dict[str, float]:
-        """Consistent variable assignment from a mapping on allowed slots."""
+    def warm_start_from(self, mapping: Mapping) -> np.ndarray:
+        """Dense consistent assignment from a mapping on allowed slots."""
         allowed = set(self.slots)
         outside = {j for j in mapping.assignment.values() if j not in allowed}
         if outside:
             raise ValueError(
                 f"mapping uses slots {sorted(outside)} outside the allowed set"
             )
-        values: dict[str, float] = {}
-        for i, j in mapping.assignment.items():
-            values[x_name(i, j)] = 1.0
-        for j in mapping.enabled_slots():
-            values[y_name(j)] = 1.0
-            for k in mapping.axon_inputs(j):
-                values[s_name(k, j)] = 1.0
-                if (k, j) in self.b and mapping.assignment[k] == j:
-                    values[b_name(k, j)] = 1.0
-        return values
+        x0 = self._layout.warm_vector(self.model, mapping)
+        # b[k, j] = x AND s: set where the hot source itself sits on the
+        # slot its axon is routed to.
+        hpos_of = getattr(self, "_hpos_of", {})
+        if hpos_of:
+            pos = self._layout.slot_pos_of
+            m = self._layout.num_model_slots
+            for j in mapping.enabled_slots():
+                for k in mapping.axon_inputs(j):
+                    hpos = hpos_of.get(int(k))
+                    if hpos is not None and mapping.assignment[k] == j:
+                        x0[self._b_base + hpos * m + pos[j]] = 1.0
+        return x0
 
     def extract_mapping(self, result: SolveResult) -> Mapping:
-        if not result.status.has_solution() or result.values is None:
+        if not result.status.has_solution():
+            raise ValueError(f"no solution to extract (status {result.status})")
+        if result.x is not None:
+            return self.mapping_from_x(result.x)
+        if result.values is None:
             raise ValueError(f"no solution to extract (status {result.status})")
         return self.mapping_from_values(result.values)
 
+    def mapping_from_x(self, x: np.ndarray) -> Mapping:
+        """Recover a placement from a dense index-ordered assignment.
+
+        Unlike the area model this does not police double placements (the
+        name-keyed path never did either); ``Mapping.validate`` still
+        rejects anything structurally inconsistent.
+        """
+        assignment, _counts = self._layout.placement_from_x(x)
+        return self._validated(assignment)
+
     def mapping_from_values(self, values: MappingT[str, float]) -> Mapping:
-        """Recover a placement from a raw variable assignment."""
+        """Recover a placement from a raw name-keyed assignment."""
         assignment: dict[int, int] = {}
         for (i, j), var in self.x.items():
             if values.get(var.name, 0.0) > 0.5:
                 assignment[i] = j
+        return self._validated(assignment)
+
+    def _validated(self, assignment: dict[int, int]) -> Mapping:
         mapping = Mapping(self.problem, assignment)
         issues = mapping.validate()
         if issues:

@@ -1,0 +1,53 @@
+"""Tier-1-safe smoke test for the columnar ILP build path.
+
+Builds, lowers and presolves a fig2-size SNU model (the hottest model
+family in the exhibit sweeps) under a generous wall-clock ceiling.  This
+is not a benchmark — ``benchmarks/bench_ilp.py`` measures and asserts the
+actual speedups — it is a regression tripwire: if the columnar path ever
+degrades to per-expression cost, this blows straight past the ceiling.
+"""
+
+import time
+
+import pytest
+
+from repro.ilp.presolve import presolve
+from repro.mapping.axon_sharing import AreaModel
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mapping.snu import build_snu_model
+from repro.mca.architecture import heterogeneous_architecture
+from repro.snn.generators import random_network
+
+pytestmark = pytest.mark.ilp
+
+#: Generous ceiling: the columnar path does this in well under a second;
+#: the old per-expression path took several.
+TIME_CEILING_S = 10.0
+
+
+def test_fig2_size_snu_build_lower_presolve_under_ceiling():
+    net = random_network(40, 120, seed=7, max_fan_in=10, name="smoke")
+    problem = MappingProblem(net, heterogeneous_architecture(40))
+    base = greedy_first_fit(problem)
+
+    start = time.perf_counter()
+    area = AreaModel(problem)
+    area_form = area.model.lower()
+    snu = build_snu_model(problem, base)
+    snu_form = snu.model.lower()
+    reduced, report = presolve(snu.model)
+    elapsed = time.perf_counter() - start
+
+    assert elapsed < TIME_CEILING_S, (
+        f"build+lower+presolve took {elapsed:.2f}s (> {TIME_CEILING_S}s ceiling)"
+    )
+    # Sanity on what was built: real models with real structure.
+    assert area_form.num_rows > problem.num_neurons
+    assert snu_form.num_rows > problem.num_neurons
+    assert snu_form.a_matrix.nnz > 0
+    assert reduced.num_constraints <= snu.model.num_constraints
+    assert report.total_reductions() >= 0
+    # Warm start survives the round trip through the dense-vector path.
+    warm = snu.warm_start_from(base)
+    assert snu.model.check_feasible(warm) == []

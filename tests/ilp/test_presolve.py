@@ -96,6 +96,81 @@ class TestRowCleanup:
             presolve(m)
 
 
+class TestDuplicateRowHashing:
+    """Targeted coverage for single-pass duplicate detection: each row is
+    sign-normalized and hashed exactly once (the old scan re-normalized
+    rows per comparison pair — quadratic on fig-scale models)."""
+
+    def test_many_parallel_rows_collapse_to_tightest(self):
+        m = Model()
+        x = m.add_integer("x", 0, 50)
+        y = m.add_integer("y", 0, 50)
+        for bound in range(40, 10, -1):  # 30 parallel rows, tightest last
+            m.add(x + y <= bound)
+        m.add(x + y <= 11)
+        m.minimize(-x - y)
+        reduced, report = presolve(m)
+        assert report.duplicate_rows == 30
+        assert reduced.num_constraints == 1
+        res = HighsBackend().solve(reduced)
+        assert res.objective == pytest.approx(-11.0)
+
+    def test_scaled_duplicate_merges(self):
+        # 2x + 2y <= 6 normalizes to x + y <= 3: a duplicate of the first.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add(x + y <= 5)
+        m.add(2 * x + 2 * y <= 6)
+        m.minimize(-x - y)
+        reduced, report = presolve(m)
+        assert report.duplicate_rows == 1
+        res = HighsBackend().solve(reduced)
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_sign_flipped_rows_are_not_false_duplicates(self):
+        # -x - y <= -2 is x + y >= 2: the OPPOSITE sense of x + y <= 4
+        # after sign normalization.  It must never be merged into it.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add(x + y <= 4)
+        m.add(-x - y <= -2)
+        m.minimize(x + 2 * y)
+        reduced, _ = presolve(m)
+        res = HighsBackend().solve(reduced)
+        # Both sides must survive: minimum is x=2, y=0 (not 0, 0).
+        assert res.objective == pytest.approx(2.0)
+
+    def test_sign_flipped_equivalent_rows_do_merge(self):
+        # -x - y >= -3 IS x + y <= 3; the tightest of the pair wins.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add(x + y <= 5)
+        m.add(-(x + y) >= -3)
+        m.minimize(-x - y)
+        reduced, report = presolve(m)
+        assert report.duplicate_rows == 1
+        assert reduced.num_constraints == 1
+        res = HighsBackend().solve(reduced)
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_later_tighter_duplicate_updates_kept_row(self):
+        # The kept (first) row's rhs must be overwritten by a tighter
+        # later duplicate even when their scales differ.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add(3 * x + 3 * y <= 27)  # x + y <= 9
+        m.add(x + y <= 4)
+        m.maximize(x + y)
+        reduced, report = presolve(m)
+        assert report.duplicate_rows == 1
+        res = HighsBackend().solve(reduced)
+        assert res.objective == pytest.approx(4.0)
+
+
 class TestEquivalence:
     def knapsackish(self):
         m = Model()

@@ -28,6 +28,28 @@ class TestParser:
         assert not args.homogeneous
 
 
+class TestBench:
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.benches == []
+        assert not args.trajectory_only
+
+    def test_bench_accepts_names(self):
+        args = build_parser().parse_args(["bench", "ilp", "simulator"])
+        assert args.benches == ["ilp", "simulator"]
+
+    def test_bench_outside_repo_fails_cleanly(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench"]) == 2
+        assert "benchmarks/" in capsys.readouterr().err
+
+    def test_bench_rejects_unknown_bench(self, monkeypatch, tmp_path, capsys):
+        (tmp_path / "benchmarks").mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "no-such-bench"]) == 2
+        assert "unknown bench" in capsys.readouterr().err
+
+
 class TestInspect:
     def test_prints_statistics(self, network_file, capsys):
         assert main(["inspect", str(network_file)]) == 0
