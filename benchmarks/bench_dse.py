@@ -1,0 +1,136 @@
+"""Design-space exploration bench: adaptive vs exhaustive sweep.
+
+Runs the stock 24-scenario space (2 Table-I twins x 2 profile families x
+3 crossbar pools x 2 formulations) through both search drivers and
+checks the bargain the adaptive driver promises:
+
+- **budget** — the successive-halving driver executes **<= 50%** of the
+  ILP stage-solves the exhaustive grid pays (hard acceptance floor; the
+  driver also guarantees it by construction);
+- **quality** — its frontier retains **>= 95%** of the exhaustive
+  frontier's hypervolume under one shared reference point;
+- **resume** — re-running the exhaustive sweep against its own JSONL run
+  store costs zero solves and returns every scenario from the store.
+
+Emits ``BENCH_dse.json`` at the **repo root** so the exploration
+trajectory is tracked across PRs alongside the other ``BENCH_*.json``
+files.
+
+Run:  pytest benchmarks/bench_dse.py --benchmark-only
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from bench_config import once
+from repro.dse import (
+    Explorer,
+    RunStore,
+    default_space,
+    explore_adaptive,
+    explore_grid,
+    hypervolume,
+    reference_point,
+)
+
+#: Repo root (benchmarks/ is one level below it).
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+#: Acceptance floors.
+MAX_SOLVE_FRACTION = 0.5
+MIN_HV_RETENTION = 0.95
+
+#: Per-stage solver budget: the sweep's shape (who dominates whom) is
+#: stable at small scale; generous budgets only add wall-clock.
+TIME_LIMIT = 5.0
+JOBS = 2
+NUM_SAMPLES = 2
+
+
+def _run_sweeps() -> dict:
+    space = default_space(num_samples=NUM_SAMPLES)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "runs.jsonl"
+        grid = explore_grid(
+            space,
+            Explorer(store=RunStore(store_path), jobs=JOBS, time_limit=TIME_LIMIT),
+        )
+        resumed = explore_grid(
+            space,
+            Explorer(store=RunStore(store_path), jobs=JOBS, time_limit=TIME_LIMIT),
+        )
+    adaptive = explore_adaptive(
+        space, Explorer(jobs=JOBS, time_limit=TIME_LIMIT)
+    )
+
+    grid_points = grid.objective_points()
+    adaptive_points = adaptive.objective_points()
+    ref = reference_point(np.vstack([grid_points, adaptive_points]))
+    hv_grid = hypervolume(grid_points, ref)
+    hv_adaptive = hypervolume(adaptive_points, ref)
+
+    return {
+        "scenarios": len(space),
+        "grid": {
+            "ilp_solves": grid.ilp_solves,
+            "evaluated": len(grid.ok_results()),
+            "frontier_size": len(grid.frontier()),
+            "hypervolume": hv_grid,
+            "wall_seconds": grid.wall_time,
+        },
+        "adaptive": {
+            "ilp_solves": adaptive.ilp_solves,
+            "evaluated": len(adaptive.ok_results()),
+            "pruned": len(adaptive.pruned),
+            "rungs": adaptive.meta["rungs"],
+            "frontier_size": len(adaptive.frontier()),
+            "hypervolume": hv_adaptive,
+            "wall_seconds": adaptive.wall_time,
+        },
+        "resume": {
+            "ilp_solves": resumed.ilp_solves,
+            "from_store": resumed.resumed,
+        },
+        "solve_fraction": adaptive.ilp_solves / grid.ilp_solves,
+        "hv_retention": hv_adaptive / hv_grid,
+        "reference_point": [float(c) for c in ref],
+        "grid_frontier": [
+            r.scenario.name for r in grid.frontier()
+        ],
+        "adaptive_frontier": [
+            r.scenario.name for r in adaptive.frontier()
+        ],
+    }
+
+
+def test_benchmark_dse(benchmark):
+    stats = once(benchmark, _run_sweeps)
+
+    payload = {
+        "schema": "repro.bench_dse/1",
+        "source": "benchmarks/bench_dse.py",
+        "max_solve_fraction": MAX_SOLVE_FRACTION,
+        "min_hv_retention": MIN_HV_RETENTION,
+        **stats,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert stats["grid"]["evaluated"] == stats["scenarios"], (
+        f"grid evaluated {stats['grid']['evaluated']} of "
+        f"{stats['scenarios']} scenarios"
+    )
+    assert stats["resume"]["ilp_solves"] == 0, (
+        f"store resume re-solved {stats['resume']['ilp_solves']} stage(s)"
+    )
+    assert stats["resume"]["from_store"] == stats["scenarios"]
+    assert stats["solve_fraction"] <= MAX_SOLVE_FRACTION, (
+        f"adaptive spent {stats['solve_fraction']:.0%} of the grid's ILP "
+        f"solves (> {MAX_SOLVE_FRACTION:.0%} ceiling)"
+    )
+    assert stats["hv_retention"] >= MIN_HV_RETENTION, (
+        f"adaptive frontier retains only {stats['hv_retention']:.1%} of "
+        f"exhaustive hypervolume (< {MIN_HV_RETENTION:.0%} floor)"
+    )

@@ -1,4 +1,11 @@
-"""Shim for legacy editable installs (offline environment lacks wheel)."""
+"""Legacy build shim — all package metadata lives in pyproject.toml.
+
+Kept only for tooling that still invokes ``setup.py`` directly.  In a
+normal environment ``pip install -e .`` installs the src-layout package
+and the ``repro`` console script from the pyproject config; offline
+containers without ``wheel`` can keep using ``PYTHONPATH=src`` instead
+(see README.md).
+"""
 from setuptools import setup
 
 setup()

@@ -42,6 +42,7 @@ from ..mapping.fingerprint import (
 )
 from ..mapping.metrics import evaluate_mapping
 from ..mapping.pipeline import STAGES, MappingPipeline, StageRecord
+from ..mapping.precision import PrecisionSpec
 from ..mapping.problem import MappingProblem
 from ..mapping.solution import Mapping
 from ..mca.architecture import Architecture
@@ -61,6 +62,16 @@ class BatchJob:
     ``profile`` is a plain neuron->spike-count dict (required by the
     ``pgo`` stage).  All fields are picklable, so a job can be shipped to a
     worker process as-is.
+
+    ``initial_assignment`` (a neuron->slot dict or pair sequence) seeds the
+    pipeline with a carried-over mapping instead of greedy first-fit — the
+    design-space explorer threads a neighboring scenario's solution through
+    here.  A seed that does not form a valid mapping of *this* problem is
+    silently dropped in the worker (falling back to greedy), so transfers
+    across differing pools are safe to attempt.
+
+    ``precision`` switches the area stage to the bit-slicing-aware
+    :class:`~repro.mapping.precision.PrecisionAreaModel`.
     """
 
     name: str
@@ -71,6 +82,8 @@ class BatchJob:
     formulation: FormulationOptions = field(default_factory=FormulationOptions)
     area_time_limit: float | None = 30.0
     route_time_limit: float | None = 30.0
+    initial_assignment: tuple[tuple[int, int], ...] | None = None
+    precision: PrecisionSpec | None = None
 
     def __post_init__(self) -> None:
         unknown = [s for s in self.stages if s not in STAGES]
@@ -78,6 +91,17 @@ class BatchJob:
             raise ValueError(f"unknown stages {unknown}; valid: {STAGES}")
         if "pgo" in self.stages and self.profile is None:
             raise ValueError(f"job {self.name!r}: the pgo stage needs a profile")
+        if self.initial_assignment is not None:
+            pairs = (
+                self.initial_assignment.items()
+                if isinstance(self.initial_assignment, dict)
+                else self.initial_assignment
+            )
+            object.__setattr__(
+                self,
+                "initial_assignment",
+                tuple(sorted((int(i), int(j)) for i, j in pairs)),
+            )
 
     @classmethod
     def from_problem(cls, name: str, problem: MappingProblem, **kwargs) -> "BatchJob":
@@ -112,12 +136,21 @@ class BatchJob:
         profile_part = (
             digest(sorted(self.profile.items())) if self.profile is not None else "-"
         )
-        return combine(
+        parts = [
             problem_part,
             digest(list(self.stages)),
             profile_part,
             "portfolio" if portfolio else "single",
-        )
+        ]
+        # Appended only when present so jobs without the newer fields keep
+        # their historical fingerprints (and their on-disk cache entries).
+        if self.precision is not None:
+            parts.append(options_fingerprint(self.precision))
+        if self.initial_assignment is not None:
+            # A warm seed can steer which incumbent a budget-limited solve
+            # lands on, so it is part of the result's identity.
+            parts.append(digest([list(p) for p in self.initial_assignment]))
+        return combine(*parts)
 
 
 @dataclass
@@ -357,8 +390,19 @@ def _execute_job(job: BatchJob, portfolio: bool) -> dict:
             route_time_limit=job.route_time_limit,
             formulation=job.formulation,
             solver=solver,
+            precision=job.precision,
         )
-        result = pipeline.run(stages=job.stages, profile=job.profile)
+        initial = None
+        if job.initial_assignment is not None:
+            try:
+                candidate = Mapping(problem, dict(job.initial_assignment))
+            except ValueError:
+                candidate = None
+            if candidate is not None and candidate.is_valid():
+                initial = candidate
+        result = pipeline.run(
+            stages=job.stages, profile=job.profile, initial=initial
+        )
         stages = [
             {
                 "name": record.name,

@@ -10,6 +10,9 @@ Subcommands:
 - ``repro simulate`` — run a saved mapping on the processor model and
   report traffic/energy.
 - ``repro exhibits`` — alias of ``python -m repro.experiments.runner``.
+- ``repro dse``      — design-space exploration: sweep an (architecture
+  x workload x formulation) grid, report the (area, energy, latency)
+  Pareto frontier, resumable via a JSONL run store.
 - ``repro bench``    — run the benchmark scripts under ``benchmarks/``
   and refresh the root-level ``BENCH_*.json`` perf-trajectory files.
 
@@ -181,6 +184,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .batch.cache import ResultCache
+    from .dse import (
+        Explorer,
+        RunStore,
+        default_space,
+        explore_adaptive,
+        explore_grid,
+    )
+
+    space = default_space(
+        networks=tuple(args.networks),
+        scale=args.scale,
+        profiles=tuple(args.profiles),
+        dimensions=tuple(args.dimensions),
+        include_heterogeneous=not args.no_heterogeneous,
+        include_snu=not args.no_snu,
+        include_pgo=args.include_pgo,
+        include_precision=args.include_precision,
+        num_samples=args.num_samples,
+    )
+    store = RunStore(args.store) if args.store else RunStore()
+    if args.store and len(store):
+        print(f"run store {args.store}: resuming past {len(store)} entr(ies)")
+    explorer = Explorer(
+        store=store,
+        jobs=args.jobs,
+        portfolio=args.portfolio,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        time_limit=args.time_limit,
+    )
+    print(
+        f"exploring {len(space)} scenario(s) "
+        f"({len(space.architectures)} architectures x "
+        f"{len(space.workloads)} workloads x "
+        f"{len(space.formulations)} formulations) [{args.driver}]"
+    )
+    if args.driver == "grid":
+        result = explore_grid(space, explorer)
+    else:
+        result = explore_adaptive(
+            space,
+            explorer,
+            keep=args.keep,
+            budget_fraction=args.budget_fraction,
+            max_rungs=args.max_rungs,
+            prune_slack=args.prune_slack,
+        )
+    print(result.report())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_json(), indent=2) + "\n"
+        )
+        print(f"frontier summary written to {args.json}")
+    failed = [r for r in result.results if not r.ok]
+    if failed:
+        print(f"{len(failed)} scenario(s) failed:")
+        for r in failed:
+            print(f"  {r.scenario.name}: {r.error}")
+    # Mirror `repro batch`: any failed scenario fails the command, so a
+    # sweep wired into CI cannot go green on partial coverage.
+    return 0 if result.ok_results() and not failed else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import subprocess
     from pathlib import Path
@@ -205,7 +275,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         targets = sorted(bench_dir.glob("bench_*.py"))
         if args.trajectory_only:
             # Just the benches that emit BENCH_*.json trajectory files.
-            targets = [t for t in targets if t.name in ("bench_ilp.py", "bench_simulator.py")]
+            targets = [
+                t
+                for t in targets
+                if t.name
+                in ("bench_dse.py", "bench_ilp.py", "bench_simulator.py")
+            ]
     command = [
         sys.executable,
         "-m",
@@ -308,6 +383,60 @@ def build_parser() -> argparse.ArgumentParser:
                                "(spike_profile, collect_profile, "
                                "evaluate_packets) accept the same engine=")
     simulate.set_defaults(func=_cmd_simulate)
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration: Pareto frontier over "
+             "(area, energy, latency)",
+    )
+    dse.add_argument("--driver", choices=("grid", "adaptive"),
+                     default="adaptive",
+                     help="exhaustive grid, or successive halving that "
+                          "spends ILP budget only on the promising band")
+    dse.add_argument("--store", default=None,
+                     help="JSONL run store; rerunning with the same store "
+                          "resumes instead of re-solving")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (1 = serial)")
+    dse.add_argument("--portfolio", action="store_true",
+                     help="race HiGHS vs branch-and-bound per solve")
+    dse.add_argument("--time-limit", type=float, default=10.0,
+                     help="per-stage solver budget in seconds")
+    dse.add_argument("--cache-dir", default=None,
+                     help="directory for the fingerprint-keyed result cache")
+    dse.add_argument("--networks", nargs="+", default=["C", "E"],
+                     choices=("A", "B", "C", "D", "E"), metavar="NAME",
+                     help="Table-I twins to sweep (A-E)")
+    dse.add_argument("--scale", type=float, default=0.12,
+                     help="twin scaling factor")
+    dse.add_argument("--profiles", nargs="+",
+                     default=["uniform", "hotspot"],
+                     choices=("uniform", "stroke", "hotspot", "noise"),
+                     help="spike-profile families driving the energy axis")
+    dse.add_argument("--dimensions", nargs="+", type=int, default=[12, 16],
+                     help="homogeneous crossbar dimensions to sweep")
+    dse.add_argument("--num-samples", type=int, default=12,
+                     help="frames simulated per non-uniform profile")
+    dse.add_argument("--no-heterogeneous", action="store_true",
+                     help="drop the Table-II heterogeneous pool axis")
+    dse.add_argument("--no-snu", action="store_true",
+                     help="drop the area+snu formulation axis")
+    dse.add_argument("--include-pgo", action="store_true",
+                     help="add an area+snu+pgo formulation axis")
+    dse.add_argument("--include-precision", action="store_true",
+                     help="add a bit-sliced 4b-weight formulation axis")
+    dse.add_argument("--keep", type=float, default=0.7,
+                     help="adaptive: each rung's share of remaining budget")
+    dse.add_argument("--budget-fraction", type=float, default=0.5,
+                     help="adaptive: ILP-solve ceiling vs the full grid")
+    dse.add_argument("--max-rungs", type=int, default=3,
+                     help="adaptive: maximum promotion rungs")
+    dse.add_argument("--prune-slack", type=float, default=0.25,
+                     help="adaptive: optimism applied to greedy bounds "
+                          "before pruning")
+    dse.add_argument("--json", default=None,
+                     help="write the frontier summary JSON here")
+    dse.set_defaults(func=_cmd_dse)
 
     bench = sub.add_parser(
         "bench",

@@ -1,0 +1,70 @@
+"""Design-space exploration: which (architecture, workload, formulation)
+points are worth building?
+
+The layer above :mod:`repro.batch`: a declarative scenario grid
+(:mod:`~repro.dse.scenario`), a vectorized multi-objective Pareto engine
+over (area, energy, latency) (:mod:`~repro.dse.pareto`,
+:mod:`~repro.dse.objectives`), search drivers that spend ILP budget
+adaptively (:mod:`~repro.dse.drivers`), and a crash-tolerant JSONL run
+store that makes every sweep resumable (:mod:`~repro.dse.store`).
+
+>>> from repro.dse import Explorer, RunStore, default_space, explore_adaptive
+>>> result = explore_adaptive(
+...     default_space(), Explorer(store=RunStore("runs.jsonl"), jobs=4)
+... )  # doctest: +SKIP
+>>> print(result.report())  # doctest: +SKIP
+"""
+
+from .drivers import DRIVERS, explore_adaptive, explore_grid
+from .explorer import ExplorationResult, Explorer, ScenarioResult
+from .objectives import OBJECTIVE_NAMES, ObjectivePoint, evaluate_objectives, objective_matrix
+from .pareto import (
+    FrontierDiff,
+    crowding_distance,
+    frontier_diff,
+    hypervolume,
+    nondominated_mask,
+    pareto_rank,
+    reference_point,
+)
+from .scenario import (
+    ArchitectureSpec,
+    DesignSpace,
+    FormulationSpec,
+    Scenario,
+    ScenarioRegistry,
+    WorkloadSpec,
+    default_space,
+)
+from .store import TIER_GREEDY, TIER_ILP, RunEntry, RunStore
+
+__all__ = [
+    "ArchitectureSpec",
+    "DRIVERS",
+    "DesignSpace",
+    "ExplorationResult",
+    "Explorer",
+    "FormulationSpec",
+    "FrontierDiff",
+    "OBJECTIVE_NAMES",
+    "ObjectivePoint",
+    "RunEntry",
+    "RunStore",
+    "Scenario",
+    "ScenarioRegistry",
+    "ScenarioResult",
+    "TIER_GREEDY",
+    "TIER_ILP",
+    "WorkloadSpec",
+    "crowding_distance",
+    "default_space",
+    "evaluate_objectives",
+    "explore_adaptive",
+    "explore_grid",
+    "frontier_diff",
+    "hypervolume",
+    "nondominated_mask",
+    "objective_matrix",
+    "pareto_rank",
+    "reference_point",
+]

@@ -1,0 +1,458 @@
+"""Scenario evaluation plumbing shared by every search driver.
+
+The :class:`Explorer` turns scenarios into scored design points at two
+cost tiers:
+
+- :meth:`evaluate_greedy` — greedy first-fit placement only, no ILP.
+  Milliseconds per scenario; the adaptive driver uses these bounds to
+  decide where real solver budget is worth spending.
+- :meth:`evaluate_ilp` — the full staged mapping pipeline through
+  :class:`~repro.batch.engine.BatchMapper` (``jobs`` worker processes,
+  optional solver portfolio).  Scenarios are solved in *waves* ordered
+  by stage-prefix length, and each solved placement seeds the warm
+  start of later waves that map the same (network, pool) instance —
+  warm starts flow between neighboring scenarios exactly like they flow
+  between pipeline stages.
+
+Both tiers are **resumable**: every finished evaluation lands in the
+:class:`~repro.dse.store.RunStore` keyed by scenario fingerprint, and a
+scenario whose fingerprint already has a successful entry at the
+requested tier is rehydrated from the store instead of re-solved.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..batch.cache import ResultCache
+from ..batch.engine import BatchMapper
+from ..mapping.greedy import greedy_first_fit
+from ..mapping.problem import MappingProblem
+from .objectives import ObjectivePoint, evaluate_objectives, objective_matrix
+from .pareto import hypervolume, nondominated_mask, reference_point
+from .scenario import Scenario, ScenarioRegistry
+from .store import TIER_GREEDY, TIER_ILP, RunEntry, RunStore
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's scored outcome at some tier."""
+
+    scenario: Scenario
+    fingerprint: str
+    tier: str
+    status: str
+    objectives: ObjectivePoint | None = None
+    assignment: dict[int, int] | None = None
+    solves: int = 0  # ILP solves actually executed for this result
+    wall_time: float = 0.0
+    error: str | None = None
+    from_store: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def entry(self, meta: dict | None = None) -> RunEntry:
+        return RunEntry(
+            fingerprint=self.fingerprint,
+            tier=self.tier,
+            scenario=self.scenario.payload(),
+            status=self.status,
+            objectives=self.objectives.as_dict() if self.objectives else None,
+            assignment=(
+                {str(i): j for i, j in self.assignment.items()}
+                if self.assignment is not None
+                else None
+            ),
+            solves=self.solves,
+            wall_time=self.wall_time,
+            error=self.error,
+            meta=meta or {},
+        )
+
+
+class Explorer:
+    """Evaluates scenarios through the batch engine, store-first."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry | None = None,
+        store: RunStore | None = None,
+        jobs: int = 1,
+        portfolio: bool = False,
+        cache: ResultCache | None = None,
+        time_limit: float | None = 10.0,
+    ) -> None:
+        self.registry = registry if registry is not None else ScenarioRegistry()
+        # `store or ...` would discard an *empty* persistent store (its
+        # __len__ makes it falsy) — the resume path depends on identity.
+        self.store = store if store is not None else RunStore()
+        self.jobs = jobs
+        self.portfolio = portfolio
+        self.cache = cache
+        self.time_limit = time_limit
+        #: (network_fp, arch_fp) -> best known assignment, fed to later
+        #: waves as warm starts.
+        self._seeds: dict[tuple[str, str], dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _safe_fingerprint(self, scenario: Scenario) -> tuple[str, str | None]:
+        """(fingerprint, construction error) for one scenario.
+
+        Fingerprinting constructs the scenario's network and pool, which
+        can fail (unknown twin name, fan-in wider than every crossbar).
+        A failed construction still yields a deterministic store key —
+        the digest of the declarative payload — so the error is recorded
+        per-scenario instead of aborting the whole sweep.
+        """
+        from ..mapping.fingerprint import digest
+
+        try:
+            return self.registry.fingerprint(scenario), None
+        except Exception as exc:
+            return (
+                "invalid-" + digest(scenario.payload()),
+                f"{type(exc).__name__}: {exc}",
+            )
+
+    def _construction_error(
+        self,
+        scenario: Scenario,
+        fingerprint: str,
+        tier: str,
+        error: str,
+        meta: dict | None,
+    ) -> ScenarioResult:
+        result = ScenarioResult(
+            scenario=scenario,
+            fingerprint=fingerprint,
+            tier=tier,
+            status="error",
+            error=error,
+        )
+        self.store.record(result.entry(meta))
+        return result
+
+    def _problem_key(self, scenario: Scenario) -> tuple[str, str]:
+        from ..mapping.fingerprint import (
+            architecture_fingerprint,
+            network_fingerprint,
+        )
+
+        return (
+            network_fingerprint(self.registry.network(scenario.workload)),
+            architecture_fingerprint(self.registry.pool(scenario)),
+        )
+
+    def _noc(self, scenario: Scenario):
+        return scenario.architecture.noc(self.registry.pool(scenario))
+
+    def _score(self, scenario: Scenario, mapping) -> ObjectivePoint:
+        return evaluate_objectives(
+            mapping,
+            self.registry.profile(scenario.workload),
+            noc=self._noc(scenario),
+        )
+
+    def _from_store(
+        self, scenario: Scenario, fingerprint: str, tier: str
+    ) -> ScenarioResult | None:
+        entry = self.store.get(fingerprint, tier)
+        if entry is None or not entry.ok or entry.objectives is None:
+            return None
+        assignment = (
+            {int(i): int(j) for i, j in entry.assignment.items()}
+            if entry.assignment
+            else None
+        )
+        return ScenarioResult(
+            scenario=scenario,
+            fingerprint=fingerprint,
+            tier=tier,
+            status="ok",
+            objectives=ObjectivePoint.from_dict(entry.objectives),
+            assignment=assignment,
+            solves=0,
+            wall_time=0.0,
+            from_store=True,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate_greedy(
+        self, scenarios: list[Scenario], meta: dict | None = None
+    ) -> list[ScenarioResult]:
+        """Cheap bound per scenario: greedy placement, no ILP."""
+        results: list[ScenarioResult] = []
+        for scenario in scenarios:
+            fingerprint, bad = self._safe_fingerprint(scenario)
+            if bad is not None:
+                results.append(
+                    self._construction_error(
+                        scenario, fingerprint, TIER_GREEDY, bad, meta
+                    )
+                )
+                continue
+            resumed = self._from_store(scenario, fingerprint, TIER_GREEDY)
+            if resumed is not None:
+                results.append(resumed)
+                continue
+            start = time.perf_counter()
+            try:
+                problem = MappingProblem(
+                    self.registry.network(scenario.workload),
+                    self.registry.pool(scenario),
+                )
+                mapping = greedy_first_fit(problem)
+                result = ScenarioResult(
+                    scenario=scenario,
+                    fingerprint=fingerprint,
+                    tier=TIER_GREEDY,
+                    status="ok",
+                    objectives=self._score(scenario, mapping),
+                    assignment=dict(mapping.assignment),
+                    wall_time=time.perf_counter() - start,
+                )
+            except Exception as exc:
+                result = ScenarioResult(
+                    scenario=scenario,
+                    fingerprint=fingerprint,
+                    tier=TIER_GREEDY,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    wall_time=time.perf_counter() - start,
+                )
+            self.store.record(result.entry(meta))
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def evaluate_ilp(
+        self,
+        scenarios: list[Scenario],
+        time_limit: float | None = None,
+        meta: dict | None = None,
+    ) -> list[ScenarioResult]:
+        """Full pipeline evaluation, store-first, in warm-start waves.
+
+        Scenarios already answered in the store are returned without a
+        solve; the rest run through :class:`BatchMapper`, shortest stage
+        prefix first, so an ``area`` solution seeds the ``area+snu``
+        scenario of the same instance in the next wave.
+        """
+        limit = self.time_limit if time_limit is None else time_limit
+        fingerprints: list[str] = []
+        by_fingerprint: dict[str, ScenarioResult] = {}
+        pending: list[tuple[Scenario, str]] = []
+        for scenario in scenarios:
+            fingerprint, bad = self._safe_fingerprint(scenario)
+            fingerprints.append(fingerprint)
+            if fingerprint in by_fingerprint or any(
+                fp == fingerprint for _, fp in pending
+            ):
+                continue  # duplicate spelling of the same instance
+            if bad is not None:
+                by_fingerprint[fingerprint] = self._construction_error(
+                    scenario, fingerprint, TIER_ILP, bad, meta
+                )
+                continue
+            resumed = self._from_store(scenario, fingerprint, TIER_ILP)
+            if resumed is not None:
+                by_fingerprint[fingerprint] = resumed
+                if resumed.assignment:
+                    self._seeds.setdefault(
+                        self._problem_key(scenario), resumed.assignment
+                    )
+            else:
+                pending.append((scenario, fingerprint))
+
+        waves: dict[int, list[tuple[Scenario, str]]] = {}
+        for scenario, fingerprint in pending:
+            waves.setdefault(len(scenario.formulation.stages), []).append(
+                (scenario, fingerprint)
+            )
+        mapper = BatchMapper(
+            jobs=self.jobs, portfolio=self.portfolio, cache=self.cache
+        )
+        for depth in sorted(waves):
+            wave = waves[depth]
+            jobs = []
+            built: list[tuple[Scenario, str]] = []
+            for scenario, fingerprint in wave:
+                seed = self._seeds.get(self._problem_key(scenario))
+                try:
+                    # Building the job simulates the workload's spike
+                    # profile; record a failure against the scenario
+                    # rather than aborting the wave's siblings.
+                    job = self.registry.to_job(
+                        scenario, time_limit=limit, initial_assignment=seed
+                    )
+                except Exception as exc:
+                    by_fingerprint[fingerprint] = self._construction_error(
+                        scenario,
+                        fingerprint,
+                        TIER_ILP,
+                        f"{type(exc).__name__}: {exc}",
+                        meta,
+                    )
+                    continue
+                jobs.append(job)
+                built.append((scenario, fingerprint))
+            if not jobs:
+                continue
+            # Batch job names must be unique; scenario names already are
+            # within one space, but guard against collisions from
+            # hand-built scenario lists.
+            names = [job.name for job in jobs]
+            if len(set(names)) != len(names):
+                jobs = [
+                    type(job)(**{**job.__dict__, "name": f"{job.name}#{idx}"})
+                    for idx, job in enumerate(jobs)
+                ]
+            batch = mapper.map_all(jobs)
+            for (scenario, fingerprint), record in zip(built, batch.records):
+                result = self._result_from_record(scenario, fingerprint, record)
+                self.store.record(result.entry(meta))
+                by_fingerprint[fingerprint] = result
+                if result.ok and result.assignment:
+                    self._seeds[self._problem_key(scenario)] = result.assignment
+        return [by_fingerprint[fp] for fp in fingerprints]
+
+    def _result_from_record(
+        self, scenario: Scenario, fingerprint: str, record
+    ) -> ScenarioResult:
+        if not record.ok:
+            return ScenarioResult(
+                scenario=scenario,
+                fingerprint=fingerprint,
+                tier=TIER_ILP,
+                status="error",
+                error=record.error,
+                wall_time=record.wall_time,
+            )
+        mapping = record.final().mapping
+        solves = (
+            0
+            if record.from_cache
+            else sum(
+                1
+                for stage in record.stages.values()
+                if stage.solve_result is not None
+            )
+        )
+        return ScenarioResult(
+            scenario=scenario,
+            fingerprint=fingerprint,
+            tier=TIER_ILP,
+            status="ok",
+            objectives=self._score(scenario, mapping),
+            assignment=dict(mapping.assignment),
+            solves=solves,
+            wall_time=record.wall_time,
+        )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ExplorationResult:
+    """A finished sweep: every scored scenario plus driver accounting."""
+
+    results: list[ScenarioResult]
+    driver: str
+    ilp_solves: int = 0
+    greedy_evaluations: int = 0
+    resumed: int = 0
+    pruned: tuple[str, ...] = ()  # fingerprints skipped by the driver
+    wall_time: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def ok_results(self) -> list[ScenarioResult]:
+        return [r for r in self.results if r.ok and r.objectives is not None]
+
+    def frontier(self) -> list[ScenarioResult]:
+        """The non-dominated scored scenarios (area, energy, latency)."""
+        scored = self.ok_results()
+        if not scored:
+            return []
+        mask = nondominated_mask(
+            objective_matrix([r.objectives for r in scored])
+        )
+        return [r for r, keep in zip(scored, mask) if keep]
+
+    def objective_points(self) -> np.ndarray:
+        return objective_matrix([r.objectives for r in self.ok_results()])
+
+    def hypervolume(self, ref=None) -> float:
+        points = self.objective_points()
+        if points.size == 0:
+            return 0.0
+        reference = ref if ref is not None else reference_point(points)
+        return hypervolume(points, reference)
+
+    def report(self) -> str:
+        """Fixed-width frontier table (the sweep's terminal 'figure')."""
+        from ..experiments.runner import format_table
+
+        frontier = sorted(
+            self.frontier(), key=lambda r: r.objectives.area  # type: ignore[union-attr]
+        )
+        frontier_keys = {r.fingerprint for r in frontier}
+        rows = []
+        for result in self.ok_results():
+            obj = result.objectives
+            assert obj is not None
+            rows.append(
+                (
+                    "*" if result.fingerprint in frontier_keys else "",
+                    result.scenario.name,
+                    round(obj.area, 1),
+                    round(obj.energy, 1),
+                    int(obj.latency),
+                    result.solves,
+                    "store" if result.from_store else "",
+                )
+            )
+        rows.sort(key=lambda row: (row[0] != "*", row[2]))
+        header = [
+            "front",
+            "scenario",
+            "area",
+            "energy_pj",
+            "latency",
+            "solves",
+            "src",
+        ]
+        lines = [format_table(header, rows)]
+        lines.append(
+            f"\n{len(frontier)}/{len(self.ok_results())} non-dominated; "
+            f"{self.ilp_solves} ILP solve(s), {self.resumed} resumed, "
+            f"{len(self.pruned)} pruned [{self.driver}]"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "driver": self.driver,
+            "ilp_solves": self.ilp_solves,
+            "greedy_evaluations": self.greedy_evaluations,
+            "resumed": self.resumed,
+            "pruned": len(self.pruned),
+            "wall_time": self.wall_time,
+            "hypervolume": self.hypervolume(),
+            "evaluated": len(self.ok_results()),
+            "frontier": [
+                {
+                    "scenario": r.scenario.name,
+                    "fingerprint": r.fingerprint,
+                    **(r.objectives.as_dict() if r.objectives else {}),
+                }
+                for r in sorted(
+                    self.frontier(),
+                    key=lambda r: r.objectives.area,  # type: ignore[union-attr]
+                )
+            ],
+            "meta": self.meta,
+        }

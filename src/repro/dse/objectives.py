@@ -1,0 +1,104 @@
+"""The explorer's objective vector: (area, energy, latency).
+
+One :class:`ObjectivePoint` per evaluated mapping, computed with the
+*same* library calls every other part of the repo uses — no private
+re-implementations, so a DSE row always agrees with what
+``repro simulate`` or the exhibits would report for the same placement:
+
+- **area** — summed enabled-crossbar memristor cost, from
+  :func:`repro.mca.energy.enabled_area`;
+- **energy** — :func:`repro.mca.energy.cost_summary` total over a
+  traffic report synthesized from the scenario's spike profile
+  (:func:`repro.mca.processor.static_traffic`, hop-weighted over the
+  scenario's mesh);
+- **latency** — worst-case input-to-output timesteps from
+  :func:`repro.mapping.latency.critical_path_latency` on the same mesh.
+
+All three are minimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mapping.latency import critical_path_latency
+from ..mapping.solution import Mapping
+from ..mca.energy import EnergyModel, cost_summary, enabled_area
+from ..mca.noc import MeshNoC
+from ..mca.processor import static_traffic
+
+#: Objective order of every point/array in this package.
+OBJECTIVE_NAMES = ("area", "energy", "latency")
+
+
+@dataclass(frozen=True)
+class ObjectivePoint:
+    """One mapping's position in (area, energy, latency) space."""
+
+    area: float  # enabled memristor cost C_j summed
+    energy: float  # total (static + communication) pJ
+    latency: float  # mapped critical-path timesteps
+    enabled_crossbars: int = 0
+    global_packets: int = 0
+
+    def vector(self) -> np.ndarray:
+        return np.array([self.area, self.energy, self.latency], dtype=np.float64)
+
+    def as_dict(self) -> dict:
+        return {
+            "area": self.area,
+            "energy": self.energy,
+            "latency": self.latency,
+            "enabled_crossbars": self.enabled_crossbars,
+            "global_packets": self.global_packets,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObjectivePoint":
+        return cls(
+            area=float(payload["area"]),
+            energy=float(payload["energy"]),
+            latency=float(payload["latency"]),
+            enabled_crossbars=int(payload.get("enabled_crossbars", 0)),
+            global_packets=int(payload.get("global_packets", 0)),
+        )
+
+
+def evaluate_objectives(
+    mapping: Mapping,
+    spike_counts: dict[int, int],
+    noc: MeshNoC | None = None,
+    duration: int = 1,
+    energy_model: EnergyModel | None = None,
+) -> ObjectivePoint:
+    """Score one mapping under a spike profile.
+
+    ``duration`` scales the static-leakage term of the energy summary
+    (the profile's packet counts already embody however many timesteps
+    produced them; 1 keeps static energy a pure area tiebreaker).
+    """
+    arch = mapping.problem.architecture
+    mesh = noc or MeshNoC(arch.num_slots)
+    traffic = static_traffic(
+        mapping.problem.network, mapping.assignment, spike_counts, noc=mesh
+    )
+    summary = cost_summary(
+        arch, mapping.assignment, traffic, duration, model=energy_model
+    )
+    count, area = enabled_area(arch, mapping.assignment)
+    latency = critical_path_latency(mapping, noc=mesh)
+    return ObjectivePoint(
+        area=area,
+        energy=summary.total_energy_pj,
+        latency=float(latency),
+        enabled_crossbars=count,
+        global_packets=traffic.global_packets,
+    )
+
+
+def objective_matrix(points) -> np.ndarray:
+    """Stack :class:`ObjectivePoint` rows into the Pareto engine's input."""
+    rows = [p.vector() for p in points]
+    return np.vstack(rows) if rows else np.zeros((0, len(OBJECTIVE_NAMES)))

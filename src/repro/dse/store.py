@@ -1,0 +1,158 @@
+"""Persistent, resumable run store for exploration sweeps.
+
+One JSONL file, one JSON object per line, append-only.  Each entry
+records a finished evaluation keyed by ``(scenario fingerprint, tier)``
+— ``tier`` distinguishes the adaptive driver's cheap greedy bound from a
+real ILP evaluation, so a resumed sweep can trust an ILP entry but will
+still upgrade a greedy one.
+
+Append-only JSONL is deliberately crash-tolerant: a process killed
+mid-write leaves at most one torn final line, which :meth:`RunStore.load`
+skips (along with entries from older schema versions).  Re-evaluations
+simply append again; the *last* entry per key wins, so the store doubles
+as a history of the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump when the entry schema changes; older entries are ignored on load.
+STORE_FORMAT = 1
+
+TIER_GREEDY = "greedy"
+TIER_ILP = "ilp"
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One persisted evaluation."""
+
+    fingerprint: str
+    tier: str
+    scenario: dict  # Scenario.payload() — for human/tool inspection
+    status: str  # "ok" | "error"
+    objectives: dict | None = None  # ObjectivePoint.as_dict() when ok
+    assignment: dict | None = None  # neuron -> slot (stringed keys) when ok
+    solves: int = 0  # ILP solves this evaluation spent
+    wall_time: float = 0.0
+    error: str | None = None
+    meta: dict = field(default_factory=dict)  # driver breadcrumbs (rung, ...)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.fingerprint, self.tier)
+
+    def to_json(self) -> dict:
+        return {
+            "format": STORE_FORMAT,
+            "fingerprint": self.fingerprint,
+            "tier": self.tier,
+            "scenario": self.scenario,
+            "status": self.status,
+            "objectives": self.objectives,
+            "assignment": self.assignment,
+            "solves": self.solves,
+            "wall_time": self.wall_time,
+            "error": self.error,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RunEntry":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            tier=payload["tier"],
+            scenario=payload.get("scenario") or {},
+            status=payload["status"],
+            objectives=payload.get("objectives"),
+            assignment=payload.get("assignment"),
+            solves=int(payload.get("solves", 0)),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            error=payload.get("error"),
+            meta=payload.get("meta") or {},
+        )
+
+
+class RunStore:
+    """Append-only JSONL store of :class:`RunEntry` records.
+
+    ``path=None`` keeps everything in memory (ephemeral sweeps and
+    tests); otherwise entries are flushed line-by-line so a concurrent
+    reader — or the next resumed run — sees every finished scenario.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[tuple[str, str], RunEntry] = {}
+        self._loaded_lines = 0
+        self._skipped_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    if payload.get("format") != STORE_FORMAT:
+                        raise ValueError("stale store format")
+                    entry = RunEntry.from_json(payload)
+                except (ValueError, KeyError, TypeError):
+                    self._skipped_lines += 1  # torn tail line or old schema
+                    continue
+                self._entries[entry.key] = entry
+                self._loaded_lines += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def get(self, fingerprint: str, tier: str = TIER_ILP) -> RunEntry | None:
+        return self._entries.get((fingerprint, tier))
+
+    def entries(self) -> list[RunEntry]:
+        return list(self._entries.values())
+
+    def completed(self, tier: str = TIER_ILP) -> dict[str, RunEntry]:
+        """fingerprint -> entry for every *successful* evaluation at a tier.
+
+        Failed entries are deliberately excluded so a resumed sweep
+        retries them — an error is not an answer worth pinning.
+        """
+        return {
+            entry.fingerprint: entry
+            for entry in self._entries.values()
+            if entry.tier == tier and entry.ok
+        }
+
+    def record(self, entry: RunEntry) -> None:
+        """Persist one evaluation (last write per key wins)."""
+        self._entries[entry.key] = entry
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(entry.to_json(), sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+                handle.flush()
+
+    @property
+    def skipped_lines(self) -> int:
+        """Unreadable lines encountered on load (torn tails, old formats)."""
+        return self._skipped_lines

@@ -31,6 +31,7 @@ from .axon_sharing import AreaModel, FormulationOptions
 from .greedy import greedy_first_fit
 from .metrics import MappingMetrics, evaluate_mapping
 from .pgo import SpikeProfile, build_pgo_model
+from .precision import PrecisionAreaModel, PrecisionSpec, validate_sliced
 from .problem import MappingProblem
 from .snu import RouteObjective, build_snu_model
 from .solution import Mapping
@@ -90,6 +91,12 @@ class MappingPipeline:
     ``solver`` swaps the per-stage backend: it receives the stage's wall
     budget and returns any :class:`SolverBackend` (the default is plain
     HiGHS; the batch engine injects a racing portfolio here).
+
+    ``precision`` swaps the area stage's model for the bit-slicing-aware
+    :class:`~repro.mapping.precision.PrecisionAreaModel`.  The later route
+    stages keep the enabled-crossbar set frozen (so area accounting is
+    preserved) but re-place neurons with unweighted output rows — combine
+    precision with route stages only when that slack is acceptable.
     """
 
     def __init__(
@@ -99,11 +106,13 @@ class MappingPipeline:
         route_time_limit: float | None = 30.0,
         formulation: FormulationOptions | None = None,
         solver: SolverFactory | None = None,
+        precision: PrecisionSpec | None = None,
     ) -> None:
         self.problem = problem
         self.area_time_limit = area_time_limit
         self.route_time_limit = route_time_limit
         self.formulation = formulation or FormulationOptions()
+        self.precision = precision
         self.solver: SolverFactory = solver or (
             lambda limit: HighsBackend(HighsOptions(time_limit=limit))
         )
@@ -159,9 +168,20 @@ class MappingPipeline:
         return evaluate_mapping(mapping, counts)
 
     def _run_area(self, warm: Mapping) -> tuple[Mapping, SolveResult]:
-        handle = AreaModel(self.problem, self.formulation)
+        if self.precision is not None:
+            handle = PrecisionAreaModel(
+                self.problem, self.precision, self.formulation
+            )
+            # A greedy/carried-over warm start is unaware of bit-slicing and
+            # may violate the sliced output rows; the backends reject
+            # infeasible warm starts outright, so only seed ones that hold.
+            violations = validate_sliced(warm, handle.slices)
+            warm_vec = handle.warm_start_from(warm) if not violations else None
+        else:
+            handle = AreaModel(self.problem, self.formulation)
+            warm_vec = handle.warm_start_from(warm)
         backend = self.solver(self.area_time_limit)
-        solve = backend.solve(handle.model, warm_start=handle.warm_start_from(warm))
+        solve = backend.solve(handle.model, warm_start=warm_vec)
         return handle.extract_mapping(solve), solve
 
     def _run_snu(self, base: Mapping) -> tuple[Mapping, SolveResult]:

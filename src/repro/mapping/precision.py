@@ -80,6 +80,11 @@ class PrecisionAreaModel(AreaModel):
         super().__init__(problem, options)
         self._replace_output_capacity()
 
+    @property
+    def slices(self) -> dict[int, int]:
+        """Per-neuron bit-slice requirement this model accounts for."""
+        return self._slices
+
     def _replace_output_capacity(self) -> None:
         """Rebuild constraint 4 with per-neuron slice weights.
 

@@ -138,6 +138,56 @@ def count_packets(
     return TrafficCounter(network, assignment).count(spike_counts)
 
 
+def static_traffic(
+    network: Network,
+    assignment: Mapping[int, int],
+    spike_counts: Mapping[int, int],
+    noc: MeshNoC,
+) -> TrafficReport:
+    """Traffic report synthesized from a placement and a spike profile.
+
+    The static sibling of :meth:`MappedProcessor.run`: instead of
+    simulating, it expands per-neuron spike counts into packet counts over
+    the placement (the same :class:`TrafficCounter` arithmetic the
+    processor uses), then hop-weights the global packets over ``noc``.
+    This is what sweep-scale consumers (the design-space explorer's energy
+    objective) use — identical accounting, no simulator in the loop.
+
+    ``noc`` is required: mesh geometry (and with it every hop count) is
+    set by the architecture's *total* slot count, which a placement alone
+    cannot reveal — pass ``MeshNoC(architecture.num_slots)`` to match
+    :meth:`MappedProcessor.traffic_from_counts` exactly.
+    """
+    local, global_, pair_counts = TrafficCounter(network, assignment).count(
+        spike_counts
+    )
+    return _assemble_report(
+        noc, local, global_, pair_counts, sum(spike_counts.values())
+    )
+
+
+def _assemble_report(
+    noc: MeshNoC,
+    local: int,
+    global_: int,
+    pair_counts: dict[tuple[int, int], int],
+    total_spikes: int,
+) -> TrafficReport:
+    """Hop-weight pair counts over the mesh and fold into one report."""
+    hop_packets, link_load = hop_weighted_packets(noc, pair_counts)
+    per_crossbar: dict[int, int] = {}
+    for (_, dst), packets in pair_counts.items():
+        per_crossbar[dst] = per_crossbar.get(dst, 0) + packets
+    return TrafficReport(
+        total_spikes=total_spikes,
+        local_packets=local,
+        global_packets=global_,
+        hop_packets=hop_packets,
+        max_link_load=link_load.max_link_load,
+        per_crossbar_packets=per_crossbar,
+    )
+
+
 class MappedProcessor:
     """A network placed onto an architecture, ready to execute.
 
@@ -179,15 +229,6 @@ class MappedProcessor:
     def traffic_from_counts(self, spike_counts: Mapping[int, int]) -> TrafficReport:
         """Traffic report for externally supplied per-neuron spike counts."""
         local, global_, pair_counts = self._traffic.count(spike_counts)
-        hop_packets, link_load = hop_weighted_packets(self.noc, pair_counts)
-        per_crossbar: dict[int, int] = {}
-        for (_, dst), packets in pair_counts.items():
-            per_crossbar[dst] = per_crossbar.get(dst, 0) + packets
-        return TrafficReport(
-            total_spikes=sum(spike_counts.values()),
-            local_packets=local,
-            global_packets=global_,
-            hop_packets=hop_packets,
-            max_link_load=link_load.max_link_load,
-            per_crossbar_packets=per_crossbar,
+        return _assemble_report(
+            self.noc, local, global_, pair_counts, sum(spike_counts.values())
         )

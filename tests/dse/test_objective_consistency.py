@@ -1,0 +1,100 @@
+"""The DSE objective vector must agree with the underlying libraries.
+
+A frontier is only trustworthy if the numbers it ranks are the *same*
+numbers the rest of the repo reports: ``area`` from
+:func:`repro.mca.energy.enabled_area`, ``energy`` from
+:func:`repro.mca.energy.cost_summary` over statically synthesized
+traffic, ``latency`` from
+:func:`repro.mapping.latency.critical_path_latency`.  Property-tested
+over small random networks and greedy placements, plus the processor
+cross-check that static traffic equals the TrafficCounter path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.objectives import evaluate_objectives
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.latency import critical_path_latency
+from repro.mapping.problem import MappingProblem
+from repro.mca.architecture import heterogeneous_architecture, homogeneous_architecture
+from repro.mca.energy import cost_summary, enabled_area
+from repro.mca.noc import MeshNoC
+from repro.mca.processor import MappedProcessor, static_traffic
+from repro.snn.generators import random_network
+
+pytestmark = pytest.mark.dse
+
+
+@st.composite
+def mapped_instance(draw):
+    n = draw(st.integers(8, 20))
+    m = min(int(n * draw(st.floats(1.0, 2.0))), n * 3)
+    seed = draw(st.integers(0, 10_000))
+    network = random_network(n, m, seed=seed, max_fan_in=5)
+    if draw(st.booleans()):
+        arch = homogeneous_architecture(n, dimension=8)
+    else:
+        arch = heterogeneous_architecture(n, max_slots_per_type=8)
+    mapping = greedy_first_fit(MappingProblem(network, arch))
+    counts = {
+        nid: draw(st.integers(0, 5)) for nid in network.neuron_ids()
+    }
+    return mapping, counts
+
+
+class TestObjectiveConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(mapped_instance())
+    def test_point_matches_the_libraries(self, instance):
+        mapping, counts = instance
+        arch = mapping.problem.architecture
+        noc = MeshNoC(arch.num_slots)
+        point = evaluate_objectives(mapping, counts, noc=noc)
+
+        count, area = enabled_area(arch, mapping.assignment)
+        assert point.area == pytest.approx(area)
+        assert point.enabled_crossbars == count
+
+        traffic = static_traffic(
+            mapping.problem.network, mapping.assignment, counts, noc=noc
+        )
+        summary = cost_summary(arch, mapping.assignment, traffic, duration=1)
+        assert point.energy == pytest.approx(summary.total_energy_pj)
+        assert point.global_packets == traffic.global_packets
+
+        assert point.latency == pytest.approx(
+            float(critical_path_latency(mapping, noc=noc))
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(mapped_instance())
+    def test_static_traffic_matches_the_processor_path(self, instance):
+        """The DSE energy axis uses the exact processor accounting."""
+        mapping, counts = instance
+        processor = MappedProcessor(
+            mapping.problem.network,
+            mapping.assignment,
+            mapping.problem.architecture,
+        )
+        via_processor = processor.traffic_from_counts(counts)
+        via_static = static_traffic(
+            mapping.problem.network,
+            mapping.assignment,
+            counts,
+            noc=processor.noc,
+        )
+        assert via_static == via_processor
+
+    def test_zero_spike_profile_still_scores(self):
+        network = random_network(10, 15, seed=1, max_fan_in=4)
+        mapping = greedy_first_fit(
+            MappingProblem(network, homogeneous_architecture(10, dimension=8))
+        )
+        point = evaluate_objectives(
+            mapping, {nid: 0 for nid in network.neuron_ids()}
+        )
+        assert point.global_packets == 0
+        assert point.area > 0  # static area survives an idle profile

@@ -136,3 +136,51 @@ class TestExhibitsForwarding:
     def test_table2_via_cli(self, capsys):
         assert main(["exhibits", "--exhibit", "table2"]) == 0
         assert "32x32" in capsys.readouterr().out
+
+
+class TestDse:
+    TINY = ["--networks", "C", "--scale", "0.1", "--profiles", "uniform",
+            "--dimensions", "12", "--no-heterogeneous", "--time-limit", "4"]
+
+    def test_dse_parser_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.driver == "adaptive"
+        assert args.networks == ["C", "E"]
+        assert args.budget_fraction == 0.5
+
+    def test_grid_sweep_emits_frontier_and_resumes(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        summary = tmp_path / "frontier.json"
+        code = main(["dse", "--driver", "grid", "--store", str(store),
+                     "--json", str(summary), *self.TINY])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "non-dominated" in out
+        assert "2 scenario(s)" in out
+        payload = json.loads(summary.read_text())
+        assert payload["driver"] == "grid"
+        assert payload["frontier"]
+        assert payload["ilp_solves"] > 0
+
+        # Same store, same space: everything comes back without a solve.
+        assert main(["dse", "--driver", "grid", "--store", str(store),
+                     *self.TINY]) == 0
+        out = capsys.readouterr().out
+        assert "resuming past" in out
+        assert "0 ILP solve(s)" in out
+
+    def test_adaptive_sweep_runs(self, capsys):
+        assert main(["dse", "--driver", "adaptive", *self.TINY]) == 0
+        assert "[adaptive]" in capsys.readouterr().out
+
+    def test_partial_failure_fails_the_command(self, capsys):
+        # dimension 4 cannot host C@0.1 (fan-in 8): one of the two pools
+        # fails, so the sweep must exit non-zero for CI visibility.
+        code = main(["dse", "--driver", "grid", "--networks", "C",
+                     "--scale", "0.1", "--profiles", "uniform",
+                     "--dimensions", "4", "12", "--no-heterogeneous",
+                     "--no-snu", "--time-limit", "4"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "scenario(s) failed" in out
+        assert "fan-in" in out
