@@ -28,15 +28,18 @@ from .portfolio import (
     PortfolioSolver,
     portfolio_solver_factory,
 )
+from .queue import CancelToken, JobQueue
 
 __all__ = [
     "BatchJob",
     "BatchMapper",
     "BatchResult",
     "CacheStats",
+    "CancelToken",
     "DEFAULT_SPECS",
     "JOB_ERROR",
     "JOB_OK",
+    "JobQueue",
     "JobRecord",
     "PortfolioOptions",
     "PortfolioSolver",

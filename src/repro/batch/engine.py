@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from ..mapping.axon_sharing import FormulationOptions
@@ -254,8 +254,20 @@ class BatchMapper:
         self.cache = cache
 
     # ------------------------------------------------------------------
-    def map_all(self, batch_jobs: list[BatchJob]) -> BatchResult:
-        """Execute every job; never raises for per-job failures."""
+    def map_all(
+        self,
+        batch_jobs: list[BatchJob],
+        should_cancel=None,
+    ) -> BatchResult:
+        """Execute every job; never raises for per-job failures.
+
+        ``should_cancel`` is an optional zero-argument callable polled at
+        job boundaries (and between pooled completions): once it returns
+        true, every not-yet-finished job is recorded as cancelled instead
+        of executed — the service layer hands a job's
+        :class:`~repro.batch.queue.CancelToken` straight in here.
+        Cancelled records are never cached, mirroring Ctrl-C handling.
+        """
         names = [job.name for job in batch_jobs]
         if len(set(names)) != len(names):
             raise ValueError("job names must be unique within a batch")
@@ -276,7 +288,7 @@ class BatchMapper:
             else:
                 pending.append((idx, job, key))
 
-        for idx, job, key, payload in self._execute(pending):
+        for idx, job, key, payload in self._execute(pending, should_cancel):
             cacheable = (
                 payload.get("status") == JOB_OK
                 and not payload.get("interrupted", False)
@@ -288,10 +300,22 @@ class BatchMapper:
         return BatchResult([records[i] for i in range(len(batch_jobs))])
 
     # ------------------------------------------------------------------
-    def _execute(self, pending):
+    def _execute(self, pending, should_cancel=None):
         """Yield (idx, job, key, payload) for every non-cached job."""
+        if should_cancel is not None and should_cancel():
+            # Already cancelled: never spin up a pool or start a solve —
+            # a later wave of a cancelled multi-stage sweep lands here.
+            for idx, job, key in pending:
+                yield idx, job, key, _cancelled_payload()
+            return
         if self.jobs == 1 or len(pending) <= 1:
             for pos, (idx, job, key) in enumerate(pending):
+                if should_cancel is not None and should_cancel():
+                    # The cancellation hook fired between jobs: record the
+                    # rest of the batch as cancelled without executing it.
+                    for idx2, job2, key2 in pending[pos:]:
+                        yield idx2, job2, key2, _cancelled_payload()
+                    return
                 payload = _execute_job(job, self.portfolio)
                 yield idx, job, key, payload
                 if payload.get("interrupted"):
@@ -308,34 +332,49 @@ class BatchMapper:
                 pool.submit(_execute_job, job, self.portfolio): (idx, job, key)
                 for idx, job, key in pending
             }
+            remaining = set(futures)
             consumed: set = set()
+
+            def _drain_cancelled():
+                pool.shutdown(wait=False, cancel_futures=True)
+                for future, (idx, job, key) in futures.items():
+                    if future not in consumed:
+                        yield idx, job, key, _cancelled_payload()
+
             try:
-                for future in as_completed(futures):
-                    idx, job, key = futures[future]
-                    try:
-                        payload = future.result()
-                    except KeyboardInterrupt:
-                        # The worker re-raised a cancellation that slipped
-                        # past its own handler: record it, keep the batch.
-                        payload = _cancelled_payload()
-                    except Exception as exc:  # worker died (OOM, broken pool)
-                        payload = {
-                            "status": JOB_ERROR,
-                            "stages": [],
-                            "wall_time": 0.0,
-                            "error": f"{type(exc).__name__}: {exc}",
-                        }
-                    consumed.add(future)
-                    yield idx, job, key, payload
+                while remaining:
+                    if should_cancel is not None and should_cancel():
+                        yield from _drain_cancelled()
+                        return
+                    # Poll in short slices only when a cancellation hook is
+                    # watching; otherwise block until the next completion.
+                    done, remaining = wait(
+                        remaining,
+                        timeout=0.25 if should_cancel is not None else None,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        idx, job, key = futures[future]
+                        try:
+                            payload = future.result()
+                        except KeyboardInterrupt:
+                            # The worker re-raised a cancellation that slipped
+                            # past its own handler: record it, keep the batch.
+                            payload = _cancelled_payload()
+                        except Exception as exc:  # worker died (OOM, broken pool)
+                            payload = {
+                                "status": JOB_ERROR,
+                                "stages": [],
+                                "wall_time": 0.0,
+                                "error": f"{type(exc).__name__}: {exc}",
+                            }
+                        consumed.add(future)
+                        yield idx, job, key, payload
             except KeyboardInterrupt:
                 # One Ctrl-C cancels the rest of the batch (mirroring the
                 # serial path): drop queued jobs instead of letting the
                 # pool drain them all before shutdown.
-                pool.shutdown(wait=False, cancel_futures=True)
-                for future, (idx, job, key) in futures.items():
-                    if future in consumed:
-                        continue
-                    yield idx, job, key, _cancelled_payload()
+                yield from _drain_cancelled()
 
 
 def parallel_map(fn, items, jobs: int = 1) -> list:

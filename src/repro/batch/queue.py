@@ -1,0 +1,98 @@
+"""Thread-safe job queue with cancellation tokens.
+
+The submission side of a long-lived mapping service: producers
+:meth:`JobQueue.push` work items and hold on to the returned
+:class:`CancelToken`; worker threads :meth:`JobQueue.pop` items in FIFO
+order.  A token cancelled while its item is still queued makes the queue
+drop the item before a worker ever sees it; a token cancelled while the
+item is running doubles as the ``should_cancel`` hook of
+:meth:`~repro.batch.engine.BatchMapper.map_all`, aborting the remainder
+of the batch at the next job boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+class CancelToken:
+    """A one-way cancellation flag shared by submitter and worker.
+
+    Calling the token returns whether it is cancelled, so it plugs
+    directly into ``should_cancel=`` hooks.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __call__(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+class JobQueue:
+    """FIFO of ``(item, CancelToken)`` pairs for service worker loops.
+
+    ``pop`` silently discards items whose token was cancelled while they
+    waited — the canceller is responsible for any bookkeeping on the
+    dropped item (the service registry marks the job cancelled before
+    setting the token).  After :meth:`close`, pushes raise and ``pop``
+    returns ``None`` once the queue drains, which is the worker's signal
+    to exit.
+    """
+
+    def __init__(self) -> None:
+        self._items: deque[tuple[Any, CancelToken]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, item: Any, token: CancelToken | None = None) -> CancelToken:
+        """Enqueue ``item``; returns its (possibly caller-made) token."""
+        token = token if token is not None else CancelToken()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._items.append((item, token))
+            self._cond.notify()
+        return token
+
+    def pop(self, timeout: float | None = None) -> tuple[Any, CancelToken] | None:
+        """Next live ``(item, token)``, or ``None`` on timeout / drained close."""
+        with self._cond:
+            while True:
+                while self._items:
+                    item, token = self._items.popleft()
+                    if not token.cancelled:
+                        return item, token
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def close(self) -> None:
+        """Refuse new pushes and wake every blocked ``pop``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(1 for _, token in self._items if not token.cancelled)

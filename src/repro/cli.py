@@ -13,6 +13,11 @@ Subcommands:
 - ``repro dse``      — design-space exploration: sweep an (architecture
   x workload x formulation) grid, report the (area, energy, latency)
   Pareto frontier, resumable via a JSONL run store.
+- ``repro serve``    — run the long-lived mapping daemon: accept JSON
+  job submissions over HTTP, share one batch engine + result cache +
+  run store across every client.
+- ``repro submit``   — client for ``repro serve``: submit one scenario
+  (or a raw wire-format spec), stream/poll the result.
 - ``repro bench``    — run the benchmark scripts under ``benchmarks/``
   and refresh the root-level ``BENCH_*.json`` perf-trajectory files.
 
@@ -251,6 +256,109 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0 if result.ok_results() and not failed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .batch.cache import ResultCache
+    from .dse import Explorer, RunStore
+    from .service.daemon import MappingService, make_server, run_server
+
+    store = RunStore(args.store) if args.store else RunStore()
+    if args.store and len(store):
+        print(f"run store {args.store}: {len(store)} entr(ies) warm")
+    explorer = Explorer(
+        store=store,
+        jobs=args.jobs,
+        portfolio=args.portfolio,
+        # The shared cache is the point of the daemon: default to the
+        # always-on memory tier when no directory is given.
+        cache=ResultCache(args.cache_dir) if args.cache_dir else ResultCache(),
+        time_limit=args.time_limit,
+    )
+    service = MappingService(explorer, workers=args.workers)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    print("POST /jobs to submit; POST /shutdown to stop", flush=True)
+    run_server(service, server)
+    store.close()
+    print("repro service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .dse.scenario import (
+        ArchitectureSpec,
+        FormulationSpec,
+        Scenario,
+        WorkloadSpec,
+    )
+    from .service.client import ServiceClient, ServiceError
+    from .service.wire import JobSpec
+
+    try:
+        if args.spec:
+            from pathlib import Path
+
+            payload = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        else:
+            scenario = Scenario(
+                architecture=(
+                    ArchitectureSpec(kind="homogeneous", dimension=args.dimension)
+                    if args.homogeneous
+                    else ArchitectureSpec(kind="heterogeneous")
+                ),
+                workload=WorkloadSpec(
+                    network=args.network,
+                    scale=args.scale,
+                    profile=args.profile,
+                    num_samples=args.num_samples,
+                ),
+                formulation=FormulationSpec(stages=tuple(args.stages)),
+            )
+            payload = JobSpec(
+                scenarios=(scenario,), tier=args.tier, time_limit=args.time_limit
+            ).payload()
+    except (ValueError, OSError) as exc:  # WireError is a ValueError
+        print(f"invalid submission: {exc}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        submitted = client.submit(payload=payload)
+        job_id = submitted["id"]
+        print(f"submitted {job_id} ({submitted['scenarios']} scenario(s))")
+        if args.stream:
+            for event in client.stream(job_id, timeout=args.timeout):
+                print(json.dumps(event, sort_keys=True))
+        detail = client.wait(job_id, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    if not args.stream:
+        for result in detail["results"]:
+            tag = "cache" if result.get("cached") else result["status"]
+            line = f"{result['scenario']:<40} {tag:<6}"
+            if result.get("objectives"):
+                obj = result["objectives"]
+                line += (
+                    f" area={obj['area']:g}"
+                    f" energy={obj['energy']:g}"
+                    f" latency={obj['latency']:g}"
+                    f" solves={result['solves']}"
+                )
+            if result.get("error"):
+                line += f" {result['error']}"
+            print(line)
+    print(f"job {job_id}: {detail['status']}")
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(detail, indent=2) + "\n")
+        print(f"job detail written to {args.json}")
+    return 0 if detail["status"] == "done" else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import subprocess
     from pathlib import Path
@@ -437,6 +545,66 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--json", default=None,
                      help="write the frontier summary JSON here")
     dse.set_defaults(func=_cmd_dse)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived mapping daemon sharing one engine/cache/run store",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="listen port (0 = pick a free one)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="service worker threads draining the job queue")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="solver worker processes per batch (1 = in-process)")
+    serve.add_argument("--portfolio", action="store_true",
+                       help="race HiGHS vs branch-and-bound per solve")
+    serve.add_argument("--time-limit", type=float, default=10.0,
+                       help="default per-stage solver budget in seconds")
+    serve.add_argument("--cache-dir", default=None,
+                       help="directory for the shared result cache "
+                            "(default: in-memory)")
+    serve.add_argument("--store", default=None,
+                       help="shared JSONL run store; submissions resume "
+                            "from and append to it")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a mapping job to a running `repro serve`"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8100",
+                        help="daemon base URL")
+    submit.add_argument("--spec", default=None,
+                        help="JSON file with a raw wire-format submission "
+                             "(overrides the axis flags)")
+    submit.add_argument("--network", default="C",
+                        choices=("A", "B", "C", "D", "E"),
+                        help="Table-I twin to map")
+    submit.add_argument("--scale", type=float, default=0.12,
+                        help="twin scaling factor")
+    submit.add_argument("--profile", default="uniform",
+                        choices=("uniform", "stroke", "hotspot", "noise"),
+                        help="spike-profile family for the energy axis")
+    submit.add_argument("--num-samples", type=int, default=12,
+                        help="frames simulated per non-uniform profile")
+    submit.add_argument("--homogeneous", action="store_true",
+                        help="use a square homogeneous pool (default: Table II)")
+    submit.add_argument("--dimension", type=int, default=16,
+                        help="homogeneous crossbar dimension")
+    submit.add_argument("--stages", nargs="+", default=["area"],
+                        choices=("area", "snu", "pgo"),
+                        help="mapping-pipeline stage prefix")
+    submit.add_argument("--tier", default="ilp", choices=("ilp", "greedy"),
+                        help="evaluation tier")
+    submit.add_argument("--time-limit", type=float, default=None,
+                        help="per-stage solver budget (default: server's)")
+    submit.add_argument("--stream", action="store_true",
+                        help="print the NDJSON event stream while waiting")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side wait timeout in seconds")
+    submit.add_argument("--json", default=None,
+                        help="write the final job detail JSON here")
+    submit.set_defaults(func=_cmd_submit)
 
     bench = sub.add_parser(
         "bench",

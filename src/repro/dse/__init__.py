@@ -35,6 +35,8 @@ from .scenario import (
     ScenarioRegistry,
     WorkloadSpec,
     default_space,
+    formulation_from_payload,
+    scenario_from_payload,
 )
 from .store import TIER_GREEDY, TIER_ILP, RunEntry, RunStore
 
@@ -61,10 +63,12 @@ __all__ = [
     "evaluate_objectives",
     "explore_adaptive",
     "explore_grid",
+    "formulation_from_payload",
     "frontier_diff",
     "hypervolume",
     "nondominated_mask",
     "objective_matrix",
     "pareto_rank",
     "reference_point",
+    "scenario_from_payload",
 ]

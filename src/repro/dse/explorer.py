@@ -86,18 +86,39 @@ class Explorer:
         portfolio: bool = False,
         cache: ResultCache | None = None,
         time_limit: float | None = 10.0,
+        mapper: BatchMapper | None = None,
     ) -> None:
         self.registry = registry if registry is not None else ScenarioRegistry()
         # `store or ...` would discard an *empty* persistent store (its
         # __len__ makes it falsy) — the resume path depends on identity.
         self.store = store if store is not None else RunStore()
-        self.jobs = jobs
-        self.portfolio = portfolio
-        self.cache = cache
+        # One BatchMapper for the explorer's whole life: the mapping
+        # service hands many client jobs through a single explorer, and
+        # they must share one engine + result cache.  An explicit
+        # ``mapper`` wins over the (jobs, portfolio, cache) knobs.
+        self.mapper = (
+            mapper
+            if mapper is not None
+            else BatchMapper(jobs=jobs, portfolio=portfolio, cache=cache)
+        )
         self.time_limit = time_limit
         #: (network_fp, arch_fp) -> best known assignment, fed to later
         #: waves as warm starts.
         self._seeds: dict[tuple[str, str], dict[int, int]] = {}
+
+    # The mapper is the single source of truth for engine configuration;
+    # these are read-only views so stale copies cannot drift from it.
+    @property
+    def jobs(self) -> int:
+        return self.mapper.jobs
+
+    @property
+    def portfolio(self) -> bool:
+        return self.mapper.portfolio
+
+    @property
+    def cache(self) -> ResultCache | None:
+        return self.mapper.cache
 
     # ------------------------------------------------------------------
     def _safe_fingerprint(self, scenario: Scenario) -> tuple[str, str | None]:
@@ -235,6 +256,7 @@ class Explorer:
         scenarios: list[Scenario],
         time_limit: float | None = None,
         meta: dict | None = None,
+        should_cancel=None,
     ) -> list[ScenarioResult]:
         """Full pipeline evaluation, store-first, in warm-start waves.
 
@@ -242,6 +264,10 @@ class Explorer:
         solve; the rest run through :class:`BatchMapper`, shortest stage
         prefix first, so an ``area`` solution seeds the ``area+snu``
         scenario of the same instance in the next wave.
+
+        ``should_cancel`` is polled at job boundaries inside the batch
+        engine (see :meth:`BatchMapper.map_all`); cancelled scenarios are
+        recorded as errors, never as answers.
         """
         limit = self.time_limit if time_limit is None else time_limit
         fingerprints: list[str] = []
@@ -274,9 +300,7 @@ class Explorer:
             waves.setdefault(len(scenario.formulation.stages), []).append(
                 (scenario, fingerprint)
             )
-        mapper = BatchMapper(
-            jobs=self.jobs, portfolio=self.portfolio, cache=self.cache
-        )
+        mapper = self.mapper
         for depth in sorted(waves):
             wave = waves[depth]
             jobs = []
@@ -312,7 +336,7 @@ class Explorer:
                     type(job)(**{**job.__dict__, "name": f"{job.name}#{idx}"})
                     for idx, job in enumerate(jobs)
                 ]
-            batch = mapper.map_all(jobs)
+            batch = mapper.map_all(jobs, should_cancel=should_cancel)
             for (scenario, fingerprint), record in zip(built, batch.records):
                 result = self._result_from_record(scenario, fingerprint, record)
                 self.store.record(result.entry(meta))

@@ -194,6 +194,11 @@ class Scenario:
             },
         }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Scenario":
+        """Inverse of :meth:`payload` (see :func:`scenario_from_payload`)."""
+        return scenario_from_payload(payload)
+
 
 class ScenarioRegistry:
     """Builds scenarios into concrete instances, memoizing shared parts.
@@ -351,6 +356,83 @@ class DesignSpace:
                 self.workloads, self.architectures, self.formulations
             )
         ]
+
+
+def _spec_from_payload(cls, payload, label: str):
+    """Rehydrate one frozen spec dataclass from its ``asdict`` payload.
+
+    The payload is the wire format (``Scenario.payload()`` round-trips
+    through JSON), so every failure mode — wrong container type, unknown
+    key, invalid value — must surface as a :class:`ValueError` naming the
+    offending axis, not a bare ``TypeError`` from the constructor.
+    """
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise ValueError(f"{label} payload must be an object, got {payload!r}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:  # unknown/duplicate keys
+        raise ValueError(f"invalid {label} payload: {exc}") from None
+    except ValueError as exc:  # the spec's own validation
+        raise ValueError(f"invalid {label} payload: {exc}") from None
+
+
+def formulation_from_payload(payload: dict | None) -> FormulationSpec:
+    """Rehydrate a :class:`FormulationSpec` from its payload dict."""
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise ValueError(f"formulation payload must be an object, got {payload!r}")
+    unknown = set(payload) - {"stages", "options", "precision"}
+    if unknown:
+        raise ValueError(f"invalid formulation payload: unknown keys {sorted(unknown)}")
+    # Only an *absent* stages key defaults; an explicit empty list is a
+    # malformed request and falls through to FormulationSpec's own check.
+    stages = payload.get("stages")
+    if stages is None:
+        stages = ("area",)
+    if isinstance(stages, str) or not isinstance(stages, (list, tuple)):
+        raise ValueError(f"formulation stages must be a list, got {stages!r}")
+    options = _spec_from_payload(
+        FormulationOptions, payload.get("options"), "formulation options"
+    )
+    precision = payload.get("precision")
+    if precision is not None:
+        precision = _spec_from_payload(PrecisionSpec, precision, "precision")
+    try:
+        return FormulationSpec(
+            stages=tuple(stages), options=options, precision=precision
+        )
+    except ValueError as exc:
+        raise ValueError(f"invalid formulation payload: {exc}") from None
+
+
+def scenario_from_payload(payload: dict) -> Scenario:
+    """Rehydrate a :class:`Scenario` from its :meth:`Scenario.payload` dict.
+
+    This is the service wire format: a JSON object with ``architecture``,
+    ``workload`` and ``formulation`` sections (each optional — missing
+    sections take the spec defaults), exactly what :meth:`Scenario.payload`
+    emits and what the run store records per entry.  Raises
+    :class:`ValueError` with a section-qualified message on any malformed
+    input, so HTTP handlers can map it straight to a 400.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"scenario payload must be an object, got {payload!r}")
+    kind = payload.get("kind", "scenario")
+    if kind != "scenario":
+        raise ValueError(f"unknown payload kind {kind!r} (expected 'scenario')")
+    unknown = set(payload) - {"kind", "architecture", "workload", "formulation"}
+    if unknown:
+        raise ValueError(f"invalid scenario payload: unknown keys {sorted(unknown)}")
+    return Scenario(
+        architecture=_spec_from_payload(
+            ArchitectureSpec, payload.get("architecture"), "architecture"
+        ),
+        workload=_spec_from_payload(WorkloadSpec, payload.get("workload"), "workload"),
+        formulation=formulation_from_payload(payload.get("formulation")),
+    )
 
 
 def default_space(

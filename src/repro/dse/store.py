@@ -7,17 +7,32 @@ real ILP evaluation, so a resumed sweep can trust an ILP entry but will
 still upgrade a greedy one.
 
 Append-only JSONL is deliberately crash-tolerant: a process killed
-mid-write leaves at most one torn final line, which :meth:`RunStore.load`
+mid-write leaves at most one torn final line, which :meth:`RunStore._load`
 skips (along with entries from older schema versions).  Re-evaluations
 simply append again; the *last* entry per key wins, so the store doubles
 as a history of the sweep.
+
+Concurrent writers are safe: a store keeps **one** append handle open for
+its whole life (instead of re-opening per entry) and takes an advisory
+``flock`` around every append, so several worker processes — or the
+mapping daemon's threads — can share a single JSONL file.  Before each
+append the writer heals a torn tail left by a crashed sibling (a final
+line without its newline) by terminating it, so the crash costs exactly
+the one torn entry and never corrupts the next writer's line.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import IO
+
+try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Bump when the entry schema changes; older entries are ignored on load.
 STORE_FORMAT = 1
@@ -86,6 +101,13 @@ class RunStore:
     ``path=None`` keeps everything in memory (ephemeral sweeps and
     tests); otherwise entries are flushed line-by-line so a concurrent
     reader — or the next resumed run — sees every finished scenario.
+
+    A persistent store is safe to share between processes: appends go
+    through one long-lived handle under an advisory ``flock`` (plus an
+    in-process mutex for threaded writers such as the mapping daemon).
+    Use :meth:`reload` to pick up entries appended by *other* writers
+    since this store was opened, and :meth:`close` (or the context
+    manager form) to release the handle.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
@@ -93,6 +115,8 @@ class RunStore:
         self._entries: dict[tuple[str, str], RunEntry] = {}
         self._loaded_lines = 0
         self._skipped_lines = 0
+        self._handle: IO[bytes] | None = None
+        self._lock = threading.Lock()
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -114,6 +138,23 @@ class RunStore:
                     continue
                 self._entries[entry.key] = entry
                 self._loaded_lines += 1
+
+    def reload(self) -> int:
+        """Re-read the file, merging entries appended by other writers.
+
+        Returns the number of keyed entries after the reload.  A memory
+        store is a no-op.  Entries recorded through *this* store are
+        re-read from disk too (last line per key wins, as always), so the
+        in-memory view converges with every sibling writer's.
+        """
+        with self._lock:
+            if self.path is None or not self.path.exists():
+                return len(self._entries)
+            self._entries.clear()
+            self._loaded_lines = 0
+            self._skipped_lines = 0
+            self._load()
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -141,16 +182,87 @@ class RunStore:
         }
 
     def record(self, entry: RunEntry) -> None:
-        """Persist one evaluation (last write per key wins)."""
-        self._entries[entry.key] = entry
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(entry.to_json(), sort_keys=True, separators=(",", ":"))
-                )
-                handle.write("\n")
+        """Persist one evaluation (last write per key wins).
+
+        The append happens through the store's single long-lived handle,
+        serialized by an exclusive advisory lock: the full
+        ``line + newline`` is flushed before the lock drops, so readers
+        and sibling writers never observe a half-written entry (short of
+        a crash, whose torn tail the next append heals).
+        """
+        line = json.dumps(entry.to_json(), sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._entries[entry.key] = entry
+            if self.path is None:
+                return
+            handle = self._ensure_handle()
+            self._flock(handle, exclusive=True)
+            try:
+                self._heal_torn_tail(handle)
+                handle.write(line.encode("utf-8"))
+                handle.write(b"\n")
                 handle.flush()
+            finally:
+                self._funlock(handle)
+
+    # ------------------------------------------------------------------
+    def _ensure_handle(self) -> IO[bytes]:
+        """The store's one append handle, opened lazily on first record."""
+        if self._handle is None or self._handle.closed:
+            assert self.path is not None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # "a+b": O_APPEND keeps every write at end-of-file no matter
+            # which writer got there first; the read side lets the
+            # torn-tail check inspect the current last byte under lock.
+            self._handle = self.path.open("a+b")
+        return self._handle
+
+    @staticmethod
+    def _heal_torn_tail(handle: IO[bytes]) -> None:
+        """Terminate a torn final line left by a crashed writer.
+
+        Must run under the exclusive lock.  If the file's last byte is
+        not a newline, some sibling died mid-append; writing our entry
+        straight after it would merge the two lines and lose *ours* too.
+        A lone ``\\n`` turns the torn tail into one unparseable line that
+        the loader already skips, and keeps every later entry intact.
+        """
+        size = handle.seek(0, 2)
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+    @staticmethod
+    def _flock(handle: IO[bytes], exclusive: bool) -> None:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+
+    @staticmethod
+    def _funlock(handle: IO[bytes]) -> None:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the append handle (records still work — it reopens)."""
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     @property
     def skipped_lines(self) -> int:

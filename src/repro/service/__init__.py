@@ -1,0 +1,59 @@
+"""Long-lived mapping service over the batch/DSE engines.
+
+The step from CLI sweeps to many concurrent clients: a daemon
+(:mod:`~repro.service.daemon`) keeps one shared
+:class:`~repro.batch.engine.BatchMapper`, result cache and run store
+warm across HTTP job submissions; the wire format
+(:mod:`~repro.service.wire`) is the DSE scenario payload, so anything a
+sweep can evaluate a client can submit.  :mod:`~repro.service.client`
+is the matching stdlib HTTP client, and ``repro serve`` / ``repro
+submit`` expose both on the command line.
+
+>>> from repro.service import MappingService, make_server, run_server
+>>> server = make_server(MappingService(), port=8100)     # doctest: +SKIP
+>>> run_server(server.service, server)                    # doctest: +SKIP
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import MappingService, ServiceHTTPServer, make_server, run_server
+from .jobs import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_ERROR,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_STATES,
+    JobRegistry,
+    ServiceJob,
+)
+from .wire import (
+    TIERS,
+    WIRE_FORMAT,
+    JobSpec,
+    WireError,
+    parse_job,
+    result_payload,
+)
+
+__all__ = [
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_ERROR",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JobRegistry",
+    "JobSpec",
+    "MappingService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceJob",
+    "TERMINAL_STATES",
+    "TIERS",
+    "WIRE_FORMAT",
+    "WireError",
+    "make_server",
+    "parse_job",
+    "result_payload",
+    "run_server",
+]

@@ -1,0 +1,154 @@
+"""Stdlib HTTP client for the mapping daemon.
+
+A thin :mod:`urllib.request` wrapper speaking the :mod:`.wire` format —
+usable from scripts, tests and the ``repro submit`` CLI without any new
+dependency:
+
+>>> client = ServiceClient("http://127.0.0.1:8100")      # doctest: +SKIP
+>>> job = client.submit(scenarios=[scenario])             # doctest: +SKIP
+>>> for event in client.stream(job["id"]):                # doctest: +SKIP
+...     print(event["event"])
+>>> done = client.wait(job["id"])                         # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Iterable, Iterator
+
+from ..dse.scenario import Scenario
+from ..dse.store import TIER_ILP
+from .wire import WIRE_FORMAT, JobSpec
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure, carrying the server's error body if any."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One daemon endpoint: submit, poll, stream, cancel, shut down."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, payload: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            message = f"{method} {path} failed: HTTP {exc.code}"
+            if detail:
+                message += f" ({detail})"
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{method} {path} failed: {exc.reason}") from None
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        with self._open(method, path, payload) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        scenarios: Iterable[Scenario] | None = None,
+        payload: dict | None = None,
+        tier: str = TIER_ILP,
+        time_limit: float | None = None,
+    ) -> dict:
+        """Submit scenarios (or a raw wire ``payload``); returns the 202 body."""
+        if (scenarios is None) == (payload is None):
+            raise ValueError("pass exactly one of scenarios= or payload=")
+        if payload is None:
+            assert scenarios is not None
+            payload = JobSpec(
+                scenarios=tuple(scenarios), tier=tier, time_limit=time_limit
+            ).payload()
+        else:
+            payload = {"format": WIRE_FORMAT, **payload}
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll_interval: float = 0.2,
+    ) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            detail = self.job(job_id)
+            if detail["status"] in ("done", "error", "cancelled"):
+                return detail
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {detail['status']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def stream(
+        self,
+        job_id: str,
+        keepalives: bool = False,
+        timeout: float | None = None,
+    ) -> Iterator[dict]:
+        """Yield the job's NDJSON events until the server ends the stream.
+
+        ``ping`` keepalive events are filtered out unless ``keepalives``
+        is true.  The generator finishes when the job does.  ``timeout``
+        is a wall-clock deadline for the whole stream: the server's
+        heartbeats defeat the socket's idle timeout by design, so a
+        stuck job would otherwise stream pings forever.  Checked per
+        received line (heartbeats bound the gap), raising
+        :class:`ServiceError` once exceeded.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._open("GET", f"/jobs/{job_id}/stream") as response:
+            for line in response:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServiceError(
+                        f"stream of job {job_id} exceeded {timeout}s"
+                    )
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                if event.get("event") == "ping" and not keepalives:
+                    continue
+                yield event

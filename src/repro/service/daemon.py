@@ -1,0 +1,352 @@
+"""The long-lived mapping daemon: worker loop + HTTP front end.
+
+A :class:`MappingService` owns exactly one :class:`~repro.dse.explorer.
+Explorer` — and through it one shared :class:`~repro.batch.engine.
+BatchMapper`, one :class:`~repro.batch.cache.ResultCache` and one
+:class:`~repro.dse.store.RunStore` — so every client submission warms
+the same state: a job solved for one client is a zero-solve answer for
+every later client that asks the same question.
+
+Submissions flow ``HTTP -> JobRegistry -> JobQueue -> worker thread(s)
+-> Explorer``; progress flows back as registry events that ``GET
+/jobs/<id>/stream`` serves as NDJSON.  Endpoints:
+
+==========================  =============================================
+``POST /jobs``              submit (wire format, see :mod:`.wire`) -> 202
+``GET /jobs``               job summaries, submission order
+``GET /jobs/<id>``          full status, per-scenario results, event log
+``GET /jobs/<id>/stream``   NDJSON event stream until the job finishes
+``POST /jobs/<id>/cancel``  flag cancellation (queued: immediate)
+``GET /healthz``            liveness + shared cache/store statistics
+``POST /shutdown``          stop accepting, stop serving, exit cleanly
+==========================  =============================================
+
+The server is stdlib :class:`http.server.ThreadingHTTPServer` — no new
+dependencies; one handler thread per connection, solver work stays on
+the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..batch.queue import JobQueue
+from ..dse.explorer import Explorer
+from ..dse.store import TIER_GREEDY
+from .jobs import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_ERROR,
+    JobRegistry,
+    ServiceJob,
+)
+from .wire import WIRE_FORMAT, JobSpec, WireError, parse_job, result_payload
+
+#: Seconds of stream silence before a ``ping`` keepalive event is sent.
+STREAM_HEARTBEAT = 10.0
+
+
+class MappingService:
+    """Worker loop over one shared explorer, fed by a job queue."""
+
+    def __init__(
+        self,
+        explorer: Explorer | None = None,
+        workers: int = 1,
+        max_finished_jobs: int = 512,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        # The default service still shares results across clients inside
+        # one process: explorer evaluations land in its (memory) RunStore.
+        self.explorer = explorer if explorer is not None else Explorer()
+        self.registry = JobRegistry(max_finished=max_finished_jobs)
+        self.queue = JobQueue()
+        self.workers = workers
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker thread(s); idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-service-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
+        """Close the queue and (optionally) join the workers."""
+        self.queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> ServiceJob:
+        """Register and enqueue one parsed submission."""
+        job = self.registry.create(spec)
+        try:
+            self.queue.push(job, token=job.token)
+        except RuntimeError:  # shutdown raced the submission
+            self.registry.finish(job, JOB_ERROR, error="service is shutting down")
+        return job
+
+    def cancel(self, job_id: str) -> ServiceJob | None:
+        return self.registry.cancel(job_id)
+
+    def stats(self) -> dict:
+        """The ``/healthz`` body: liveness plus shared-state counters."""
+        cache = self.explorer.cache
+        store = self.explorer.store
+        return {
+            "status": "ok",
+            "format": WIRE_FORMAT,
+            "workers": self.workers,
+            "queued": len(self.queue),
+            "jobs": self.registry.counts(),
+            "cache": (
+                {
+                    "hits": cache.stats.hits,
+                    "misses": cache.stats.misses,
+                    "stores": cache.stats.stores,
+                }
+                if cache is not None
+                else None
+            ),
+            "store_entries": len(store),
+            "store_path": str(store.path) if store.path is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            popped = self.queue.pop(timeout=0.2)
+            if popped is None:
+                if self.queue.closed:
+                    return
+                continue
+            job, _token = popped
+            if self.queue.closed:
+                # Shutdown: the backlog is cancelled, not executed — a
+                # 202-accepted job must end terminal (with an event), not
+                # vanish mid-solve when the process exits.
+                job.token.cancel()
+                self.registry.finish(job, JOB_CANCELLED)
+                continue
+            try:
+                self._run_job(job)
+            except Exception as exc:  # defensive: a bug must not kill the loop
+                self.registry.finish(
+                    job, JOB_ERROR, error=f"{type(exc).__name__}: {exc}"
+                )
+
+    def _run_job(self, job: ServiceJob) -> None:
+        # start() refusing means a cancel won the race after the pop —
+        # the job is already terminal and must not be resurrected.
+        if job.token.cancelled or not self.registry.start(job):
+            self.registry.finish(job, JOB_CANCELLED)
+            return
+        spec = job.spec
+        scenarios = list(spec.scenarios)
+        if spec.tier == TIER_GREEDY:
+            results = self.explorer.evaluate_greedy(scenarios)
+        else:
+            # One batched call so a multi-scenario submission keeps the
+            # engine's process-pool parallelism and warm-start waves;
+            # the token is polled at solve boundaries inside the batch.
+            results = self.explorer.evaluate_ilp(
+                scenarios,
+                time_limit=spec.time_limit,
+                should_cancel=job.token,
+            )
+        for result in results:
+            self.registry.add_result(job, result_payload(result))
+        if job.token.cancelled:
+            self.registry.finish(job, JOB_CANCELLED)
+            return
+        failed = [r for r in job.results if r.get("status") != "ok"]
+        if failed:
+            self.registry.finish(
+                job, JOB_ERROR, error=f"{len(failed)} scenario(s) failed"
+            )
+        else:
+            self.registry.finish(job, JOB_DONE)
+
+
+# ----------------------------------------------------------------------
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`MappingService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: MappingService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # Quiet by default: the daemon is long-lived and per-request lines
+    # belong to the operator's access log, not stderr.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> MappingService:
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise WireError("empty request body (expected JSON)")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from None
+
+    def _job_or_404(self, job_id: str) -> ServiceJob | None:
+        job = self.service.registry.get(job_id)
+        if job is None:
+            self._send_error_json(404, f"no such job {job_id!r}")
+        return job
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            self._send_json(
+                {
+                    "service": "repro-mapping-service",
+                    "format": WIRE_FORMAT,
+                    "endpoints": [
+                        "POST /jobs",
+                        "GET /jobs",
+                        "GET /jobs/<id>",
+                        "GET /jobs/<id>/stream",
+                        "POST /jobs/<id>/cancel",
+                        "GET /healthz",
+                        "POST /shutdown",
+                    ],
+                }
+            )
+        elif parts == ["healthz"]:
+            self._send_json(self.service.stats())
+        elif parts == ["jobs"]:
+            self._send_json(
+                {"jobs": [job.summary() for job in self.service.registry.jobs()]}
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._send_json(job.detail())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stream":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._stream(job)
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        parts = [p for p in path.split("/") if p]
+        if parts == ["jobs"]:
+            try:
+                spec = parse_job(self._read_json())
+            except WireError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            job = self.service.submit(spec)
+            self._send_json({**job.summary(), "stream": f"/jobs/{job.id}/stream"}, 202)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            job = self.service.cancel(parts[1])
+            if job is None:
+                self._send_error_json(404, f"no such job {parts[1]!r}")
+            else:
+                self._send_json(job.summary())
+        elif parts == ["shutdown"]:
+            self._send_json({"status": "shutting-down"})
+            # shutdown() blocks until serve_forever exits, so it must run
+            # off the handler thread; the serve loop then stops workers.
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    # -- streaming -----------------------------------------------------
+    def _stream(self, job: ServiceJob) -> None:
+        """NDJSON event stream: replay, then follow until terminal."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        index = 0
+        last_write = time.monotonic()
+        registry = self.service.registry
+        try:
+            while True:
+                events, index, drained = registry.events_since(job, index, timeout=0.5)
+                for event in events:
+                    self.wfile.write(
+                        json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+                    )
+                if events:
+                    self.wfile.flush()
+                    last_write = time.monotonic()
+                if drained:
+                    return
+                if time.monotonic() - last_write > STREAM_HEARTBEAT:
+                    # Keep idle streams alive through client read timeouts
+                    # and proxies while a long solve produces no events.
+                    self.wfile.write(b'{"event":"ping"}\n')
+                    self.wfile.flush()
+                    last_write = time.monotonic()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away; the job keeps running
+
+
+# ----------------------------------------------------------------------
+def make_server(
+    service: MappingService,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) the HTTP front end; ``port=0`` picks a free one."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def run_server(
+    service: MappingService,
+    server: ServiceHTTPServer,
+) -> None:
+    """Serve until ``POST /shutdown`` (or Ctrl-C), then stop the workers."""
+    service.start()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop(wait=True)

@@ -1,0 +1,214 @@
+"""Service-side job registry: states, progress events, cancellation.
+
+A :class:`ServiceJob` is one accepted submission moving through
+``queued -> running -> done | error | cancelled``.  Every state change
+and per-scenario result is appended to the job's **event log**, which is
+simultaneously:
+
+- the NDJSON stream body of ``GET /jobs/<id>/stream`` (replay past
+  events, then follow live ones), and
+- the audit trail embedded in ``GET /jobs/<id>``.
+
+The registry owns one :class:`threading.Condition`; stream readers block
+in :meth:`JobRegistry.events_since` and are woken by whichever worker
+thread appends the next event.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..batch.queue import CancelToken
+from .wire import JobSpec
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_ERROR = "error"
+JOB_CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = (JOB_DONE, JOB_ERROR, JOB_CANCELLED)
+
+
+@dataclass
+class ServiceJob:
+    """One submission's full lifecycle, owned by the registry."""
+
+    id: str
+    spec: JobSpec
+    token: CancelToken = field(default_factory=CancelToken)
+    status: str = JOB_QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    results: list[dict] = field(default_factory=list)
+    error: str | None = None
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def ok(self) -> bool:
+        return self.status == JOB_DONE and all(
+            result.get("status") == "ok" for result in self.results
+        )
+
+    def summary(self) -> dict:
+        """The compact view returned by ``GET /jobs``/submission replies."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "tier": self.spec.tier,
+            "scenarios": len(self.spec.scenarios),
+            "results": len(self.results),
+            "submitted_at": self.submitted_at,
+            "error": self.error,
+        }
+
+    def detail(self) -> dict:
+        """The full view returned by ``GET /jobs/<id>``."""
+        return {
+            **self.summary(),
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "results": list(self.results),
+            "events": list(self.events),
+        }
+
+
+class JobRegistry:
+    """Thread-safe id -> :class:`ServiceJob` map with an event feed.
+
+    ``max_finished`` bounds how many *terminal* jobs stay queryable: a
+    long-lived daemon would otherwise accumulate every result and event
+    log forever.  The oldest finished jobs are evicted first; running
+    and queued jobs are never evicted.  (Evaluation answers outlive the
+    eviction — they live in the shared run store/result cache.)
+    """
+
+    def __init__(self, max_finished: int = 512) -> None:
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
+        self._jobs: dict[str, ServiceJob] = {}
+        self._cond = threading.Condition()
+        self._counter = itertools.count(1)
+        self._max_finished = max_finished
+
+    # ------------------------------------------------------------------
+    def create(self, spec: JobSpec) -> ServiceJob:
+        """Register a new queued job (ids are unguessable but ordered)."""
+        with self._cond:
+            job_id = f"job-{next(self._counter):06d}-{secrets.token_hex(3)}"
+            job = ServiceJob(id=job_id, spec=spec)
+            self._jobs[job_id] = job
+            self._append_event(job, {"event": JOB_QUEUED, "id": job_id})
+            return job
+
+    def get(self, job_id: str) -> ServiceJob | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[ServiceJob]:
+        """Registered jobs in submission order."""
+        with self._cond:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        with self._cond:
+            counts: dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            return counts
+
+    # ------------------------------------------------------------------
+    def start(self, job: ServiceJob) -> bool:
+        """Move a queued job to running; false if a cancel won the race.
+
+        A ``POST /jobs/<id>/cancel`` landing between the worker's pop and
+        this call already moved the job to a terminal state — it must not
+        be resurrected (its streams saw a terminal event and closed).
+        """
+        with self._cond:
+            if job.finished:
+                return False
+            job.status = JOB_RUNNING
+            job.started_at = time.time()
+            self._append_event(job, {"event": JOB_RUNNING})
+            return True
+
+    def add_result(self, job: ServiceJob, result: dict) -> None:
+        with self._cond:
+            job.results.append(result)
+            self._append_event(job, {"event": "result", **result})
+
+    def finish(self, job: ServiceJob, status: str, error: str | None = None) -> None:
+        """Move a job to a terminal state (idempotent for cancellations)."""
+        with self._cond:
+            if job.finished:
+                return
+            job.status = status
+            job.error = error
+            job.finished_at = time.time()
+            event: dict = {"event": status, "results": len(job.results)}
+            if error is not None:
+                event["error"] = error
+            self._append_event(job, event)
+            self._evict_finished()
+
+    def cancel(self, job_id: str) -> ServiceJob | None:
+        """Flag a job for cancellation; queued jobs terminate right away.
+
+        A *running* job only gets its token set here — the worker
+        observes it at the next scenario/solve boundary and moves the job
+        to ``cancelled`` itself (with however many results completed).
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job.token.cancel()
+            if job.status == JOB_QUEUED:
+                job.status = JOB_CANCELLED
+                job.finished_at = time.time()
+                self._append_event(job, {"event": JOB_CANCELLED, "results": 0})
+                self._evict_finished()
+            return job
+
+    # ------------------------------------------------------------------
+    def _evict_finished(self) -> None:
+        # Caller holds the condition.  Oldest terminal jobs beyond the
+        # retention cap are dropped from the map; live references (e.g.
+        # an open stream's job object) keep working off the object.
+        finished = [job for job in self._jobs.values() if job.finished]
+        for job in finished[: max(0, len(finished) - self._max_finished)]:
+            del self._jobs[job.id]
+
+    def _append_event(self, job: ServiceJob, event: dict) -> None:
+        # Caller holds the condition.
+        job.events.append({"ts": time.time(), **event})
+        self._cond.notify_all()
+
+    def events_since(
+        self, job: ServiceJob, index: int, timeout: float = 1.0
+    ) -> tuple[list[dict], int, bool]:
+        """Events after ``index`` for a stream reader.
+
+        Blocks up to ``timeout`` for fresh events; returns
+        ``(new_events, next_index, drained)`` where ``drained`` means the
+        job is terminal *and* everything has been delivered — the
+        stream's end-of-body condition.
+        """
+        with self._cond:
+            if len(job.events) <= index and not job.finished:
+                self._cond.wait(timeout=timeout)
+            new_events = job.events[index:]
+            next_index = index + len(new_events)
+            drained = job.finished and next_index == len(job.events)
+            return new_events, next_index, drained

@@ -1,0 +1,141 @@
+"""The service wire format: JSON job submissions and result payloads.
+
+A client submits a job as one JSON object::
+
+    {
+      "format": 1,
+      "scenario":  { ... Scenario.payload() ... },   # single scenario, or
+      "scenarios": [ { ... }, ... ],                  # an ordered batch
+      "tier": "ilp" | "greedy",                       # default "ilp"
+      "time_limit": 10.0                              # per-stage seconds
+    }
+
+Scenario payloads are exactly what :meth:`repro.dse.scenario.Scenario.
+payload` emits (and what the run store records), so anything the DSE
+layer can sweep, a client can submit — the wire format is the scenario
+registry's plain-data view, not a second schema.
+
+Parsing is strict: unknown keys, malformed sections and invalid axis
+values raise :class:`WireError` with a human-readable message that HTTP
+handlers return verbatim as a 400 body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dse.explorer import ScenarioResult
+from ..dse.scenario import Scenario, scenario_from_payload
+from ..dse.store import TIER_GREEDY, TIER_ILP
+
+#: Bump when the request/response schema changes incompatibly.
+WIRE_FORMAT = 1
+
+TIERS = (TIER_ILP, TIER_GREEDY)
+
+_JOB_KEYS = {"format", "scenario", "scenarios", "tier", "time_limit"}
+
+
+class WireError(ValueError):
+    """A malformed submission (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One parsed submission: scenarios to score at a tier."""
+
+    scenarios: tuple[Scenario, ...]
+    tier: str = TIER_ILP
+    time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise WireError("a job needs at least one scenario")
+        if self.tier not in TIERS:
+            raise WireError(f"unknown tier {self.tier!r}; choose from {TIERS}")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise WireError("time_limit must be positive")
+
+    def payload(self) -> dict:
+        """The submission body that parses back into this spec."""
+        body: dict = {
+            "format": WIRE_FORMAT,
+            "scenarios": [scenario.payload() for scenario in self.scenarios],
+            "tier": self.tier,
+        }
+        if self.time_limit is not None:
+            body["time_limit"] = self.time_limit
+        return body
+
+
+def parse_job(payload: object) -> JobSpec:
+    """Parse one ``POST /jobs`` body into a :class:`JobSpec`."""
+    if not isinstance(payload, dict):
+        raise WireError(f"job submission must be a JSON object, got {payload!r}")
+    unknown = set(payload) - _JOB_KEYS
+    if unknown:
+        raise WireError(f"unknown submission keys {sorted(unknown)}")
+    fmt = payload.get("format", WIRE_FORMAT)
+    if fmt != WIRE_FORMAT:
+        raise WireError(f"unsupported wire format {fmt!r} (this server: {WIRE_FORMAT})")
+    # An explicit null is treated as absent, so {"scenarios": null} fails
+    # the exclusivity check instead of crashing the handler.
+    single = payload.get("scenario")
+    many = payload.get("scenarios")
+    if (single is None) == (many is None):
+        raise WireError("submit exactly one of 'scenario' or 'scenarios'")
+    raw = many if many is not None else [single]
+    if not isinstance(raw, list):
+        raise WireError(f"'scenarios' must be a list, got {raw!r}")
+    scenarios = []
+    for position, entry in enumerate(raw):
+        try:
+            scenarios.append(scenario_from_payload(entry))
+        except ValueError as exc:
+            raise WireError(f"scenario[{position}]: {exc}") from None
+    time_limit = payload.get("time_limit")
+    if time_limit is not None:
+        try:
+            time_limit = float(time_limit)
+        except (TypeError, ValueError):
+            raise WireError(f"time_limit must be a number, got {time_limit!r}") from None
+    try:
+        return JobSpec(
+            scenarios=tuple(scenarios),
+            tier=payload.get("tier", TIER_ILP),
+            time_limit=time_limit,
+        )
+    except WireError:
+        raise
+    except ValueError as exc:  # a spec's own validation
+        raise WireError(str(exc)) from None
+
+
+def result_payload(result: ScenarioResult) -> dict:
+    """One scenario result as a wire/stream dict.
+
+    ``cached`` is true when the evaluation cost zero new solves because a
+    shared component already knew the answer — the run store (resume) or
+    the batch engine's result cache.
+    """
+    return {
+        "scenario": result.scenario.name,
+        "fingerprint": result.fingerprint,
+        "tier": result.tier,
+        "status": result.status,
+        "objectives": result.objectives.as_dict() if result.objectives else None,
+        "assignment": (
+            {str(i): j for i, j in sorted(result.assignment.items())}
+            if result.assignment is not None
+            else None
+        ),
+        "solves": result.solves,
+        "wall_time": result.wall_time,
+        # Greedy evaluations never solve, so zero solves only signals a
+        # cache/store hit at the ILP tier.
+        "cached": bool(
+            result.from_store
+            or (result.tier == TIER_ILP and result.ok and result.solves == 0)
+        ),
+        "error": result.error,
+    }

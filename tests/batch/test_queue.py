@@ -1,0 +1,125 @@
+"""JobQueue / CancelToken semantics and the engine's cancellation hook."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.batch.engine import BatchMapper
+from repro.batch.queue import CancelToken, JobQueue
+
+pytestmark = pytest.mark.batch
+
+
+class TestCancelToken:
+    def test_starts_live_and_cancels_once(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert token() is False
+        token.cancel()
+        assert token.cancelled
+        assert token() is True  # callable form == should_cancel hook
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue()
+        queue.push("a")
+        queue.push("b")
+        assert queue.pop(timeout=0)[0] == "a"
+        assert queue.pop(timeout=0)[0] == "b"
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_cancelled_while_queued_is_dropped(self):
+        queue = JobQueue()
+        token = queue.push("doomed")
+        queue.push("fine")
+        token.cancel()
+        item, _ = queue.pop(timeout=0)
+        assert item == "fine"
+        assert queue.pop(timeout=0) is None
+
+    def test_len_ignores_cancelled(self):
+        queue = JobQueue()
+        token = queue.push("a")
+        queue.push("b")
+        assert len(queue) == 2
+        token.cancel()
+        assert len(queue) == 1
+
+    def test_close_refuses_pushes_and_wakes_poppers(self):
+        queue = JobQueue()
+        popped: list = []
+
+        def _blocked_pop() -> None:
+            popped.append(queue.pop(timeout=30))
+
+        thread = threading.Thread(target=_blocked_pop)
+        thread.start()
+        queue.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert popped == [None]
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.push("late")
+
+    def test_close_drains_remaining_items(self):
+        queue = JobQueue()
+        queue.push("left-over")
+        queue.close()
+        assert queue.pop(timeout=0)[0] == "left-over"
+        assert queue.pop(timeout=0) is None
+
+
+class TestMapAllCancellationHook:
+    def test_precancelled_batch_runs_nothing(self, batch_jobs):
+        token = CancelToken()
+        token.cancel()
+        result = BatchMapper().map_all(batch_jobs, should_cancel=token)
+        assert len(result.records) == len(batch_jobs)
+        assert all(not record.ok for record in result.records)
+        assert all("cancelled" in record.error for record in result.records)
+
+    def test_cancel_after_first_job_stops_the_rest(self, batch_jobs):
+        assert len(batch_jobs) >= 2
+        token = CancelToken()
+        calls = {"count": 0}
+
+        def should_cancel() -> bool:
+            # The engine polls once up front and once per job boundary;
+            # cancelling on the third poll lets exactly job 0 execute.
+            calls["count"] += 1
+            if calls["count"] > 2:
+                token.cancel()
+            return token.cancelled
+
+        result = BatchMapper().map_all(batch_jobs, should_cancel=should_cancel)
+        records = result.records
+        assert records[0].ok
+        assert all(not record.ok for record in records[1:])
+        assert all("cancelled" in record.error for record in records[1:])
+
+    def test_precancelled_pooled_batch_never_spins_up_workers(self, batch_jobs):
+        """The pre-submit check must fire before any pool is created."""
+        import time
+
+        token = CancelToken()
+        token.cancel()
+        start = time.perf_counter()
+        result = BatchMapper(jobs=2).map_all(batch_jobs, should_cancel=token)
+        elapsed = time.perf_counter() - start
+        assert all(not record.ok for record in result.records)
+        # No pool startup, no solves: this is instantaneous bookkeeping.
+        assert elapsed < 2.0
+
+    def test_cancelled_jobs_are_not_cached(self, batch_jobs):
+        from repro.batch.cache import ResultCache
+
+        cache = ResultCache()
+        token = CancelToken()
+        token.cancel()
+        BatchMapper(cache=cache).map_all(batch_jobs, should_cancel=token)
+        assert cache.stats.stores == 0

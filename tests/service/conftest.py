@@ -1,0 +1,46 @@
+"""Shared fixtures for the service suite: one in-process daemon per test."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.batch.cache import ResultCache
+from repro.dse.explorer import Explorer
+from repro.dse.scenario import (
+    ArchitectureSpec,
+    FormulationSpec,
+    Scenario,
+    WorkloadSpec,
+)
+from repro.service.client import ServiceClient
+from repro.service.daemon import MappingService, make_server, run_server
+
+
+@pytest.fixture
+def tiny_scenario() -> Scenario:
+    """A scenario whose area ILP solves in well under a second."""
+    return Scenario(
+        architecture=ArchitectureSpec(kind="homogeneous", dimension=12),
+        workload=WorkloadSpec(network="C", scale=0.1, profile="uniform"),
+        formulation=FormulationSpec(stages=("area",)),
+    )
+
+
+@pytest.fixture
+def live_service():
+    """A running daemon on a free port; yields (service, client)."""
+    explorer = Explorer(cache=ResultCache(), time_limit=5.0)
+    service = MappingService(explorer)
+    server = make_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=run_server, args=(service, server), daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()

@@ -1,0 +1,155 @@
+"""CLI wiring for `repro serve` / `repro submit`.
+
+The daemon process itself is exercised end to end by the CI
+``service-smoke`` job; here `submit` runs against the in-process daemon
+fixture and `serve` is checked at the parser level.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.service
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8100
+        assert args.workers == 1
+        assert args.store is None
+        assert not args.portfolio
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.url == "http://127.0.0.1:8100"
+        assert args.tier == "ilp"
+        assert args.stages == ["area"]
+        assert not args.stream
+
+    def test_submit_rejects_unknown_axis_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--network", "Z"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--tier", "quantum"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--stages", "quantum"])
+
+
+class TestSubmitEndToEnd:
+    def _url(self, live_service) -> str:
+        _, client = live_service
+        return client.base_url
+
+    def test_submit_waits_and_reports(self, live_service, capsys):
+        status = main(
+            [
+                "submit",
+                "--url",
+                self._url(live_service),
+                "--network",
+                "C",
+                "--scale",
+                "0.1",
+                "--homogeneous",
+                "--dimension",
+                "12",
+                "--time-limit",
+                "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "submitted job-" in out
+        assert "Cx0.1-uniform/homo12/area" in out
+        assert "done" in out
+
+    def test_submit_stream_prints_ndjson_events(self, live_service, capsys):
+        status = main(
+            [
+                "submit",
+                "--url",
+                self._url(live_service),
+                "--network",
+                "C",
+                "--scale",
+                "0.1",
+                "--homogeneous",
+                "--dimension",
+                "12",
+                "--tier",
+                "greedy",
+                "--stream",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        events = [
+            json.loads(line)["event"]
+            for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert events[0] == "queued"
+        assert "result" in events
+        assert events[-1] == "done"
+
+    def test_submit_spec_file_and_json_output(
+        self, live_service, tiny_scenario, tmp_path, capsys
+    ):
+        spec_path = tmp_path / "job.json"
+        spec_path.write_text(
+            json.dumps({"scenario": tiny_scenario.payload(), "time_limit": 5.0})
+        )
+        out_path = tmp_path / "detail.json"
+        status = main(
+            [
+                "submit",
+                "--url",
+                self._url(live_service),
+                "--spec",
+                str(spec_path),
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert status == 0
+        detail = json.loads(out_path.read_text())
+        assert detail["status"] == "done"
+        assert detail["results"][0]["scenario"] == tiny_scenario.name
+
+    def test_submit_against_no_server_exits_2(self, capsys):
+        status = main(
+            ["submit", "--url", "http://127.0.0.1:9", "--timeout", "2"]
+        )
+        assert status == 2
+        assert "service error" in capsys.readouterr().err
+
+    def test_submit_invalid_time_limit_exits_2_cleanly(self, capsys):
+        status = main(["submit", "--time-limit", "0"])
+        assert status == 2
+        assert "invalid submission" in capsys.readouterr().err
+
+    def test_failed_job_exits_1(self, live_service, tmp_path, capsys):
+        """An unknown Table-I twin fails scenario-side, not wire-side."""
+        _, client = live_service
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "scenario": {
+                        "kind": "scenario",
+                        "workload": {"network": "Z", "scale": 0.1},
+                    }
+                }
+            )
+        )
+        status = main(
+            ["submit", "--url", client.base_url, "--spec", str(spec_path)]
+        )
+        assert status == 1
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Client-side stream deadline: heartbeats must not defeat --timeout."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.service.daemon as daemon_module
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import MappingService, make_server
+from repro.service.wire import JobSpec
+
+pytestmark = pytest.mark.service
+
+
+def test_stream_timeout_fires_despite_heartbeats(
+    tiny_scenario, monkeypatch
+):
+    # Fast heartbeats so the blocked read wakes up quickly; no workers,
+    # so the job never progresses and the stream would ping forever.
+    monkeypatch.setattr(daemon_module, "STREAM_HEARTBEAT", 0.1)
+    service = MappingService()  # start() never called
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}", timeout=30.0
+        )
+        job = service.submit(JobSpec(scenarios=(tiny_scenario,)))
+        with pytest.raises(ServiceError, match="exceeded"):
+            for _ in client.stream(job.id, timeout=0.5):
+                pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

@@ -1,0 +1,156 @@
+"""Wire-format tests: payload round-trips and strict parse errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse.scenario import (
+    ArchitectureSpec,
+    FormulationSpec,
+    Scenario,
+    WorkloadSpec,
+    scenario_from_payload,
+)
+from repro.dse.store import TIER_GREEDY, TIER_ILP
+from repro.mapping.axon_sharing import FormulationOptions
+from repro.mapping.precision import PrecisionSpec
+from repro.service.wire import WIRE_FORMAT, JobSpec, WireError, parse_job
+
+pytestmark = pytest.mark.service
+
+
+def _scenario(**kwargs) -> Scenario:
+    return Scenario(
+        architecture=kwargs.get(
+            "architecture", ArchitectureSpec(kind="homogeneous", dimension=12)
+        ),
+        workload=kwargs.get(
+            "workload", WorkloadSpec(network="C", scale=0.1, profile="uniform")
+        ),
+        formulation=kwargs.get("formulation", FormulationSpec()),
+    )
+
+
+class TestScenarioPayloadRoundtrip:
+    def test_payload_roundtrips_through_json(self):
+        scenario = _scenario(
+            formulation=FormulationSpec(
+                stages=("area", "snu"),
+                options=FormulationOptions(symmetry_breaking=False),
+                precision=PrecisionSpec(weight_bits=4, cell_bits=2),
+            )
+        )
+        rehydrated = scenario_from_payload(json.loads(json.dumps(scenario.payload())))
+        assert rehydrated == scenario
+        assert rehydrated.payload() == scenario.payload()
+
+    def test_from_payload_classmethod(self):
+        scenario = _scenario()
+        assert Scenario.from_payload(scenario.payload()) == scenario
+
+    def test_missing_sections_take_spec_defaults(self):
+        scenario = scenario_from_payload({"kind": "scenario"})
+        assert scenario.architecture == ArchitectureSpec()
+        assert scenario.workload == WorkloadSpec()
+        assert scenario.formulation == FormulationSpec()
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys.*'topology'"):
+            scenario_from_payload({"kind": "scenario", "topology": "torus"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown payload kind"):
+            scenario_from_payload({"kind": "mapping"})
+
+    def test_unknown_spec_key_names_the_section(self):
+        with pytest.raises(ValueError, match="architecture"):
+            scenario_from_payload({"architecture": {"voltage": 3}})
+        with pytest.raises(ValueError, match="workload"):
+            scenario_from_payload({"workload": {"networks": ["C"]}})
+
+    def test_invalid_axis_value_names_the_section(self):
+        with pytest.raises(ValueError, match="workload.*scale"):
+            scenario_from_payload({"workload": {"scale": -1.0}})
+
+    def test_bad_stage_list_rejected(self):
+        with pytest.raises(ValueError, match="formulation"):
+            scenario_from_payload({"formulation": {"stages": "area"}})
+        with pytest.raises(ValueError, match="formulation"):
+            scenario_from_payload({"formulation": {"stages": ["area", "quantum"]}})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            scenario_from_payload([1, 2, 3])
+
+
+class TestJobSpec:
+    def test_payload_roundtrip(self):
+        spec = JobSpec(
+            scenarios=(_scenario(),), tier=TIER_GREEDY, time_limit=3.5
+        )
+        parsed = parse_job(json.loads(json.dumps(spec.payload())))
+        assert parsed == spec
+
+    def test_single_scenario_spelling(self):
+        parsed = parse_job({"scenario": _scenario().payload()})
+        assert len(parsed.scenarios) == 1
+        assert parsed.tier == TIER_ILP
+        assert parsed.time_limit is None
+
+    def test_needs_at_least_one_scenario(self):
+        with pytest.raises(WireError, match="at least one scenario"):
+            parse_job({"scenarios": []})
+
+    def test_scenario_and_scenarios_are_exclusive(self):
+        payload = _scenario().payload()
+        with pytest.raises(WireError, match="exactly one of"):
+            parse_job({"scenario": payload, "scenarios": [payload]})
+        with pytest.raises(WireError, match="exactly one of"):
+            parse_job({})
+
+    def test_explicit_null_scenarios_is_a_400_not_a_crash(self):
+        with pytest.raises(WireError, match="exactly one of"):
+            parse_job({"scenarios": None})
+        with pytest.raises(WireError, match="exactly one of"):
+            parse_job({"scenario": None})
+        # null alongside a real section counts as absent, not as a value
+        parsed = parse_job(
+            {"scenario": _scenario().payload(), "scenarios": None}
+        )
+        assert len(parsed.scenarios) == 1
+
+    def test_explicit_empty_stages_rejected_not_defaulted(self):
+        with pytest.raises(ValueError, match="formulation"):
+            scenario_from_payload({"formulation": {"stages": []}})
+
+    def test_unknown_submission_key_rejected(self):
+        with pytest.raises(WireError, match="priority"):
+            parse_job({"scenario": _scenario().payload(), "priority": 9})
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(WireError, match="wire format"):
+            parse_job(
+                {"format": WIRE_FORMAT + 1, "scenario": _scenario().payload()}
+            )
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(WireError, match="tier"):
+            parse_job({"scenario": _scenario().payload(), "tier": "quantum"})
+
+    def test_bad_time_limit_rejected(self):
+        with pytest.raises(WireError, match="time_limit"):
+            parse_job({"scenario": _scenario().payload(), "time_limit": "fast"})
+        with pytest.raises(WireError, match="time_limit"):
+            parse_job({"scenario": _scenario().payload(), "time_limit": -3})
+
+    def test_bad_scenario_is_positioned(self):
+        with pytest.raises(WireError, match=r"scenario\[1\]"):
+            parse_job(
+                {"scenarios": [_scenario().payload(), {"kind": "nope"}]}
+            )
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(WireError, match="JSON object"):
+            parse_job("map everything")
