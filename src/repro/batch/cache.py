@@ -17,6 +17,7 @@ bound to the *caller's* network/architecture objects.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -26,11 +27,45 @@ CACHE_FORMAT = 1
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache instance."""
+    """Hit/miss counters for one cache instance.
+
+    The counters are mutated concurrently by service worker threads, so
+    every update goes through a mutex — bare ``+= 1`` increments are a
+    read-modify-write race that silently drops counts under load.  Use
+    :meth:`snapshot` to read a consistent triple (it holds the same
+    lock, so ``hits + misses == lookups`` is exact even mid-hammer).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_store(self) -> None:
+        with self._lock:
+            self.stores += 1
+
+    def reclassify_hit_as_miss(self) -> None:
+        """Atomically turn one counted hit into a miss.
+
+        The engine rejects a cache hit after the fact when the cached
+        solve was produced under a smaller budget than the new request
+        brings; both counters must move together or a concurrent
+        snapshot sees a phantom lookup.
+        """
+        with self._lock:
+            self.hits -= 1
+            self.misses += 1
 
     @property
     def lookups(self) -> int:
@@ -38,6 +73,19 @@ class CacheStats:
 
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A lock-consistent view of every counter plus derived rates."""
+        with self._lock:
+            hits, misses, stores = self.hits, self.misses, self.stores
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "stores": stores,
+            "lookups": lookups,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
 
 
 @dataclass
@@ -62,15 +110,15 @@ class ResultCache:
             if payload is not None:
                 self._memory[key] = payload
         if payload is None:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         """Store a JSON-serializable payload under ``key``."""
         self._memory[key] = payload
-        self.stats.stores += 1
+        self.stats.record_store()
         if self.path is not None:
             entry = {"format": CACHE_FORMAT, "key": key, "payload": payload}
             tmp = self._entry_path(key).with_suffix(".json.tmp")

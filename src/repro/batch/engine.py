@@ -239,6 +239,14 @@ class BatchMapper:
     cache:
         Optional :class:`ResultCache`; hits skip the solve entirely and
         rehydrate the stored solution.
+    metrics:
+        Optional sink (duck-typed; see
+        :class:`repro.service.metrics.ServiceMetrics`) notified of
+        execution progress: ``solves_dispatched(n)`` when jobs enter
+        execution, ``solve_finished(payload)`` per completed worker
+        payload, ``solves_abandoned(n)`` for jobs a crash kept from
+        completing.  Cache hits never touch the sink — "solves in
+        flight" counts real solver work.
     """
 
     def __init__(
@@ -246,12 +254,14 @@ class BatchMapper:
         jobs: int = 1,
         portfolio: bool = False,
         cache: ResultCache | None = None,
+        metrics=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.portfolio = portfolio
         self.cache = cache
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def map_all(
@@ -280,22 +290,34 @@ class BatchMapper:
             if payload is not None and not _cache_entry_satisfies(job, payload):
                 # The cached solve limited out under a smaller budget than
                 # this job brings: re-solve rather than pin the old quality.
-                self.cache.stats.hits -= 1
-                self.cache.stats.misses += 1
+                self.cache.stats.reclassify_hit_as_miss()
                 payload = None
             if payload is not None:
                 records[idx] = _rehydrate(job, key, payload, from_cache=True)
             else:
                 pending.append((idx, job, key))
 
-        for idx, job, key, payload in self._execute(pending, should_cancel):
-            cacheable = (
-                payload.get("status") == JOB_OK
-                and not payload.get("interrupted", False)
-            )
-            if cacheable and self.cache is not None:
-                self.cache.put(key, payload)
-            records[idx] = _rehydrate(job, key, payload, from_cache=False)
+        sink = self.metrics
+        if sink is not None and pending:
+            sink.solves_dispatched(len(pending))
+        completed = 0
+        try:
+            for idx, job, key, payload in self._execute(pending, should_cancel):
+                if sink is not None:
+                    sink.solve_finished(payload)
+                    completed += 1
+                cacheable = (
+                    payload.get("status") == JOB_OK
+                    and not payload.get("interrupted", False)
+                )
+                if cacheable and self.cache is not None:
+                    self.cache.put(key, payload)
+                records[idx] = _rehydrate(job, key, payload, from_cache=False)
+        finally:
+            # A crash mid-batch must not leave the in-flight gauge stuck
+            # above zero forever; normal completion makes this a no-op.
+            if sink is not None and completed < len(pending):
+                sink.solves_abandoned(len(pending) - completed)
 
         return BatchResult([records[i] for i in range(len(batch_jobs))])
 

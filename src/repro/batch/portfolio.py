@@ -56,13 +56,37 @@ class PortfolioOptions:
             )
 
 
+def winning_arm(backend: str) -> str | None:
+    """The member arm inside a ``portfolio[...]`` backend tag, or ``None``.
+
+    Solve summaries carry the winner as ``portfolio[<member>]`` (with an
+    optional ``-interrupted`` suffix on degraded races); this is what
+    per-arm win-rate metrics key on.  Non-portfolio backends map to
+    ``None`` so callers can feed every summary through unconditionally.
+    """
+    prefix = "portfolio["
+    if not backend.startswith(prefix) or not backend.endswith("]"):
+        return None
+    inner = backend[len(prefix) : -1]
+    return inner.removesuffix("-interrupted")
+
+
 class PortfolioSolver:
-    """A :class:`~repro.mapping.pipeline.SolverBackend` over many members."""
+    """A :class:`~repro.mapping.pipeline.SolverBackend` over many members.
+
+    ``on_race`` is an optional hook called after every race with
+    ``(winner, results)`` — the finalized winning :class:`SolveResult`
+    and every member's result in portfolio order.  The mapping daemon's
+    metrics use it to count per-arm wins when the solver runs in-process
+    (pooled runs report the same information parent-side, parsed out of
+    the worker payload's backend tags).
+    """
 
     name = "portfolio"
 
     def __init__(self, options: PortfolioOptions | None = None) -> None:
         self.options = options or PortfolioOptions()
+        self.on_race = None
 
     def solve(
         self,
@@ -120,6 +144,8 @@ class PortfolioSolver:
             and "-interrupted" not in winner.backend
         ):
             winner.backend += "-interrupted"
+        if self.on_race is not None:
+            self.on_race(winner, results)
         return winner
 
 

@@ -13,6 +13,7 @@ of the batch at the next job boundary.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any
 
@@ -71,7 +72,15 @@ class JobQueue:
         return token
 
     def pop(self, timeout: float | None = None) -> tuple[Any, CancelToken] | None:
-        """Next live ``(item, token)``, or ``None`` on timeout / drained close."""
+        """Next live ``(item, token)``, or ``None`` on timeout / drained close.
+
+        ``timeout`` is a total deadline, not a per-wait budget: a worker
+        woken by a notify whose item another worker stole (or whose
+        token was cancelled while queued) goes back to waiting on the
+        *remainder*, so ``pop(timeout=t)`` returns within ``t`` of the
+        call no matter how many fruitless wake-ups happen in between.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 while self._items:
@@ -80,7 +89,11 @@ class JobQueue:
                         return item, token
                 if self._closed:
                     return None
-                if not self._cond.wait(timeout=timeout):
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
                     return None
 
     def close(self) -> None:

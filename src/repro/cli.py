@@ -273,10 +273,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=ResultCache(args.cache_dir) if args.cache_dir else ResultCache(),
         time_limit=args.time_limit,
     )
-    service = MappingService(explorer, workers=args.workers)
+    service = MappingService(
+        explorer,
+        workers=args.workers,
+        journal_path=args.journal,
+        job_log_path=args.log_jobs,
+    )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro service listening on http://{host}:{port}", flush=True)
+    if args.journal:
+        replayed = len(service.registry.jobs())
+        print(f"job journal {args.journal}: {replayed} job(s) replayed", flush=True)
+    if args.log_jobs:
+        print(f"structured job log -> {args.log_jobs}", flush=True)
     print("POST /jobs to submit; POST /shutdown to stop", flush=True)
     run_server(service, server)
     store.close()
@@ -564,6 +574,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None,
                        help="directory for the shared result cache "
                             "(default: in-memory)")
+    serve.add_argument("--journal", default=None,
+                       help="persistent job-registry journal (JSONL): job "
+                            "status/results survive daemon restarts; jobs "
+                            "interrupted by a restart resurface as errors")
+    serve.add_argument("--log-jobs", default=None,
+                       help="structured per-job log (JSONL): one line per "
+                            "state transition and per scenario result")
     serve.add_argument("--store", default=None,
                        help="shared JSONL run store; submissions resume "
                             "from and append to it")

@@ -22,10 +22,12 @@ from .jobs import (
     JOB_ERROR,
     JOB_QUEUED,
     JOB_RUNNING,
+    RESTART_ERROR,
     TERMINAL_STATES,
     JobRegistry,
     ServiceJob,
 )
+from .metrics import JsonlWriter, LoopLatencyProbe, ServiceMetrics, read_jsonl
 from .wire import (
     TIERS,
     WIRE_FORMAT,
@@ -43,17 +45,22 @@ __all__ = [
     "JOB_RUNNING",
     "JobRegistry",
     "JobSpec",
+    "JsonlWriter",
+    "LoopLatencyProbe",
     "MappingService",
+    "RESTART_ERROR",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
     "ServiceJob",
+    "ServiceMetrics",
     "TERMINAL_STATES",
     "TIERS",
     "WIRE_FORMAT",
     "WireError",
     "make_server",
     "parse_job",
+    "read_jsonl",
     "result_payload",
     "run_server",
 ]

@@ -97,6 +97,9 @@ class ServiceClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 

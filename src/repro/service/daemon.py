@@ -18,12 +18,16 @@ Submissions flow ``HTTP -> JobRegistry -> JobQueue -> worker thread(s)
 ``GET /jobs/<id>/stream``   NDJSON event stream until the job finishes
 ``POST /jobs/<id>/cancel``  flag cancellation (queued: immediate)
 ``GET /healthz``            liveness + shared cache/store statistics
+``GET /metrics``            lock-consistent counters/gauges/percentiles
 ``POST /shutdown``          stop accepting, stop serving, exit cleanly
 ==========================  =============================================
 
 The server is stdlib :class:`http.server.ThreadingHTTPServer` — no new
 dependencies; one handler thread per connection, solver work stays on
-the service's worker threads.
+the service's worker threads.  The front end is hardened against rude
+clients: request bodies are capped (413 beyond ``max_body_bytes``) and
+every connection carries a socket timeout, so a client that connects
+and never sends cannot pin a handler thread forever.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
 from ..batch.queue import JobQueue
 from ..dse.explorer import Explorer
@@ -43,38 +48,78 @@ from .jobs import (
     JobRegistry,
     ServiceJob,
 )
+from .metrics import JsonlWriter, LoopLatencyProbe, ServiceMetrics
 from .wire import WIRE_FORMAT, JobSpec, WireError, parse_job, result_payload
 
 #: Seconds of stream silence before a ``ping`` keepalive event is sent.
 STREAM_HEARTBEAT = 10.0
 
+#: Default request-body cap; a scenario batch is a few KiB, so 1 MiB is
+#: already generous headroom rather than a limit anyone should hit.
+MAX_BODY_BYTES = 1 << 20
+
+#: Default per-socket-operation timeout for handler connections.
+HANDLER_TIMEOUT = 30.0
+
+
+class PayloadTooLarge(ValueError):
+    """A request body beyond the server's cap (maps to HTTP 413)."""
+
 
 class MappingService:
-    """Worker loop over one shared explorer, fed by a job queue."""
+    """Worker loop over one shared explorer, fed by a job queue.
+
+    ``journal_path`` makes the job registry persistent: every state
+    transition is appended (write-behind) to a JSONL journal that the
+    next daemon pointed at the same path replays, so ``GET /jobs/<id>``
+    survives a restart.  ``job_log_path`` opts into structured per-job
+    logging: the same records (one JSON line per state transition and
+    per scenario result), but to an operator-owned log file.
+    """
 
     def __init__(
         self,
         explorer: Explorer | None = None,
         workers: int = 1,
         max_finished_jobs: int = 512,
+        journal_path: str | Path | None = None,
+        job_log_path: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         # The default service still shares results across clients inside
         # one process: explorer evaluations land in its (memory) RunStore.
         self.explorer = explorer if explorer is not None else Explorer()
-        self.registry = JobRegistry(max_finished=max_finished_jobs)
+        self.metrics = ServiceMetrics()
+        self._journal = (
+            JsonlWriter(journal_path) if journal_path is not None else None
+        )
+        self._job_log = (
+            JsonlWriter(job_log_path) if job_log_path is not None else None
+        )
+        observers = [self.metrics.job_event]
+        if self._job_log is not None:
+            observers.append(self._job_log.append)
+        self.registry = JobRegistry(
+            max_finished=max_finished_jobs,
+            journal=self._journal,
+            observers=tuple(observers),
+        )
         self.queue = JobQueue()
         self.workers = workers
+        # The shared engine reports solve progress into the same sink.
+        self.explorer.mapper.metrics = self.metrics
+        self._probe = LoopLatencyProbe(self.metrics)
         self._threads: list[threading.Thread] = []
         self._started = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spin up the worker thread(s); idempotent."""
+        """Spin up the worker thread(s) and the latency probe; idempotent."""
         if self._started:
             return
         self._started = True
+        self._probe.start()
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker, name=f"repro-service-worker-{index}", daemon=True
@@ -83,11 +128,15 @@ class MappingService:
             self._threads.append(thread)
 
     def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
-        """Close the queue and (optionally) join the workers."""
+        """Close the queue, (optionally) join the workers, flush the logs."""
         self.queue.close()
+        self._probe.stop()
         if wait:
             for thread in self._threads:
                 thread.join(timeout=timeout)
+        for writer in (self._journal, self._job_log):
+            if writer is not None:
+                writer.close()
 
     # ------------------------------------------------------------------
     def submit(self, spec: JobSpec) -> ServiceJob:
@@ -112,17 +161,64 @@ class MappingService:
             "workers": self.workers,
             "queued": len(self.queue),
             "jobs": self.registry.counts(),
-            "cache": (
-                {
-                    "hits": cache.stats.hits,
-                    "misses": cache.stats.misses,
-                    "stores": cache.stats.stores,
-                }
-                if cache is not None
-                else None
-            ),
+            "cache": cache.stats.snapshot() if cache is not None else None,
             "store_entries": len(store),
             "store_path": str(store.path) if store.path is not None else None,
+        }
+
+    def metrics_payload(self) -> dict:
+        """The ``GET /metrics`` body.
+
+        Process-lifetime counters/gauges/histograms come from the
+        :class:`ServiceMetrics` snapshot (one lock, so the scrape is
+        self-consistent); live state — queue depth, per-state job
+        counts, cache totals — is read from its owners under *their*
+        locks at scrape time.  Within each section the invariants hold
+        exactly: ``cache.hits + cache.misses == cache.lookups``, and
+        ``counters.jobs_submitted`` covers every job this process
+        accepted (replayed jobs belong to the old process and appear
+        only in ``jobs.by_state``).
+        """
+        cache = self.explorer.cache
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        return {
+            "status": "ok",
+            "uptime": snapshot["uptime"],
+            "workers": self.workers,
+            "queue_depth": len(self.queue),
+            "solves_in_flight": gauges.get("solves_in_flight", 0),
+            "jobs": {
+                "by_state": self.registry.counts(),
+                "submitted": counters.get("jobs_submitted", 0),
+                "started": counters.get("jobs_started", 0),
+                "finished": {
+                    "total": counters.get("jobs_finished", 0),
+                    "done": counters.get("jobs_done", 0),
+                    "error": counters.get("jobs_error", 0),
+                    "cancelled": counters.get("jobs_cancelled", 0),
+                },
+            },
+            "scenarios": {
+                "total": counters.get("scenarios_total", 0),
+                "ok": counters.get("scenarios_ok", 0),
+                "error": counters.get("scenarios_error", 0),
+                "cached": counters.get("scenarios_cached", 0),
+            },
+            "solves": {
+                "mapper_jobs": counters.get("mapper_jobs", 0),
+                "mapper_jobs_ok": counters.get("mapper_jobs_ok", 0),
+                "mapper_jobs_error": counters.get("mapper_jobs_error", 0),
+                "mapper_jobs_interrupted": counters.get(
+                    "mapper_jobs_interrupted", 0
+                ),
+                "ilp_solves": counters.get("ilp_solves", 0),
+            },
+            "portfolio": snapshot["portfolio"],
+            "cache": cache.stats.snapshot() if cache is not None else None,
+            "store_entries": len(self.explorer.store),
+            "latency": snapshot["latency"],
         }
 
     # ------------------------------------------------------------------
@@ -141,12 +237,16 @@ class MappingService:
                 job.token.cancel()
                 self.registry.finish(job, JOB_CANCELLED)
                 continue
+            self.metrics.observe("queue_wait", time.time() - job.submitted_at)
+            started = time.monotonic()
             try:
                 self._run_job(job)
             except Exception as exc:  # defensive: a bug must not kill the loop
                 self.registry.finish(
                     job, JOB_ERROR, error=f"{type(exc).__name__}: {exc}"
                 )
+            finally:
+                self.metrics.observe("job_duration", time.monotonic() - started)
 
     def _run_job(self, job: ServiceJob) -> None:
         # start() refusing means a cancel won the race after the pop —
@@ -188,9 +288,17 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: MappingService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: MappingService,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        handler_timeout: float | None = HANDLER_TIMEOUT,
+    ) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        self.max_body_bytes = max_body_bytes
+        self.handler_timeout = handler_timeout
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -200,6 +308,14 @@ class _Handler(BaseHTTPRequestHandler):
     # belong to the operator's access log, not stderr.
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
+
+    def setup(self) -> None:
+        # The per-server socket timeout: http.server applies self.timeout
+        # in setup(), and handle_one_request() treats a timed-out read as
+        # close_connection — so a client that connects and never sends
+        # releases its handler thread instead of pinning it forever.
+        self.timeout = self.server.handler_timeout
+        super().setup()
 
     @property
     def service(self) -> MappingService:
@@ -218,7 +334,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json({"error": message}, status=status)
 
     def _read_json(self) -> object:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise WireError("Content-Length is not an integer") from None
+        if length < 0:
+            raise WireError("Content-Length is negative")
+        if length > self.server.max_body_bytes:
+            # Reject on the *declared* size, before reading a byte: an
+            # unbounded read here would hand memory to any rude client.
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise WireError("empty request body (expected JSON)")
@@ -249,12 +377,15 @@ class _Handler(BaseHTTPRequestHandler):
                         "GET /jobs/<id>/stream",
                         "POST /jobs/<id>/cancel",
                         "GET /healthz",
+                        "GET /metrics",
                         "POST /shutdown",
                     ],
                 }
             )
         elif parts == ["healthz"]:
             self._send_json(self.service.stats())
+        elif parts == ["metrics"]:
+            self._send_json(self.service.metrics_payload())
         elif parts == ["jobs"]:
             self._send_json(
                 {"jobs": [job.summary() for job in self.service.registry.jobs()]}
@@ -276,6 +407,9 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["jobs"]:
             try:
                 spec = parse_job(self._read_json())
+            except PayloadTooLarge as exc:
+                self._send_error_json(413, str(exc))
+                return
             except WireError as exc:
                 self._send_error_json(400, str(exc))
                 return
@@ -332,9 +466,16 @@ def make_server(
     service: MappingService,
     host: str = "127.0.0.1",
     port: int = 8100,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    handler_timeout: float | None = HANDLER_TIMEOUT,
 ) -> ServiceHTTPServer:
     """Bind (but do not run) the HTTP front end; ``port=0`` picks a free one."""
-    return ServiceHTTPServer((host, port), service)
+    return ServiceHTTPServer(
+        (host, port),
+        service,
+        max_body_bytes=max_body_bytes,
+        handler_timeout=handler_timeout,
+    )
 
 
 def run_server(

@@ -12,18 +12,29 @@ simultaneously:
 The registry owns one :class:`threading.Condition`; stream readers block
 in :meth:`JobRegistry.events_since` and are woken by whichever worker
 thread appends the next event.
+
+With a ``journal`` (a :class:`~repro.service.metrics.JsonlWriter`), the
+registry is **persistent**: every event is also appended — write-behind,
+so request threads never block on disk — to a JSONL journal, and a new
+registry pointed at the same file replays it on construction.  Jobs that
+were terminal before a restart come back exactly as they finished
+(results, events, timestamps); jobs the old process accepted but never
+finished come back as ``error: "daemon restarted"`` instead of silently
+vanishing, so a 202-accepted id is *always* answerable.
 """
 
 from __future__ import annotations
 
 import itertools
+import re
 import secrets
 import threading
 import time
 from dataclasses import dataclass, field
 
 from ..batch.queue import CancelToken
-from .wire import JobSpec
+from .metrics import EventObserver, JsonlWriter, read_jsonl
+from .wire import JobSpec, WireError, parse_job
 
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
@@ -33,6 +44,14 @@ JOB_CANCELLED = "cancelled"
 
 #: States a job never leaves.
 TERMINAL_STATES = (JOB_DONE, JOB_ERROR, JOB_CANCELLED)
+
+#: Bump when the journal record schema changes; stale lines are skipped.
+JOURNAL_FORMAT = 1
+
+#: The error a queued/running job surfaces with after a daemon restart.
+RESTART_ERROR = "daemon restarted"
+
+_ID_PATTERN = re.compile(r"^job-(\d+)-[0-9a-f]+$")
 
 
 @dataclass
@@ -93,13 +112,23 @@ class JobRegistry:
     eviction — they live in the shared run store/result cache.)
     """
 
-    def __init__(self, max_finished: int = 512) -> None:
+    def __init__(
+        self,
+        max_finished: int = 512,
+        journal: JsonlWriter | None = None,
+        observers: tuple[EventObserver, ...] = (),
+    ) -> None:
         if max_finished < 1:
             raise ValueError("max_finished must be >= 1")
         self._jobs: dict[str, ServiceJob] = {}
         self._cond = threading.Condition()
         self._counter = itertools.count(1)
         self._max_finished = max_finished
+        self._observers = tuple(observers)
+        self._replay_skipped = 0
+        self.journal = journal
+        if journal is not None:
+            self._replay(journal.path)
 
     # ------------------------------------------------------------------
     def create(self, spec: JobSpec) -> ServiceJob:
@@ -183,17 +212,131 @@ class JobRegistry:
 
     # ------------------------------------------------------------------
     def _evict_finished(self) -> None:
-        # Caller holds the condition.  Oldest terminal jobs beyond the
-        # retention cap are dropped from the map; live references (e.g.
-        # an open stream's job object) keep working off the object.
-        finished = [job for job in self._jobs.values() if job.finished]
+        # Caller holds the condition.  The oldest-*finished* terminal
+        # jobs beyond the retention cap are dropped from the map (a
+        # long-running early submission that just finished outlives jobs
+        # that finished before it); live references (e.g. an open
+        # stream's job object) keep working off the object.
+        finished = sorted(
+            (job for job in self._jobs.values() if job.finished),
+            key=lambda job: job.finished_at or 0.0,
+        )
         for job in finished[: max(0, len(finished) - self._max_finished)]:
             del self._jobs[job.id]
 
-    def _append_event(self, job: ServiceJob, event: dict) -> None:
-        # Caller holds the condition.
-        job.events.append({"ts": time.time(), **event})
+    def _append_event(
+        self, job: ServiceJob, event: dict, notify_observers: bool = True
+    ) -> None:
+        # Caller holds the condition.  The journal append is write-behind
+        # (an O(1) enqueue) and observers are counter bumps / enqueues,
+        # so no disk I/O happens under the condition.
+        entry = {"ts": time.time(), **event}
+        job.events.append(entry)
         self._cond.notify_all()
+        record = {"format": JOURNAL_FORMAT, "job": job.id, **entry}
+        if event.get("event") == JOB_QUEUED:
+            # The queued record carries everything needed to rebuild the
+            # job on replay: the wire-format submission body.
+            record["spec"] = job.spec.payload()
+        if self.journal is not None:
+            self.journal.append(record)
+        if notify_observers:
+            for observer in self._observers:
+                observer(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def replay_skipped(self) -> int:
+        """Journal records dropped during replay (torn/stale/orphaned)."""
+        return self._replay_skipped
+
+    def _replay(self, path) -> None:
+        """Rebuild jobs from a journal left behind by an earlier process.
+
+        Replayed state transitions do **not** fire observers — process
+        counters describe *this* process's work — but jobs the old
+        process left unfinished are surfaced as terminal errors through
+        the normal event path (journaled, so a second restart sees them
+        already terminal rather than re-surfacing them).
+        """
+        max_counter = 0
+        replayed: dict[str, ServiceJob] = {}
+        for record in read_jsonl(path):
+            if record.get("format") != JOURNAL_FORMAT:
+                self._replay_skipped += 1
+                continue
+            job_id = record.get("job")
+            event = record.get("event")
+            ts = float(record.get("ts") or 0.0)
+            if not isinstance(job_id, str) or not isinstance(event, str):
+                self._replay_skipped += 1
+                continue
+            job = replayed.get(job_id)
+            if event == JOB_QUEUED:
+                if job is not None:
+                    continue  # duplicate queued line (shouldn't happen)
+                try:
+                    spec = parse_job(record.get("spec"))
+                except WireError:
+                    # Schema drift or a torn spec: the job cannot be
+                    # rebuilt, so its whole history is dropped.
+                    self._replay_skipped += 1
+                    continue
+                job = ServiceJob(id=job_id, spec=spec, submitted_at=ts)
+                job.events.append({"ts": ts, "event": JOB_QUEUED, "id": job_id})
+                replayed[job_id] = job
+                match = _ID_PATTERN.match(job_id)
+                if match:
+                    max_counter = max(max_counter, int(match.group(1)))
+                continue
+            if job is None or job.finished:
+                # Orphaned event (its queued line was dropped) or noise
+                # after a terminal state: both are unreplayable.
+                self._replay_skipped += 1
+                continue
+            entry = {
+                key: value
+                for key, value in record.items()
+                if key not in ("format", "job")
+            }
+            job.events.append(entry)
+            if event == JOB_RUNNING:
+                job.status = JOB_RUNNING
+                job.started_at = ts
+            elif event == "result":
+                job.results.append(
+                    {k: v for k, v in entry.items() if k not in ("ts", "event")}
+                )
+            elif event in TERMINAL_STATES:
+                job.status = event
+                job.error = record.get("error")
+                job.finished_at = ts
+                if event == JOB_CANCELLED:
+                    job.token.cancel()
+        with self._cond:
+            self._jobs.update(replayed)
+            self._counter = itertools.count(max_counter + 1)
+            for job in replayed.values():
+                if job.finished:
+                    continue
+                # Accepted by the old process, never finished: the queue
+                # item died with that process, so the honest answer is a
+                # terminal error — not a silent 404, not a zombie
+                # "running" that nothing will ever advance.
+                job.token.cancel()
+                job.status = JOB_ERROR
+                job.error = RESTART_ERROR
+                job.finished_at = time.time()
+                self._append_event(
+                    job,
+                    {
+                        "event": JOB_ERROR,
+                        "results": len(job.results),
+                        "error": RESTART_ERROR,
+                    },
+                    notify_observers=False,
+                )
+            self._evict_finished()
 
     def events_since(
         self, job: ServiceJob, index: int, timeout: float = 1.0

@@ -1,0 +1,404 @@
+"""Production eyes for the mapping daemon: lock-consistent metrics.
+
+Everything the ``GET /metrics`` endpoint reports lives here:
+
+- :class:`ServiceMetrics` — monotonic counters, gauges and bounded
+  histograms behind **one** lock, so a scrape sees a consistent snapshot
+  (``hits + misses == lookups`` holds even while worker threads hammer
+  the counters).  The registry reports job state transitions into it
+  (via :meth:`ServiceMetrics.job_event`), the batch engine reports
+  solve dispatch/completion (solves in flight, per-arm portfolio wins),
+  and the worker loop reports queue-wait and job-duration samples.
+- :class:`LoopLatencyProbe` — a background thread that repeatedly
+  sleeps a fixed interval and records the overshoot, the classic
+  event-loop-lag measurement: under load the scheduler hands the probe
+  its slice late, and the p50/p90/p99 of that drift is how overloaded
+  the daemon's thread pool is.
+- :class:`JsonlWriter` — a write-behind JSONL appender (one line per
+  record, flushed by a background thread under the same flock-guarded
+  append idiom as :class:`repro.dse.store.RunStore`, torn-tail healing
+  included).  The job registry's persistent journal and the
+  ``--log-jobs`` structured log are both instances of it: appends never
+  block a request thread on disk I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import IO, Callable, Iterator
+
+try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Samples kept per histogram; percentiles are over this sliding window.
+HISTOGRAM_WINDOW = 2048
+
+#: Percentiles every histogram snapshot reports.
+PERCENTILES = (50, 90, 99)
+
+
+class _Histogram:
+    """Bounded reservoir of observations (caller holds the metrics lock)."""
+
+    __slots__ = ("samples", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.samples: deque[float] = deque(maxlen=HISTOGRAM_WINDOW)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        ordered = sorted(self.samples)
+        body = {
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max,
+        }
+        for pct in PERCENTILES:
+            if ordered:
+                index = min(len(ordered) - 1, (pct * len(ordered)) // 100)
+                body[f"p{pct}"] = ordered[index]
+            else:
+                body[f"p{pct}"] = 0.0
+        return body
+
+
+class ServiceMetrics:
+    """Lock-guarded counters/gauges/histograms for one daemon process.
+
+    All mutation and the :meth:`snapshot` read happen under a single
+    mutex, so a scrape never observes a half-applied update (a hit
+    counted whose lookup is not, a gauge incremented twice).  Counters
+    are monotonic and cover *this process's lifetime*; per-state job
+    counts and cache totals are scraped live from their owners at
+    request time, under those owners' own locks.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, int] = {}
+        self._histograms: dict[str, _Histogram] = {}
+        self._portfolio_wins: dict[str, int] = {}
+
+    # -- primitives ----------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_add(self, name: str, delta: int) -> None:
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram()
+            histogram.observe(value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> int:
+        with self._lock:
+            return self._gauges.get(name, 0)
+
+    # -- instrumentation seams -----------------------------------------
+    def job_event(self, record: dict) -> None:
+        """Registry observer: one call per job state transition / result.
+
+        ``record`` is the registry's journal record (``event`` plus
+        context).  Terminal states and results get their own counters so
+        ``/metrics`` can report totals that outlive registry eviction.
+        """
+        event = record.get("event")
+        if event == "queued":
+            self.inc("jobs_submitted")
+        elif event == "running":
+            self.inc("jobs_started")
+        elif event == "result":
+            status = record.get("status")
+            self.inc("scenarios_total")
+            self.inc(f"scenarios_{'ok' if status == 'ok' else 'error'}")
+            if record.get("cached"):
+                self.inc("scenarios_cached")
+        elif event in ("done", "error", "cancelled"):
+            self.inc("jobs_finished")
+            self.inc(f"jobs_{event}")
+
+    def solves_dispatched(self, count: int) -> None:
+        """Batch engine hook: ``count`` jobs entered execution."""
+        self.gauge_add("solves_in_flight", count)
+
+    def solves_abandoned(self, count: int) -> None:
+        """Batch engine hook: dispatched jobs that will never complete."""
+        self.gauge_add("solves_in_flight", -count)
+
+    def solve_finished(self, payload: dict) -> None:
+        """Batch engine hook: one executed job's worker payload.
+
+        Parses the per-stage solve summaries out of the payload — which
+        crosses the process-pool boundary as plain data — so portfolio
+        win rates are counted identically for serial and pooled runs.
+        """
+        from ..batch.portfolio import winning_arm
+
+        status = payload.get("status")
+        interrupted = bool(payload.get("interrupted"))
+        stage_solves: list[dict] = [
+            stage["solve"]
+            for stage in payload.get("stages") or []
+            if stage.get("solve") is not None
+        ]
+        with self._lock:
+            self._gauges["solves_in_flight"] = (
+                self._gauges.get("solves_in_flight", 0) - 1
+            )
+            self._counters["mapper_jobs"] = self._counters.get("mapper_jobs", 0) + 1
+            key = (
+                "mapper_jobs_interrupted"
+                if interrupted
+                else ("mapper_jobs_ok" if status == "ok" else "mapper_jobs_error")
+            )
+            self._counters[key] = self._counters.get(key, 0) + 1
+            for solve in stage_solves:
+                self._counters["ilp_solves"] = self._counters.get("ilp_solves", 0) + 1
+                arm = winning_arm(str(solve.get("backend", "")))
+                if arm is not None:
+                    self._counters["portfolio_races"] = (
+                        self._counters.get("portfolio_races", 0) + 1
+                    )
+                    self._portfolio_wins[arm] = self._portfolio_wins.get(arm, 0) + 1
+            wall = payload.get("wall_time")
+            if wall is not None:
+                histogram = self._histograms.get("solve_wall_time")
+                if histogram is None:
+                    histogram = self._histograms["solve_wall_time"] = _Histogram()
+                histogram.observe(float(wall))
+
+    # -- scrape --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One consistent view of every counter, gauge and histogram."""
+        with self._lock:
+            wins = dict(self._portfolio_wins)
+            races = self._counters.get("portfolio_races", 0)
+            return {
+                "uptime": time.time() - self._started,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "portfolio": {
+                    "races": races,
+                    "wins": wins,
+                    "win_rates": (
+                        {arm: count / races for arm, count in wins.items()}
+                        if races
+                        else {}
+                    ),
+                },
+                "latency": {
+                    name: histogram.snapshot()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+
+class LoopLatencyProbe(threading.Thread):
+    """Measures scheduler drift: sleep ``interval``, record the overshoot.
+
+    The recorded value is ``max(0, actual - interval)`` in seconds — how
+    late a thread that asked for the CPU got it.  On an idle daemon this
+    sits at microseconds; when solver threads saturate the GIL or the
+    machine, the percentiles climb, which is exactly the "is the event
+    loop healthy" signal operators watch.
+    """
+
+    def __init__(self, metrics: ServiceMetrics, interval: float = 0.05) -> None:
+        super().__init__(name="repro-loop-latency-probe", daemon=True)
+        self.metrics = metrics
+        self.interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.is_set():
+            start = time.monotonic()
+            # wait() doubles as the sleep so stop() wakes it immediately.
+            if self._stop.wait(timeout=self.interval):
+                return
+            drift = (time.monotonic() - start) - self.interval
+            self.metrics.observe("loop_lag", max(0.0, drift))
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+# ----------------------------------------------------------------------
+class JsonlWriter:
+    """Write-behind JSONL appender: enqueue now, flush on a writer thread.
+
+    :meth:`append` is O(1) and never touches the disk — records drain
+    through a single background thread that appends them through one
+    long-lived handle under an advisory ``flock`` (healing a crashed
+    sibling's torn tail first), exactly the :class:`repro.dse.store.
+    RunStore` idiom.  :meth:`flush` blocks until everything queued so
+    far is on disk; :meth:`close` flushes and releases the handle.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._pending: deque[dict] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._written = 0
+        self._enqueued = 0
+        self._closed = False
+        self._handle: IO[bytes] | None = None
+        self._thread = threading.Thread(
+            target=self._drain_loop, name=f"jsonl-writer-{self.path.name}", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Queue one record for the writer thread (never blocks on I/O).
+
+        Appends after :meth:`close` are dropped silently: a worker
+        racing a non-waiting shutdown must not crash over a log line.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._pending.append(record)
+            self._enqueued += 1
+            self._wakeup.notify_all()
+
+    def flush(self, timeout: float | None = 10.0) -> bool:
+        """Block until every record queued so far is on disk."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            target = self._enqueued
+            while self._written < target:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._wakeup.wait(timeout=remaining)
+        return True
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Flush, stop the writer thread and release the file handle."""
+        self.flush(timeout=timeout)
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        self._thread.join(timeout=timeout)
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait(timeout=1.0)
+                if not self._pending and self._closed:
+                    return
+                batch = list(self._pending)
+                self._pending.clear()
+            lines = [
+                json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+                    "utf-8"
+                )
+                + b"\n"
+                for record in batch
+            ]
+            try:
+                self._write_locked(b"".join(lines))
+            except OSError:  # disk trouble must not kill the daemon
+                pass
+            with self._lock:
+                self._written += len(batch)
+                self._wakeup.notify_all()
+
+    def _write_locked(self, data: bytes) -> None:
+        handle = self._ensure_handle()
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            self._heal_torn_tail(handle)
+            handle.write(data)
+            handle.flush()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _ensure_handle(self) -> IO[bytes]:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # "a+b": O_APPEND keeps concurrent writers' lines whole; the
+            # read side lets the torn-tail check see the last byte.
+            self._handle = self.path.open("a+b")
+        return self._handle
+
+    @staticmethod
+    def _heal_torn_tail(handle: IO[bytes]) -> None:
+        # Under the exclusive lock: a final line without its newline is a
+        # crashed sibling's torn write — terminate it so our lines (and
+        # the torn entry's successors) stay parseable.
+        size = handle.seek(0, 2)
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield every parseable JSON-object line of ``path`` (missing: none).
+
+    Torn tails, blank lines and non-object lines are silently skipped —
+    the journal/replay contract is "every healthy line, nothing else".
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict):
+                yield payload
+
+
+#: The observer signature the registry calls with each journal record.
+EventObserver = Callable[[dict], None]

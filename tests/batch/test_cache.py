@@ -3,13 +3,80 @@
 from __future__ import annotations
 
 import json
+import sys
+import threading
 
 import pytest
 
-from repro.batch.cache import CACHE_FORMAT, ResultCache
+from repro.batch.cache import CACHE_FORMAT, CacheStats, ResultCache
 from repro.batch.engine import BatchJob, BatchMapper
 
 pytestmark = pytest.mark.batch
+
+
+class TestCacheStatsConcurrency:
+    def test_multithreaded_hammer_counts_exactly(self):
+        """N threads of get/put traffic must lose zero counter updates.
+
+        The regression this guards: bare ``+= 1`` increments are a
+        read-modify-write race, so concurrent service worker threads
+        silently dropped counts and ``/healthz`` drifted under load.
+        """
+        cache = ResultCache()
+        cache.put("warm", {"answer": 1})  # 1 store up front
+        threads_n, rounds = 8, 300
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for index in range(rounds):
+                assert cache.get("warm") is not None  # hit
+                assert cache.get(f"miss-{worker}-{index}") is None  # miss
+                cache.put(f"key-{worker}-{index}", {"worker": worker})  # store
+
+        # Force frequent preemption so lost updates would actually show.
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(worker,))
+                for worker in range(threads_n)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not any(thread.is_alive() for thread in threads)
+
+        total = threads_n * rounds
+        assert cache.stats.hits == total
+        assert cache.stats.misses == total
+        assert cache.stats.stores == total + 1
+        assert cache.stats.lookups == 2 * total
+
+    def test_reclassify_hit_as_miss_moves_both_counters(self):
+        stats = CacheStats()
+        stats.record_hit()
+        stats.reclassify_hit_as_miss()
+        assert (stats.hits, stats.misses) == (0, 1)
+        assert stats.lookups == 1
+
+    def test_snapshot_is_consistent(self):
+        stats = CacheStats()
+        stats.record_hit()
+        stats.record_miss()
+        stats.record_store()
+        snapshot = stats.snapshot()
+        assert snapshot["hits"] + snapshot["misses"] == snapshot["lookups"]
+        assert snapshot == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "lookups": 2,
+            "hit_rate": 0.5,
+        }
 
 
 class TestCacheHits:

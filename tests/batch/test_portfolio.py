@@ -10,6 +10,7 @@ from repro.batch.portfolio import (
     PortfolioOptions,
     PortfolioSolver,
     portfolio_solver_factory,
+    winning_arm,
 )
 from repro.ilp.model import Model
 from repro.ilp.result import SolveStatus
@@ -141,6 +142,41 @@ class TestThreadRace:
         ).solve(handle.model, warm_start=warm)
         assert threaded.objective == pytest.approx(sequential.objective)
         assert threaded.status.has_solution()
+
+
+class TestWinningArm:
+    @pytest.mark.parametrize(
+        ("backend", "arm"),
+        [
+            ("portfolio[highs]", "highs"),
+            ("portfolio[bnb]", "bnb"),
+            ("portfolio[bnb-interrupted]", "bnb"),
+            ("highs", None),
+            ("bnb-interrupted", None),
+            ("portfolio[", None),  # malformed tag, not a race winner
+            ("", None),
+        ],
+    )
+    def test_parses_backend_tags(self, backend, arm):
+        assert winning_arm(backend) == arm
+
+
+class TestOnRaceHook:
+    def test_hook_sees_winner_and_every_member(self):
+        handle, warm = _area_instance()
+        races: list = []
+        solver = PortfolioSolver(PortfolioOptions(stop_on_optimal=False))
+        solver.on_race = lambda winner, results: races.append((winner, results))
+        returned = solver.solve(handle.model, warm_start=warm)
+        assert len(races) == 1
+        winner, results = races[0]
+        assert winner is returned
+        assert len(results) == len(solver.options.specs)
+        # The hook fires after finalization: the tag is already portfolio[...].
+        assert winning_arm(winner.backend) is not None
+
+    def test_hook_defaults_to_none(self):
+        assert PortfolioSolver().on_race is None
 
 
 class TestOptionsValidation:

@@ -73,6 +73,43 @@ class TestJobQueue:
         assert queue.pop(timeout=0)[0] == "left-over"
         assert queue.pop(timeout=0) is None
 
+    def test_pop_timeout_is_a_total_deadline(self):
+        """Wakeups that find only cancelled items must not reset the wait.
+
+        The regression this guards: ``pop`` re-armed ``wait(timeout)``
+        with the *full* timeout after every notification, so a steady
+        drip of cancelled jobs could make a 0.5s pop sleep for minutes.
+        """
+        import time
+
+        queue = JobQueue()
+        stop = threading.Event()
+
+        def drip_cancelled() -> None:
+            # Wake the popper more often than its timeout, forever.  The
+            # token is cancelled *before* the push so the popper can
+            # never race in and win the item.
+            while not stop.is_set():
+                dead = CancelToken()
+                dead.cancel()
+                queue.push("noise", token=dead)
+                time.sleep(0.05)
+
+        pusher = threading.Thread(target=drip_cancelled)
+        pusher.start()
+        try:
+            start = time.monotonic()
+            item = queue.pop(timeout=0.5)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            pusher.join(timeout=10)
+        assert item is None
+        # Old behaviour: each 0.05s wakeup restarted the 0.5s wait, so
+        # the pop would outlive the pusher. With a real deadline it
+        # returns close to the requested timeout.
+        assert 0.4 <= elapsed < 3.0
+
 
 class TestMapAllCancellationHook:
     def test_precancelled_batch_runs_nothing(self, batch_jobs):

@@ -202,6 +202,33 @@ class TestCancellation:
             registry.finish(extra, DONE)
         assert registry.get(live.id) is live
 
+    def test_eviction_follows_finish_order_not_submission_order(
+        self, tiny_scenario
+    ):
+        """A long-running early job must outlive later, earlier-finished ones.
+
+        The regression this guards: eviction walked the registry in
+        insertion order, so a slow job submitted first was evicted the
+        moment it finished — even though jobs that finished long before
+        it were fresher by submission time and survived.
+        """
+        from repro.service.jobs import JOB_DONE as DONE
+        from repro.service.jobs import JobRegistry
+
+        registry = JobRegistry(max_finished=2)
+        slow = registry.create(JobSpec(scenarios=(tiny_scenario,)))
+        quick_1 = registry.create(JobSpec(scenarios=(tiny_scenario,)))
+        quick_2 = registry.create(JobSpec(scenarios=(tiny_scenario,)))
+        for job in (slow, quick_1, quick_2):
+            registry.start(job)
+        # Finish out of submission order: quick_1, quick_2, then slow.
+        registry.finish(quick_1, DONE)
+        registry.finish(quick_2, DONE)
+        registry.finish(slow, DONE)
+        remaining = {job.id for job in registry.jobs()}
+        assert remaining == {quick_2.id, slow.id}  # oldest-*finished* went
+        assert registry.get(quick_1.id) is None
+
     def test_multi_scenario_job_reports_every_scenario(
         self, live_service, tiny_scenario
     ):

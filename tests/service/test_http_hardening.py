@@ -1,0 +1,136 @@
+"""Rude-client hardening: body caps (413) and handler socket timeouts."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import (
+    HANDLER_TIMEOUT,
+    MAX_BODY_BYTES,
+    MappingService,
+    make_server,
+)
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def http_only_server():
+    """An HTTP front end with tight limits and *no* worker threads.
+
+    These tests exercise the request plumbing, not the solver, so the
+    service is never started — submissions would just sit queued.
+    """
+    service = MappingService()
+    server = make_server(service, port=0, max_body_bytes=512, handler_timeout=0.5)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        service.stop(wait=True)
+
+
+def _recv_all(sock: socket.socket) -> bytes:
+    chunks = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+
+
+class TestBodyCap:
+    def test_oversized_declared_body_is_rejected_before_reading(
+        self, http_only_server
+    ):
+        """A huge Content-Length gets a 413 without the body being sent.
+
+        The server must reject on the *declared* size — if it tried to
+        read the (never-sent) body first, this request would hang until
+        the socket timeout instead of answering promptly.
+        """
+        host, port = http_only_server
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 1048576\r\n"
+                b"\r\n"
+            )
+            start = time.monotonic()
+            response = _recv_all(sock)
+        assert b" 413 " in response.split(b"\r\n", 1)[0]
+        assert b"exceeds" in response
+        assert time.monotonic() - start < 5.0
+
+    def test_body_at_the_cap_still_parses(self, http_only_server):
+        """The limit is exclusive of valid traffic: == cap must not 413."""
+        host, port = http_only_server
+        body = json.dumps({"pad": "x" * 400}).encode()  # < 512, > trivial
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            response = _recv_all(sock)
+        # Not a wire-format job, so a 400 — the point is it was *read*.
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+
+    def test_client_surfaces_the_413(self, http_only_server):
+        host, port = http_only_server
+        client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(payload={"pad": "x" * 2048, "scenarios": []})
+        assert excinfo.value.status == 413
+
+    def test_garbled_content_length_is_a_400(self, http_only_server):
+        host, port = http_only_server
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            response = _recv_all(sock)
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+
+
+class TestHandlerTimeout:
+    def test_silent_client_is_disconnected(self, http_only_server):
+        """Connect-and-say-nothing must not pin a handler thread forever."""
+        host, port = http_only_server
+        with socket.create_connection((host, port), timeout=10) as sock:
+            start = time.monotonic()
+            # Never send a byte; the 0.5s handler timeout should close us.
+            data = _recv_all(sock)
+            elapsed = time.monotonic() - start
+        assert data == b""  # server closed without a response
+        assert 0.1 <= elapsed < 5.0
+
+    def test_stalled_request_line_is_disconnected(self, http_only_server):
+        """A partial request that stops mid-header is dropped, not waited on."""
+        host, port = http_only_server
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"POST /jobs HTT")  # never finish the line
+            start = time.monotonic()
+            data = _recv_all(sock)
+            elapsed = time.monotonic() - start
+        assert data == b""
+        assert elapsed < 5.0
+
+    def test_defaults_are_sane(self):
+        assert MAX_BODY_BYTES == 1 << 20
+        assert HANDLER_TIMEOUT == 30.0

@@ -1,0 +1,316 @@
+"""Metrics spine: lock-consistent counters, histograms, the JSONL writer,
+and the ``GET /metrics`` scrape end to end."""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+import pytest
+
+from repro.service.jobs import JobRegistry
+from repro.service.metrics import (
+    HISTOGRAM_WINDOW,
+    JsonlWriter,
+    ServiceMetrics,
+    read_jsonl,
+)
+from repro.service.wire import JobSpec
+
+pytestmark = pytest.mark.service
+
+
+class TestServiceMetricsCounters:
+    def test_multithreaded_hammer_counts_exactly(self):
+        """Concurrent updates through one lock lose nothing.
+
+        Each thread submits and finishes a matched number of job events,
+        so a scrape at the end must balance to the sample — any drift
+        means an increment was lost or a snapshot tore.
+        """
+        metrics = ServiceMetrics()
+        threads_n, rounds = 8, 250
+        barrier = threading.Barrier(threads_n)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                metrics.job_event({"event": "queued"})
+                metrics.job_event({"event": "running"})
+                metrics.job_event({"event": "result", "status": "ok"})
+                metrics.job_event({"event": "done"})
+                metrics.gauge_add("solves_in_flight", 1)
+                metrics.gauge_add("solves_in_flight", -1)
+                metrics.observe("queue_wait", 0.01)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not any(thread.is_alive() for thread in threads)
+
+        total = threads_n * rounds
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["jobs_submitted"] == total
+        assert counters["jobs_started"] == total
+        assert counters["jobs_finished"] == total
+        assert counters["jobs_done"] == total
+        assert counters["scenarios_total"] == total
+        assert counters["scenarios_ok"] == total
+        assert snapshot["gauges"]["solves_in_flight"] == 0
+        assert snapshot["latency"]["queue_wait"]["count"] == total
+
+    def test_job_event_classifies_every_transition(self):
+        metrics = ServiceMetrics()
+        metrics.job_event({"event": "queued"})
+        metrics.job_event({"event": "running"})
+        metrics.job_event({"event": "result", "status": "ok", "cached": True})
+        metrics.job_event({"event": "result", "status": "error"})
+        metrics.job_event({"event": "error"})
+        counters = metrics.snapshot()["counters"]
+        assert counters["scenarios_total"] == 2
+        assert counters["scenarios_ok"] == 1
+        assert counters["scenarios_error"] == 1
+        assert counters["scenarios_cached"] == 1
+        assert counters["jobs_finished"] == 1
+        assert counters["jobs_error"] == 1
+        assert "jobs_done" not in counters
+
+
+class TestSolveHooks:
+    def test_solve_finished_parses_portfolio_arms(self):
+        """Worker payloads carry the winner as a backend tag; both pooled
+        and serial runs are counted from that same wire shape."""
+        metrics = ServiceMetrics()
+        metrics.solves_dispatched(3)
+        assert metrics.gauge("solves_in_flight") == 3
+        metrics.solve_finished(
+            {
+                "status": "ok",
+                "wall_time": 0.5,
+                "stages": [
+                    {"solve": {"backend": "portfolio[highs]"}},
+                    {"solve": {"backend": "portfolio[bnb-interrupted]"}},
+                ],
+            }
+        )
+        metrics.solve_finished(
+            {
+                "status": "ok",
+                "wall_time": 0.25,
+                "stages": [{"solve": {"backend": "highs"}}, {"solve": None}],
+            }
+        )
+        metrics.solve_finished({"status": "error", "stages": None})
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert metrics.gauge("solves_in_flight") == 0
+        assert counters["mapper_jobs"] == 3
+        assert counters["mapper_jobs_ok"] == 2
+        assert counters["mapper_jobs_error"] == 1
+        assert counters["ilp_solves"] == 3  # the None stage is not a solve
+        assert snapshot["portfolio"]["races"] == 2
+        assert snapshot["portfolio"]["wins"] == {"highs": 1, "bnb": 1}
+        assert snapshot["portfolio"]["win_rates"] == {"highs": 0.5, "bnb": 0.5}
+        assert snapshot["latency"]["solve_wall_time"]["count"] == 2
+
+    def test_interrupted_jobs_get_their_own_counter(self):
+        metrics = ServiceMetrics()
+        metrics.solve_finished({"status": "ok", "interrupted": True, "stages": []})
+        counters = metrics.snapshot()["counters"]
+        assert counters["mapper_jobs_interrupted"] == 1
+        assert "mapper_jobs_ok" not in counters
+
+    def test_abandoned_solves_release_the_gauge(self):
+        metrics = ServiceMetrics()
+        metrics.solves_dispatched(5)
+        metrics.solve_finished({"status": "ok", "stages": []})
+        metrics.solves_abandoned(4)  # batch cancelled mid-flight
+        assert metrics.gauge("solves_in_flight") == 0
+
+
+class TestHistograms:
+    def test_percentiles_over_a_known_population(self):
+        metrics = ServiceMetrics()
+        for value in range(1, 101):  # 1..100, uniform
+            metrics.observe("lag", float(value))
+        body = metrics.snapshot()["latency"]["lag"]
+        assert body["count"] == 100
+        assert body["sum"] == pytest.approx(5050.0)
+        assert body["max"] == 100.0
+        assert body["p50"] == pytest.approx(51.0)
+        assert body["p90"] == pytest.approx(91.0)
+        assert body["p99"] == pytest.approx(100.0)
+
+    def test_window_bounds_memory_but_count_is_lifetime(self):
+        metrics = ServiceMetrics()
+        for value in range(HISTOGRAM_WINDOW + 500):
+            metrics.observe("lag", float(value))
+        body = metrics.snapshot()["latency"]["lag"]
+        assert body["count"] == HISTOGRAM_WINDOW + 500
+        # Percentiles slide with the window: old cheap samples aged out.
+        assert body["p50"] >= 500.0
+
+    def test_empty_snapshot_has_no_histograms(self):
+        assert ServiceMetrics().snapshot()["latency"] == {}
+
+
+class TestJsonlWriter:
+    def test_append_flush_read_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            for index in range(50):
+                writer.append({"index": index})
+            assert writer.flush(timeout=30)
+        records = list(read_jsonl(path))
+        assert [record["index"] for record in records] == list(range(50))
+
+    def test_appends_after_close_are_dropped_not_raised(self, tmp_path):
+        writer = JsonlWriter(tmp_path / "log.jsonl")
+        writer.append({"index": 0})
+        writer.close()
+        writer.append({"index": 1})  # a racing worker must not crash
+        assert [r["index"] for r in read_jsonl(writer.path)] == [0]
+
+    def test_reader_skips_torn_and_garbage_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            '{"ok": 1}\n'
+            "not json at all\n"
+            "\n"
+            '["a", "list", "not", "an", "object"]\n'
+            '{"ok": 2}\n'
+            '{"torn": '  # no newline: a crashed writer's tail
+        )
+        assert [record["ok"] for record in read_jsonl(path)] == [1, 2]
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        assert list(read_jsonl(tmp_path / "never-written.jsonl")) == []
+
+    def test_writer_heals_a_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"torn": ')  # crashed sibling, no newline
+        with JsonlWriter(path) as writer:
+            writer.append({"fresh": True})
+            assert writer.flush(timeout=30)
+        lines = path.read_text().splitlines()
+        assert lines[0] == '{"torn": '  # terminated, not merged into ours
+        assert json.loads(lines[1]) == {"fresh": True}
+
+    def test_concurrent_appenders_never_tear_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            threads = [
+                threading.Thread(
+                    target=lambda worker=worker: [
+                        writer.append({"worker": worker, "index": index})
+                        for index in range(100)
+                    ]
+                )
+                for worker in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert writer.flush(timeout=30)
+        records = list(read_jsonl(path))
+        assert len(records) == 400  # every line parsed — nothing torn
+
+
+class TestRegistryObservers:
+    def test_observers_see_one_record_per_transition(self, tiny_scenario):
+        """The --log-jobs seam: observers get the journal-shaped records."""
+        seen: list[dict] = []
+        registry = JobRegistry(observers=(seen.append,))
+        job = registry.create(JobSpec(scenarios=(tiny_scenario,)))
+        registry.start(job)
+        registry.add_result(job, {"status": "ok", "scenario": "s"})
+        registry.finish(job, "done")
+        events = [record["event"] for record in seen]
+        assert events == ["queued", "running", "result", "done"]
+        assert all(record["job"] == job.id for record in seen)
+        assert all("ts" in record for record in seen)
+        # The queued record carries the resubmittable wire spec.
+        assert seen[0]["spec"]["scenarios"]
+
+    def test_observer_exceptions_are_the_observers_problem(self, tiny_scenario):
+        """Registry calls observers synchronously; they must be cheap and
+        non-throwing — this documents that a metrics sink (counter bumps,
+        queue appends) satisfies the contract."""
+        metrics = ServiceMetrics()
+        registry = JobRegistry(observers=(metrics.job_event,))
+        job = registry.create(JobSpec(scenarios=(tiny_scenario,)))
+        registry.start(job)
+        registry.finish(job, "done")
+        counters = metrics.snapshot()["counters"]
+        assert counters["jobs_submitted"] == 1
+        assert counters["jobs_finished"] == 1
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_consistent_after_real_work(
+        self, live_service, tiny_scenario
+    ):
+        """End to end: two submissions (one a cache hit), then a scrape
+        whose sections balance exactly — the acceptance invariants."""
+        _, client = live_service
+        first = client.wait(
+            client.submit(scenarios=[tiny_scenario])["id"], timeout=60
+        )
+        second = client.wait(
+            client.submit(scenarios=[tiny_scenario])["id"], timeout=60
+        )
+        assert first["status"] == "done" and second["status"] == "done"
+
+        body = client.metrics()
+        assert body["status"] == "ok"
+        assert body["uptime"] > 0
+        assert body["queue_depth"] == 0
+        assert body["solves_in_flight"] == 0
+
+        jobs = body["jobs"]
+        assert jobs["submitted"] == 2
+        assert jobs["started"] == 2
+        assert jobs["finished"]["total"] == 2
+        assert jobs["finished"]["done"] == 2
+        assert jobs["by_state"] == {"done": 2}
+
+        scenarios = body["scenarios"]
+        assert scenarios["total"] == 2
+        assert scenarios["ok"] == 2
+        assert scenarios["cached"] == 1  # the repeat was a zero-solve hit
+
+        cache = body["cache"]
+        assert cache["hits"] + cache["misses"] == cache["lookups"]
+        # The repeat was answered upstream, from the shared run store, so
+        # the result cache saw exactly the first run's miss-then-store.
+        assert cache["misses"] >= 1
+        assert cache["stores"] >= 1
+
+        solves = body["solves"]
+        assert solves["mapper_jobs"] == solves["mapper_jobs_ok"] == 1
+        assert solves["ilp_solves"] >= 1
+
+        latency = body["latency"]
+        for name in ("queue_wait", "job_duration", "solve_wall_time"):
+            assert latency[name]["count"] >= 1
+        assert latency["loop_lag"]["count"] >= 1  # the probe is alive
+        assert body["store_entries"] >= 1
+
+    def test_scrape_on_an_idle_daemon_is_all_zeros(self, live_service):
+        _, client = live_service
+        body = client.metrics()
+        assert body["jobs"]["submitted"] == 0
+        assert body["jobs"]["by_state"] == {}
+        assert body["scenarios"]["total"] == 0
+        assert body["portfolio"] == {"races": 0, "wins": {}, "win_rates": {}}
+        assert body["solves_in_flight"] == 0
