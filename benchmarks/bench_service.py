@@ -1,0 +1,249 @@
+"""Service/fleet bench: sharded store throughput and fleet wall-clock.
+
+Two claims behind PR-7's crash-tolerant fleet, measured:
+
+- **store** — the sharded run store keeps up with (and under contention
+  beats) the legacy single-file layout: four concurrent writer processes
+  spread their ``flock``s over the shards instead of serialising on one
+  file, and resume loads ride the index sidecar instead of re-parsing
+  every superseded line;
+- **fleet** — a fleet of two worker processes finishes a batch of
+  independent jobs in less wall-clock than one in-process worker thread,
+  spawn overhead included (the recorded ``speedup`` tracks how much).
+
+Emits ``BENCH_service.json`` at the **repo root** so both trajectories
+are tracked across PRs alongside the other ``BENCH_*.json`` files.
+
+Run:  pytest benchmarks/bench_service.py --benchmark-only
+"""
+
+import json
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+from bench_config import once
+from repro.batch.cache import ResultCache
+from repro.dse.explorer import Explorer
+from repro.dse.scenario import (
+    ArchitectureSpec,
+    FormulationSpec,
+    Scenario,
+    WorkloadSpec,
+)
+from repro.dse.store import TIER_ILP, RunEntry, RunStore
+from repro.service.daemon import MappingService
+from repro.service.wire import JobSpec
+from repro.service.worker import FleetConfig
+
+#: Repo root (benchmarks/ is one level below it).
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Store workload: each writer appends KEYS keys twice (the second write
+#: supersedes the first, so resume has stale lines to skip).
+WRITERS = 4
+KEYS_PER_WRITER = 150
+SHARDS = 8
+
+#: Fleet workload: independent single-scenario jobs, each a real (0.5-4s)
+#: ILP solve so process-spawn overhead doesn't dominate the comparison.
+FLEET_SCENARIOS = (("C", 16), ("C", 18), ("A", 18), ("E", 18))
+TIME_LIMIT = 15.0
+
+#: The contention floor: sharded must not lose to single-file by more
+#: than measurement noise (it usually wins outright).
+MIN_STORE_RATIO = 0.9
+
+
+def _entry(fingerprint: str, payload_version: int) -> RunEntry:
+    return RunEntry(
+        fingerprint=fingerprint,
+        tier=TIER_ILP,
+        scenario={"name": f"bench-{fingerprint[:8]}"},
+        status="ok",
+        objectives={"area": 1.0, "energy": 2.0, "latency": float(payload_version)},
+        assignment={str(i): i for i in range(16)},
+        solves=payload_version,
+    )
+
+
+def _writer_main(path: str, shards: int, writer: int, keys: int) -> None:
+    with RunStore(path, shards=shards) if shards else RunStore(path) as store:
+        for version in (1, 2):
+            for index in range(keys):
+                # Two versions of one key: same fingerprint, new payload,
+                # so resume must pick winners among stale lines.
+                fingerprint = f"{writer:02x}{index:06x}cafe0000"
+                store.record(_entry(fingerprint, version))
+
+
+def _hammer(path: Path, shards: int) -> dict:
+    """Four processes, each appending its keys twice; returns timings."""
+    ctx = multiprocessing.get_context("spawn")
+    workers = [
+        ctx.Process(
+            target=_writer_main,
+            args=(str(path), shards, writer, KEYS_PER_WRITER),
+        )
+        for writer in range(WRITERS)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    append_seconds = time.perf_counter() - started
+    assert all(worker.exitcode == 0 for worker in workers)
+
+    started = time.perf_counter()
+    store = RunStore(path)  # a sharded dir's manifest self-identifies
+    resume_seconds = time.perf_counter() - started
+    entries = len(store)
+    store.close()
+    total_appends = WRITERS * KEYS_PER_WRITER * 2
+    return {
+        "appends": total_appends,
+        "entries_resumed": entries,
+        "append_seconds": append_seconds,
+        "appends_per_second": total_appends / append_seconds,
+        "resume_seconds": resume_seconds,
+        "resumes_per_second": entries / max(resume_seconds, 1e-9),
+    }
+
+
+def _scenarios() -> list[Scenario]:
+    return [
+        Scenario(
+            architecture=ArchitectureSpec(
+                kind="homogeneous", dimension=dimension
+            ),
+            workload=WorkloadSpec(network=network, scale=0.3, profile="uniform"),
+            formulation=FormulationSpec(stages=("area",)),
+        )
+        for network, dimension in FLEET_SCENARIOS
+    ]
+
+
+def _run_single(tmp: Path) -> float:
+    explorer = Explorer(
+        store=RunStore(tmp / "single-store.jsonl"),
+        cache=ResultCache(),
+        time_limit=TIME_LIMIT,
+    )
+    service = MappingService(explorer)
+    service.start()
+    started = time.perf_counter()
+    jobs = [
+        service.submit(
+            JobSpec(scenarios=(scenario,), tier="ilp", time_limit=TIME_LIMIT)
+        )
+        for scenario in _scenarios()
+    ]
+    _wait_all(service, [job.id for job in jobs])
+    elapsed = time.perf_counter() - started
+    service.stop(wait=True)
+    return elapsed
+
+
+def _run_fleet(tmp: Path) -> float:
+    config = FleetConfig(
+        store_path=str(tmp / "fleet-store"),
+        store_shards=SHARDS,
+        cache_dir=str(tmp / "fleet-cache"),
+        time_limit=TIME_LIMIT,
+        heartbeat_interval=0.5,
+        lease_ttl=30.0,
+    )
+    explorer = Explorer(
+        store=RunStore(tmp / "fleet-store", shards=SHARDS),
+        cache=ResultCache(),
+        time_limit=TIME_LIMIT,
+    )
+    service = MappingService(
+        explorer,
+        fleet=2,
+        ledger_path=tmp / "ledger.jsonl",
+        fleet_config=config,
+    )
+    service.start()
+    started = time.perf_counter()
+    jobs = [
+        service.submit(
+            JobSpec(scenarios=(scenario,), tier="ilp", time_limit=TIME_LIMIT)
+        )
+        for scenario in _scenarios()
+    ]
+    _wait_all(service, [job.id for job in jobs])
+    elapsed = time.perf_counter() - started
+    service.stop(wait=True)
+    return elapsed
+
+
+def _wait_all(service, job_ids, timeout: float = 300.0) -> None:
+    deadline = time.monotonic() + timeout
+    for job_id in job_ids:
+        while True:
+            job = service.registry.get(job_id)
+            if job is not None and job.finished:
+                assert job.status == "done", f"{job_id}: {job.error}"
+                break
+            if time.monotonic() > deadline:
+                raise AssertionError(f"{job_id} unfinished after {timeout}s")
+            time.sleep(0.05)
+
+
+def _run_bench() -> dict:
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        single = _hammer(tmp / "single.jsonl", shards=0)
+        sharded = _hammer(tmp / "sharded-store", shards=SHARDS)
+        single_wall = _run_single(tmp)
+        fleet_wall = _run_fleet(tmp)
+    return {
+        "store": {
+            "writers": WRITERS,
+            "shards": SHARDS,
+            "single_file": single,
+            "sharded": sharded,
+            "append_ratio": (
+                sharded["appends_per_second"] / single["appends_per_second"]
+            ),
+            "resume_ratio": (
+                sharded["resumes_per_second"] / single["resumes_per_second"]
+            ),
+        },
+        "fleet": {
+            "jobs": len(FLEET_SCENARIOS),
+            "single_process_seconds": single_wall,
+            "fleet_of_2_seconds": fleet_wall,
+            "speedup": single_wall / fleet_wall,
+        },
+    }
+
+
+def test_benchmark_service(benchmark):
+    stats = once(benchmark, _run_bench)
+
+    payload = {
+        "schema": "repro.bench_service/1",
+        "source": "benchmarks/bench_service.py",
+        "min_store_ratio": MIN_STORE_RATIO,
+        **stats,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    store = stats["store"]
+    expected = WRITERS * KEYS_PER_WRITER
+    assert store["single_file"]["entries_resumed"] == expected
+    assert store["sharded"]["entries_resumed"] == expected
+    assert store["append_ratio"] >= MIN_STORE_RATIO, (
+        f"sharded appends at {store['append_ratio']:.2f}x the single-file "
+        f"rate under {WRITERS}-writer contention (< {MIN_STORE_RATIO}x floor)"
+    )
+    assert store["resume_ratio"] >= MIN_STORE_RATIO, (
+        f"sharded resume at {store['resume_ratio']:.2f}x the single-file "
+        f"rate (< {MIN_STORE_RATIO}x floor)"
+    )
+    assert stats["fleet"]["speedup"] > 0  # recorded, not asserted faster:
+    # two spawns plus solver variance can eat the win on tiny batches.

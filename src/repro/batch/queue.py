@@ -45,6 +45,20 @@ class CancelToken:
         return f"CancelToken({state})"
 
 
+class QueueFull(RuntimeError):
+    """Push rejected: the queue is at its bounded depth.
+
+    Carries an optional ``retry_after`` hint (seconds) that HTTP fronts
+    forward as a ``Retry-After`` header — backpressure, not failure.
+    """
+
+    def __init__(
+        self, message: str = "queue is full", retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class JobQueue:
     """FIFO of ``(item, CancelToken)`` pairs for service worker loops.
 
@@ -54,12 +68,19 @@ class JobQueue:
     setting the token).  After :meth:`close`, pushes raise and ``pop``
     returns ``None`` once the queue drains, which is the worker's signal
     to exit.
+
+    ``maxsize`` bounds the *live* depth (cancelled stragglers don't
+    count): a push beyond it raises :class:`QueueFull` instead of
+    accepting unbounded backlog.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
         self._items: deque[tuple[Any, CancelToken]] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self.maxsize = maxsize
 
     def push(self, item: Any, token: CancelToken | None = None) -> CancelToken:
         """Enqueue ``item``; returns its (possibly caller-made) token."""
@@ -67,6 +88,12 @@ class JobQueue:
         with self._cond:
             if self._closed:
                 raise RuntimeError("queue is closed")
+            if self.maxsize is not None:
+                live = sum(1 for _, t in self._items if not t.cancelled)
+                if live >= self.maxsize:
+                    raise QueueFull(
+                        f"queue is at its bounded depth ({self.maxsize})"
+                    )
             self._items.append((item, token))
             self._cond.notify()
         return token

@@ -257,11 +257,24 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .batch.cache import ResultCache
     from .dse import Explorer, RunStore
     from .service.daemon import MappingService, make_server, run_server
+    from .service.worker import FleetConfig
 
-    store = RunStore(args.store) if args.store else RunStore()
+    fleet = max(0, args.fleet)
+    # Fleet workers share the store by path; sharding it keeps their
+    # appends on independent locks.  Opening the store here — before any
+    # worker spawns — also runs the one-shot single-file migration.
+    store_shards = args.store_shards
+    if fleet and args.store and store_shards is None:
+        store_shards = 8
+    store = (
+        RunStore(args.store, shards=store_shards) if args.store else RunStore()
+    )
     if args.store and len(store):
         print(f"run store {args.store}: {len(store)} entr(ies) warm")
     explorer = Explorer(
@@ -273,15 +286,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=ResultCache(args.cache_dir) if args.cache_dir else ResultCache(),
         time_limit=args.time_limit,
     )
+    max_queue = args.max_queue
+    if fleet and max_queue is None:
+        # A fleet exists to survive heavy traffic; unbounded accept is
+        # exactly the failure mode it retires.
+        max_queue = 1024
     service = MappingService(
         explorer,
         workers=args.workers,
         journal_path=args.journal,
         job_log_path=args.log_jobs,
+        fleet=fleet,
+        ledger_path=args.ledger if fleet else None,
+        max_queue_depth=max_queue,
+        fleet_config=FleetConfig(
+            store_path=args.store,
+            store_shards=store_shards or 8,
+            cache_dir=args.cache_dir,
+            portfolio=args.portfolio,
+            time_limit=args.time_limit,
+            lease_ttl=args.lease_ttl,
+            heartbeat_interval=args.heartbeat_interval,
+            max_attempts=args.max_attempts,
+            drain_timeout=args.drain_timeout,
+        ),
     )
     server = make_server(service, host=args.host, port=args.port)
+
+    # SIGTERM/SIGINT take the same clean-drain path as POST /shutdown:
+    # stop accepting, let leased jobs finish (or re-queue them), flush
+    # the journals — instead of dying mid-write on a bare KeyboardInterrupt.
+    def _graceful_shutdown(signum, frame) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful_shutdown)
+    signal.signal(signal.SIGINT, _graceful_shutdown)
+
     host, port = server.server_address[:2]
     print(f"repro service listening on http://{host}:{port}", flush=True)
+    if fleet:
+        print(
+            f"fleet of {fleet} worker process(es); "
+            f"ledger {args.ledger or '(in-memory)'}",
+            flush=True,
+        )
     if args.journal:
         replayed = len(service.registry.jobs())
         print(f"job journal {args.journal}: {replayed} job(s) replayed", flush=True)
@@ -303,7 +351,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         Scenario,
         WorkloadSpec,
     )
-    from .service.client import ServiceClient, ServiceError
+    from .service.client import ServiceClient, ServiceError, StreamInterrupted
     from .service.wire import JobSpec
 
     try:
@@ -333,14 +381,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"invalid submission: {exc}", file=sys.stderr)
         return 2
 
-    client = ServiceClient(args.url, timeout=args.timeout)
+    client = ServiceClient(args.url, timeout=args.timeout, max_retries=args.retries)
     try:
         submitted = client.submit(payload=payload)
         job_id = submitted["id"]
         print(f"submitted {job_id} ({submitted['scenarios']} scenario(s))")
         if args.stream:
-            for event in client.stream(job_id, timeout=args.timeout):
-                print(json.dumps(event, sort_keys=True))
+            try:
+                for event in client.stream(job_id, timeout=args.timeout):
+                    print(json.dumps(event, sort_keys=True))
+            except StreamInterrupted as exc:
+                # Exit 3, not 2: the job was accepted and is probably
+                # still running — only the watch broke.
+                print(f"stream interrupted: {exc}", file=sys.stderr)
+                print(
+                    f"job {job_id} may still finish; "
+                    f"poll with GET /jobs/{job_id}",
+                    file=sys.stderr,
+                )
+                return 3
         detail = client.wait(job_id, timeout=args.timeout)
     except ServiceError as exc:
         print(f"service error: {exc}", file=sys.stderr)
@@ -397,7 +456,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 t
                 for t in targets
                 if t.name
-                in ("bench_dse.py", "bench_ilp.py", "bench_simulator.py")
+                in (
+                    "bench_dse.py",
+                    "bench_ilp.py",
+                    "bench_service.py",
+                    "bench_simulator.py",
+                )
             ]
     command = [
         sys.executable,
@@ -584,6 +648,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", default=None,
                        help="shared JSONL run store; submissions resume "
                             "from and append to it")
+    serve.add_argument("--fleet", type=int, default=0,
+                       help="spawn N supervised worker *processes* pulling "
+                            "from a lease-based ledger (0 = classic "
+                            "in-process threads)")
+    serve.add_argument("--ledger", default=None,
+                       help="durable job-lease ledger journal (JSONL); "
+                            "with --fleet, leased jobs survive daemon "
+                            "and worker crashes")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound on queued+running jobs; beyond it "
+                            "submissions get HTTP 429 + Retry-After "
+                            "(default: 1024 with --fleet, unbounded else)")
+    serve.add_argument("--lease-ttl", type=float, default=15.0,
+                       help="fleet: seconds a lease survives without a "
+                            "heartbeat before it is re-queued")
+    serve.add_argument("--heartbeat-interval", type=float, default=3.0,
+                       help="fleet: seconds between worker heartbeats")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="fleet: attempts per job before dead-letter")
+    serve.add_argument("--store-shards", type=int, default=None,
+                       help="shard the run store into N flock'd JSONL "
+                            "files (default: 8 with --fleet; single-file "
+                            "otherwise); migrates a legacy store in place")
+    serve.add_argument("--drain-timeout", type=float, default=20.0,
+                       help="fleet: seconds to wait for in-flight jobs "
+                            "on shutdown before re-queueing them")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -619,6 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the NDJSON event stream while waiting")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="client-side wait timeout in seconds")
+    submit.add_argument("--retries", type=int, default=0,
+                        help="retry transient GET failures and 429 "
+                             "backpressure this many times")
     submit.add_argument("--json", default=None,
                         help="write the final job detail JSON here")
     submit.set_defaults(func=_cmd_submit)

@@ -14,8 +14,15 @@ submit`` expose both on the command line.
 >>> run_server(server.service, server)                    # doctest: +SKIP
 """
 
-from .client import ServiceClient, ServiceError
-from .daemon import MappingService, ServiceHTTPServer, make_server, run_server
+from ..batch.queue import QueueFull
+from .client import ServiceClient, ServiceError, StreamInterrupted
+from .daemon import (
+    MappingService,
+    ServiceHTTPServer,
+    Supervisor,
+    make_server,
+    run_server,
+)
 from .jobs import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -27,6 +34,15 @@ from .jobs import (
     JobRegistry,
     ServiceJob,
 )
+from .ledger import (
+    LEASE_DEAD_LETTER,
+    LEASE_FINISHED,
+    LEASE_LEASED,
+    LEASE_PENDING,
+    LEDGER_TERMINAL,
+    JobLedger,
+    LedgerJob,
+)
 from .metrics import JsonlWriter, LoopLatencyProbe, ServiceMetrics, read_jsonl
 from .wire import (
     TIERS,
@@ -36,6 +52,7 @@ from .wire import (
     parse_job,
     result_payload,
 )
+from .worker import FleetConfig, worker_main
 
 __all__ = [
     "JOB_CANCELLED",
@@ -43,17 +60,28 @@ __all__ = [
     "JOB_ERROR",
     "JOB_QUEUED",
     "JOB_RUNNING",
+    "FleetConfig",
+    "JobLedger",
     "JobRegistry",
     "JobSpec",
     "JsonlWriter",
+    "LEASE_DEAD_LETTER",
+    "LEASE_FINISHED",
+    "LEASE_LEASED",
+    "LEASE_PENDING",
+    "LEDGER_TERMINAL",
+    "LedgerJob",
     "LoopLatencyProbe",
     "MappingService",
+    "QueueFull",
     "RESTART_ERROR",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
     "ServiceJob",
     "ServiceMetrics",
+    "StreamInterrupted",
+    "Supervisor",
     "TERMINAL_STATES",
     "TIERS",
     "WIRE_FORMAT",
@@ -63,4 +91,5 @@ __all__ = [
     "read_jsonl",
     "result_payload",
     "run_server",
+    "worker_main",
 ]

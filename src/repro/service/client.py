@@ -13,7 +13,9 @@ dependency:
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -27,19 +29,60 @@ from .wire import WIRE_FORMAT, JobSpec
 class ServiceError(RuntimeError):
     """An HTTP-level failure, carrying the server's error body if any."""
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        #: The server's ``Retry-After`` hint in seconds (429 responses).
+        self.retry_after = retry_after
+
+
+class StreamInterrupted(ServiceError):
+    """A job stream dropped before delivering a terminal event.
+
+    The job itself is most likely still running (or finished) on the
+    daemon — only the *watch* broke.  Callers should fall back to
+    polling ``GET /jobs/<id>`` rather than assuming the job is lost.
+    """
 
 
 class ServiceClient:
-    """One daemon endpoint: submit, poll, stream, cancel, shut down."""
+    """One daemon endpoint: submit, poll, stream, cancel, shut down.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``max_retries`` opts into resilience (default 0 keeps the original
+    fail-fast behavior): idempotent GETs retry on transient connection
+    errors with capped exponential backoff + jitter, and ``submit``
+    retries a 429 after honoring the server's ``Retry-After`` hint.
+    Non-idempotent requests never retry on *connection* errors — a
+    submit whose response got lost may still have been accepted.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 0,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
 
     # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Capped exponential backoff with full jitter for ``attempt``."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2**attempt))
+        return ceiling * random.random()
+
     def _open(self, method: str, path: str, payload: dict | None = None):
         data = None
         headers = {"Accept": "application/json"}
@@ -57,16 +100,36 @@ class ServiceClient:
                 detail = json.loads(exc.read().decode("utf-8")).get("error", "")
             except Exception:
                 pass
+            retry_after = None
+            raw_retry = exc.headers.get("Retry-After") if exc.headers else None
+            if raw_retry is not None:
+                try:
+                    retry_after = float(raw_retry)
+                except ValueError:
+                    pass
             message = f"{method} {path} failed: HTTP {exc.code}"
             if detail:
                 message += f" ({detail})"
-            raise ServiceError(message, status=exc.code) from None
+            raise ServiceError(
+                message, status=exc.code, retry_after=retry_after
+            ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(f"{method} {path} failed: {exc.reason}") from None
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        with self._open(method, path, payload) as response:
-            return json.loads(response.read().decode("utf-8"))
+        retries = self.max_retries if method == "GET" else 0
+        attempt = 0
+        while True:
+            try:
+                with self._open(method, path, payload) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except ServiceError as exc:
+                # Only *connection-level* trouble retries (no status):
+                # an HTTP error is the server's deliberate answer.
+                if exc.status is not None or attempt >= retries:
+                    raise
+                time.sleep(self._backoff(attempt))
+                attempt += 1
 
     # ------------------------------------------------------------------
     def submit(
@@ -86,7 +149,22 @@ class ServiceClient:
             ).payload()
         else:
             payload = {"format": WIRE_FORMAT, **payload}
-        return self._request("POST", "/jobs", payload)
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", payload)
+            except ServiceError as exc:
+                # Backpressure is explicitly retryable — a 429 means the
+                # job was NOT accepted, so resubmitting cannot duplicate
+                # it.  The server's Retry-After hint wins over backoff.
+                if exc.status != 429 or attempt >= self.max_retries:
+                    raise
+                time.sleep(
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self._backoff(attempt)
+                )
+                attempt += 1
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
@@ -140,18 +218,38 @@ class ServiceClient:
         stuck job would otherwise stream pings forever.  Checked per
         received line (heartbeats bound the gap), raising
         :class:`ServiceError` once exceeded.
+
+        A stream that breaks mid-job — the connection drops, or the body
+        ends before a terminal (``done``/``error``/``cancelled``) event —
+        raises :class:`StreamInterrupted`: the job is probably still
+        running server-side, so callers should re-poll, not give up.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._open("GET", f"/jobs/{job_id}/stream") as response:
-            for line in response:
-                if deadline is not None and time.monotonic() > deadline:
-                    raise ServiceError(
-                        f"stream of job {job_id} exceeded {timeout}s"
-                    )
-                line = line.strip()
-                if not line:
-                    continue
-                event = json.loads(line.decode("utf-8"))
-                if event.get("event") == "ping" and not keepalives:
-                    continue
-                yield event
+        terminal = False
+        try:
+            with self._open("GET", f"/jobs/{job_id}/stream") as response:
+                for line in response:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise ServiceError(
+                            f"stream of job {job_id} exceeded {timeout}s"
+                        )
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line.decode("utf-8"))
+                    if event.get("event") in ("done", "error", "cancelled"):
+                        terminal = True
+                    if event.get("event") == "ping" and not keepalives:
+                        continue
+                    yield event
+        except (OSError, ValueError, http.client.HTTPException) as exc:
+            # ConnectionReset/IncompleteRead/torn JSON line: the watch
+            # broke, not (necessarily) the job.
+            raise StreamInterrupted(
+                f"stream of job {job_id} dropped mid-job: {exc}"
+            ) from None
+        if not terminal:
+            raise StreamInterrupted(
+                f"stream of job {job_id} ended without a terminal event "
+                "(daemon went away mid-job?)"
+            )

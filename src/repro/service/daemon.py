@@ -33,12 +33,15 @@ and never sends cannot pin a handler thread forever.
 from __future__ import annotations
 
 import json
+import math
+import multiprocessing
+import queue as queue_module
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from ..batch.queue import JobQueue
+from ..batch.queue import JobQueue, QueueFull
 from ..dse.explorer import Explorer
 from ..dse.store import TIER_GREEDY
 from .jobs import (
@@ -48,8 +51,10 @@ from .jobs import (
     JobRegistry,
     ServiceJob,
 )
+from .ledger import LEASE_DEAD_LETTER, LEASE_PENDING, JobLedger
 from .metrics import JsonlWriter, LoopLatencyProbe, ServiceMetrics
 from .wire import WIRE_FORMAT, JobSpec, WireError, parse_job, result_payload
+from .worker import FleetConfig, worker_main
 
 #: Seconds of stream silence before a ``ping`` keepalive event is sent.
 STREAM_HEARTBEAT = 10.0
@@ -84,13 +89,24 @@ class MappingService:
         max_finished_jobs: int = 512,
         journal_path: str | Path | None = None,
         job_log_path: str | Path | None = None,
+        fleet: int = 0,
+        ledger_path: str | Path | None = None,
+        max_queue_depth: int | None = None,
+        fleet_config: FleetConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if fleet < 0:
+            raise ValueError("fleet must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
         # The default service still shares results across clients inside
         # one process: explorer evaluations land in its (memory) RunStore.
         self.explorer = explorer if explorer is not None else Explorer()
         self.metrics = ServiceMetrics()
+        self.fleet = fleet
+        self.max_queue_depth = max_queue_depth
+        self.fleet_config = fleet_config if fleet_config is not None else FleetConfig()
         self._journal = (
             JsonlWriter(journal_path) if journal_path is not None else None
         )
@@ -104,22 +120,40 @@ class MappingService:
             max_finished=max_finished_jobs,
             journal=self._journal,
             observers=tuple(observers),
+            # Fleet mode replays unfinished jobs as re-runnable (the
+            # ledger still owes them work); single-process mode's queue
+            # died with the old process, so they replay as errors.
+            fail_unfinished=not fleet,
         )
-        self.queue = JobQueue()
+        self.queue = JobQueue(maxsize=None if fleet else max_queue_depth)
         self.workers = workers
         # The shared engine reports solve progress into the same sink.
         self.explorer.mapper.metrics = self.metrics
         self._probe = LoopLatencyProbe(self.metrics)
         self._threads: list[threading.Thread] = []
         self._started = False
+        self.ledger: JobLedger | None = None
+        self.supervisor: Supervisor | None = None
+        if fleet:
+            self.ledger = JobLedger(
+                ledger_path,
+                max_attempts=self.fleet_config.max_attempts,
+                lease_ttl=self.fleet_config.lease_ttl,
+                backoff_base=self.fleet_config.backoff_base,
+                backoff_cap=self.fleet_config.backoff_cap,
+            )
+            self.supervisor = Supervisor(self, fleet, self.fleet_config, self.ledger)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spin up the worker thread(s) and the latency probe; idempotent."""
+        """Spin up the workers (threads or fleet) and the probe; idempotent."""
         if self._started:
             return
         self._started = True
         self._probe.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
+            return
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker, name=f"repro-service-worker-{index}", daemon=True
@@ -128,22 +162,72 @@ class MappingService:
             self._threads.append(thread)
 
     def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
-        """Close the queue, (optionally) join the workers, flush the logs."""
+        """Drain the workers, flush the journals, release the fleet.
+
+        Fleet mode drains: leased jobs get up to the configured
+        ``drain_timeout`` to finish, the rest are re-queued (without
+        charging their retry budget) for the next daemon on this ledger.
+        """
         self.queue.close()
         self._probe.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop(wait=wait)
         if wait:
             for thread in self._threads:
                 thread.join(timeout=timeout)
+        if self.ledger is not None:
+            self.ledger.close()
         for writer in (self._journal, self._job_log):
             if writer is not None:
                 writer.close()
 
     # ------------------------------------------------------------------
+    def _queue_depth(self) -> int:
+        """Jobs owed work (fleet: ledger pending+leased; else the queue)."""
+        if self.ledger is not None:
+            return self.ledger.depth()
+        return len(self.queue)
+
+    def _retry_after_hint(self, depth: int) -> float:
+        """Seconds a 429'd client should wait before resubmitting.
+
+        The honest estimate — p50 job duration times the backlog per
+        worker — clamped to something a client can reasonably sleep.
+        """
+        histogram = self.metrics.snapshot()["latency"].get("job_duration")
+        p50 = histogram["p50"] if histogram and histogram["count"] else 0.0
+        lanes = max(1, self.fleet or self.workers)
+        hint = p50 * math.ceil(depth / lanes) if p50 > 0 else 5.0
+        return max(1.0, min(120.0, hint))
+
     def submit(self, spec: JobSpec) -> ServiceJob:
-        """Register and enqueue one parsed submission."""
+        """Register and enqueue one parsed submission.
+
+        Raises :class:`~repro.batch.queue.QueueFull` (with a
+        ``retry_after`` hint) when the bounded queue depth is reached —
+        the HTTP front turns that into 429 + ``Retry-After`` instead of
+        accepting unbounded backlog.
+        """
+        if self.max_queue_depth is not None:
+            depth = self._queue_depth()
+            if depth >= self.max_queue_depth:
+                self.metrics.inc("backpressure_rejections")
+                raise QueueFull(
+                    f"queue depth {depth} is at the limit "
+                    f"({self.max_queue_depth}); retry later",
+                    retry_after=self._retry_after_hint(depth),
+                )
         job = self.registry.create(spec)
+        if self.ledger is not None:
+            self.ledger.enqueue(job.id, spec.payload())
+            return job
         try:
             self.queue.push(job, token=job.token)
+        except QueueFull as exc:  # a concurrent submit won the last slot
+            self.metrics.inc("backpressure_rejections")
+            self.registry.finish(job, JOB_ERROR, error="queue full")
+            exc.retry_after = self._retry_after_hint(len(self.queue))
+            raise
         except RuntimeError:  # shutdown raced the submission
             self.registry.finish(job, JOB_ERROR, error="service is shutting down")
         return job
@@ -155,16 +239,22 @@ class MappingService:
         """The ``/healthz`` body: liveness plus shared-state counters."""
         cache = self.explorer.cache
         store = self.explorer.store
-        return {
+        body = {
             "status": "ok",
             "format": WIRE_FORMAT,
-            "workers": self.workers,
-            "queued": len(self.queue),
+            "workers": self.fleet or self.workers,
+            "queued": self._queue_depth(),
             "jobs": self.registry.counts(),
             "cache": cache.stats.snapshot() if cache is not None else None,
             "store_entries": len(store),
             "store_path": str(store.path) if store.path is not None else None,
         }
+        if self.max_queue_depth is not None:
+            body["max_queue_depth"] = self.max_queue_depth
+        if self.supervisor is not None and self.ledger is not None:
+            body["fleet"] = self.supervisor.snapshot()
+            body["ledger"] = self.ledger.counts()
+        return body
 
     def metrics_payload(self) -> dict:
         """The ``GET /metrics`` body.
@@ -183,16 +273,18 @@ class MappingService:
         snapshot = self.metrics.snapshot()
         counters = snapshot["counters"]
         gauges = snapshot["gauges"]
-        return {
+        body = {
             "status": "ok",
             "uptime": snapshot["uptime"],
-            "workers": self.workers,
-            "queue_depth": len(self.queue),
+            "workers": self.fleet or self.workers,
+            "queue_depth": self._queue_depth(),
+            "backpressure_rejections": counters.get("backpressure_rejections", 0),
             "solves_in_flight": gauges.get("solves_in_flight", 0),
             "jobs": {
                 "by_state": self.registry.counts(),
                 "submitted": counters.get("jobs_submitted", 0),
                 "started": counters.get("jobs_started", 0),
+                "requeued": counters.get("jobs_requeued", 0),
                 "finished": {
                     "total": counters.get("jobs_finished", 0),
                     "done": counters.get("jobs_done", 0),
@@ -220,6 +312,10 @@ class MappingService:
             "store_entries": len(self.explorer.store),
             "latency": snapshot["latency"],
         }
+        if self.supervisor is not None and self.ledger is not None:
+            body["fleet"] = self.supervisor.snapshot()
+            body["ledger"] = self.ledger.counts()
+        return body
 
     # ------------------------------------------------------------------
     def _worker(self) -> None:
@@ -282,6 +378,456 @@ class MappingService:
 
 
 # ----------------------------------------------------------------------
+class _WorkerHandle:
+    """The supervisor's view of one worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.name = f"worker-{index}"
+        self.process = None
+        self.task_queue = None
+        self.cancel_event = None
+        self.pid: int | None = None
+        self.ready = False
+        self.job: str | None = None  # currently dispatched job id
+        self.dispatched_at: float | None = None
+        self.restarts = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "pid": self.pid,
+            "alive": self.alive,
+            "ready": self.ready,
+            "job": self.job,
+            "restarts": self.restarts,
+        }
+
+
+class Supervisor:
+    """Spawns, feeds and resurrects the fleet's worker processes.
+
+    One background thread runs the whole control loop: drain worker
+    messages, reap dead processes (respawning them), expire silent
+    leases, propagate cancellations, dispatch claimable ledger jobs to
+    idle workers.  Workers are spawned (never forked — the daemon
+    carries journal/probe/handler threads) and own crash-safe state
+    only, so ``kill -9`` on any of them costs one lease TTL, not data.
+
+    Result-cache merging: each worker publishes finished payloads into
+    its own ``worker-<i>`` shard of the cache directory; the supervisor
+    copies new fingerprints into a ``merged`` shard after each result
+    and primes new workers' shards from it, so a mapping solved by one
+    worker is a disk hit for every later one.
+    """
+
+    #: Control-loop tick; also the message-drain poll timeout.
+    POLL_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        service: MappingService,
+        fleet: int,
+        config: FleetConfig,
+        ledger: JobLedger,
+    ) -> None:
+        if fleet < 1:
+            raise ValueError("fleet must be >= 1")
+        self.service = service
+        self.config = config
+        self.ledger = ledger
+        self._ctx = multiprocessing.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        self._handles = [_WorkerHandle(index) for index in range(fleet)]
+        self._lock = threading.RLock()
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def merged_cache_dir(self) -> Path | None:
+        if self.config.cache_dir is None:
+            return None
+        return Path(self.config.cache_dir) / "merged"
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._reconcile()
+        for handle in self._handles:
+            self._spawn(handle)
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-fleet-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Drain, then shut the fleet down.
+
+        Busy workers get up to ``drain_timeout`` to finish their leased
+        job; whatever is still running is re-queued without charging its
+        retry budget — the next daemon on this ledger re-runs it.
+        """
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        with self._lock:
+            self._draining = True
+        if wait:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not any(handle.job for handle in self._handles):
+                        break
+                time.sleep(self.POLL_INTERVAL)
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        with self._lock:
+            for handle in self._handles:
+                if handle.job is not None:
+                    # The drain timed out on this one: hand the job back.
+                    self.ledger.requeue_for_restart(handle.job, "shutdown")
+                    job = self.service.registry.get(handle.job)
+                    if job is not None:
+                        self.service.registry.requeue(job, "shutdown")
+                    handle.job = None
+                if handle.task_queue is not None:
+                    try:
+                        handle.task_queue.put(None)  # quit sentinel
+                    except (OSError, ValueError):
+                        pass
+            for handle in self._handles:
+                process = handle.process
+                if process is None:
+                    continue
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=2.0)
+                self._merge_cache(handle.index)
+
+    # -- startup reconcile ---------------------------------------------
+    def _reconcile(self) -> None:
+        """Make the ledger and the registry agree before dispatching.
+
+        The two journals replay independently; after a crash either can
+        know jobs the other lost.  Ledger-only jobs are adopted into the
+        registry (so their ids answer over HTTP); registry-only queued
+        jobs are enqueued into the ledger (so they actually run);
+        registry-terminal jobs close their ledger record.
+        """
+        registry = self.service.registry
+        for lease in self.ledger.jobs():
+            if lease.terminal:
+                continue
+            job = registry.get(lease.id)
+            if job is None:
+                try:
+                    registry.adopt(lease.id, parse_job(lease.spec))
+                except WireError:
+                    # Unreplayable spec (schema drift): close it out
+                    # rather than dispatching garbage forever.
+                    self.ledger.finish(lease.id, "dropped: unparseable spec")
+            elif job.finished:
+                self.ledger.finish(lease.id, job.status)
+        for job in registry.jobs():
+            if not job.finished and self.ledger.get(job.id) is None:
+                self.ledger.enqueue(job.id, job.spec.payload())
+
+    # -- worker processes ----------------------------------------------
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        # Fresh queue + event per incarnation: a SIGKILLed worker can
+        # leave its old queue's pipe in an unusable state.
+        handle.task_queue = self._ctx.Queue()
+        handle.cancel_event = self._ctx.Event()
+        handle.ready = False
+        handle.job = None
+        self._prime_cache(handle.index)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                handle.index,
+                self.config,
+                handle.task_queue,
+                self._result_queue,
+                handle.cancel_event,
+            ),
+            name=f"repro-fleet-{handle.name}",
+            daemon=True,
+        )
+        process.start()
+        handle.process = process
+        handle.pid = process.pid
+
+    def _handle_named(self, worker: str | None) -> _WorkerHandle | None:
+        for handle in self._handles:
+            if handle.name == worker:
+                return handle
+        return None
+
+    # -- control loop --------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            self._drain_messages()
+            with self._lock:
+                self._reap_dead()
+                self._expire_leases()
+                self._propagate_cancels()
+                self._dispatch()
+        self._drain_messages()  # a last sweep so results beat shutdown
+
+    def _drain_messages(self) -> None:
+        block = True
+        while True:
+            try:
+                message = self._result_queue.get(
+                    timeout=self.POLL_INTERVAL if block else 0.0
+                )
+            except queue_module.Empty:
+                return
+            except (EOFError, OSError):  # queue torn down mid-shutdown
+                return
+            block = False
+            try:
+                self._handle_message(message)
+            except Exception:
+                # A corrupt message (a worker SIGKILLed mid-put) must
+                # not kill the control loop; the lease machinery will
+                # recover the job.
+                self.service.metrics.inc("fleet_bad_messages")
+
+    def _handle_message(self, message: dict) -> None:
+        kind = message.get("type")
+        worker = message.get("worker")
+        job_id = message.get("job")
+        with self._lock:
+            handle = self._handle_named(worker)
+            if kind == "ready":
+                if handle is not None:
+                    handle.ready = True
+                    handle.pid = message.get("pid", handle.pid)
+                return
+            if kind == "heartbeat":
+                self.ledger.heartbeat(job_id)
+                return
+            if kind == "started":
+                job = self.service.registry.get(job_id)
+                if job is not None and not self.service.registry.start(job):
+                    # A cancel won the race: tell the worker to bail at
+                    # the next solve boundary.
+                    if handle is not None and handle.cancel_event is not None:
+                        handle.cancel_event.set()
+                return
+            if kind == "result":
+                self._finish_job(
+                    handle,
+                    job_id,
+                    message.get("results") or [],
+                    bool(message.get("cancelled")),
+                )
+                return
+            if kind == "failed":
+                if handle is not None and handle.job == job_id:
+                    self._observe_duration(handle)
+                    handle.job = None
+                self._attempt_failed(job_id, str(message.get("error")))
+                return
+            self.service.metrics.inc("fleet_bad_messages")
+
+    def _observe_duration(self, handle: _WorkerHandle) -> None:
+        if handle.dispatched_at is not None:
+            self.service.metrics.observe(
+                "job_duration", time.monotonic() - handle.dispatched_at
+            )
+            handle.dispatched_at = None
+
+    def _finish_job(
+        self,
+        handle: _WorkerHandle | None,
+        job_id: str,
+        results: list[dict],
+        worker_cancelled: bool,
+    ) -> None:
+        registry = self.service.registry
+        if handle is not None and handle.job == job_id:
+            self._observe_duration(handle)
+            handle.job = None
+            self._merge_cache(handle.index)
+        job = registry.get(job_id)
+        if job is None:  # evicted mid-flight; the answer is in the store
+            self.ledger.finish(job_id, JOB_DONE)
+            return
+        if job.finished:  # a cancel landed while the result was in transit
+            self.ledger.finish(job_id, job.status)
+            return
+        for result in results:
+            registry.add_result(job, result)
+        if worker_cancelled or job.token.cancelled:
+            registry.finish(job, JOB_CANCELLED)
+            self.ledger.finish(job_id, JOB_CANCELLED)
+            return
+        failed = [r for r in results if r.get("status") != "ok"]
+        if failed:
+            # Deterministic per-scenario failures (construction errors,
+            # infeasible instances) are answers, not crashes: finishing
+            # mirrors single-process mode instead of burning retries.
+            registry.finish(job, JOB_ERROR, error=f"{len(failed)} scenario(s) failed")
+            self.ledger.finish(job_id, JOB_ERROR)
+        else:
+            registry.finish(job, JOB_DONE)
+            self.ledger.finish(job_id, JOB_DONE)
+
+    def _attempt_failed(self, job_id: str, error: str) -> None:
+        state = self.ledger.fail_attempt(job_id, error)
+        job = self.service.registry.get(job_id)
+        if state == LEASE_DEAD_LETTER:
+            lease = self.ledger.get(job_id)
+            attempts = lease.attempts if lease is not None else 0
+            if job is not None:
+                self.service.registry.finish(
+                    job,
+                    JOB_ERROR,
+                    error=f"dead-letter after {attempts} attempt(s): {error}",
+                )
+        elif state == LEASE_PENDING and job is not None:
+            self.service.registry.requeue(job, reason=error)
+
+    def _reap_dead(self) -> None:
+        for handle in self._handles:
+            process = handle.process
+            if process is None or process.is_alive():
+                continue
+            exitcode = process.exitcode
+            handle.process = None
+            handle.ready = False
+            job_id, handle.job = handle.job, None
+            self._merge_cache(handle.index)  # salvage finished payloads
+            if job_id is not None:
+                self._observe_duration(handle)
+                self._attempt_failed(
+                    job_id, f"worker died mid-job (exit {exitcode})"
+                )
+            if not self._draining and not self._stop_event.is_set():
+                handle.restarts += 1
+                self.service.metrics.inc("worker_restarts")
+                self._spawn(handle)
+
+    def _expire_leases(self) -> None:
+        for lease in self.ledger.expired():
+            holder = None
+            for handle in self._handles:
+                if handle.job == lease.id:
+                    holder = handle
+                    break
+            if holder is not None:
+                # Alive but silent: hung solver, stuck disk, whatever —
+                # the lease is the contract, so the worker is killed and
+                # respawned by the next reap pass.
+                holder.job = None
+                if holder.process is not None and holder.process.is_alive():
+                    holder.process.terminate()
+            self._attempt_failed(lease.id, "lease expired (missed heartbeats)")
+
+    def _propagate_cancels(self) -> None:
+        for handle in self._handles:
+            if handle.job is None or handle.cancel_event is None:
+                continue
+            job = self.service.registry.get(handle.job)
+            if (
+                job is not None
+                and job.token.cancelled
+                and not handle.cancel_event.is_set()
+            ):
+                handle.cancel_event.set()
+
+    def _dispatch(self) -> None:
+        if self._draining:
+            return
+        registry = self.service.registry
+        for handle in self._handles:
+            if not (handle.ready and handle.alive and handle.job is None):
+                continue
+            while True:
+                lease = self.ledger.claim(handle.name)
+                if lease is None:
+                    return
+                job = registry.get(lease.id)
+                if job is None:
+                    try:
+                        job = registry.adopt(lease.id, parse_job(lease.spec))
+                    except WireError:
+                        self.ledger.finish(lease.id, "dropped: unparseable spec")
+                        continue
+                if job.finished:  # cancelled while pending
+                    self.ledger.finish(lease.id, job.status)
+                    continue
+                break
+            handle.cancel_event.clear()
+            handle.job = lease.id
+            handle.dispatched_at = time.monotonic()
+            self.service.metrics.observe(
+                "queue_wait", max(0.0, time.time() - job.submitted_at)
+            )
+            try:
+                handle.task_queue.put({"job": lease.id, "spec": lease.spec})
+            except (OSError, ValueError):
+                # The worker's pipe is broken (it just died); the reap
+                # pass will fail the attempt and respawn.
+                pass
+
+    # -- result-cache merging ------------------------------------------
+    def _prime_cache(self, worker_id: int) -> None:
+        merged = self.merged_cache_dir
+        worker_dir = self.config.worker_cache_dir(worker_id)
+        if merged is None or worker_dir is None or not merged.exists():
+            return
+        self._copy_new_entries(merged, Path(worker_dir))
+
+    def _merge_cache(self, worker_id: int) -> None:
+        merged = self.merged_cache_dir
+        worker_dir = self.config.worker_cache_dir(worker_id)
+        if merged is None or worker_dir is None:
+            return
+        source = Path(worker_dir)
+        if source.exists():
+            self._copy_new_entries(source, merged)
+
+    @staticmethod
+    def _copy_new_entries(source: Path, target: Path) -> None:
+        target.mkdir(parents=True, exist_ok=True)
+        for entry in source.glob("*.json"):
+            destination = target / entry.name
+            if destination.exists():
+                continue  # fingerprints are content-addressed: same answer
+            tmp = destination.with_suffix(".json.tmp")
+            try:
+                tmp.write_bytes(entry.read_bytes())
+                tmp.replace(destination)  # atomic publish, like the cache
+            except OSError:
+                continue
+
+    # -- inspection ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/healthz``/``/metrics`` fleet section."""
+        with self._lock:
+            return {
+                "size": len(self._handles),
+                "draining": self._draining,
+                "workers": [handle.snapshot() for handle in self._handles],
+                "worker_restarts": sum(h.restarts for h in self._handles),
+            }
+
+
+# ----------------------------------------------------------------------
 class ServiceHTTPServer(ThreadingHTTPServer):
     """Threading HTTP server bound to one :class:`MappingService`."""
 
@@ -322,11 +868,15 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     # -- plumbing ------------------------------------------------------
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -413,7 +963,18 @@ class _Handler(BaseHTTPRequestHandler):
             except WireError as exc:
                 self._send_error_json(400, str(exc))
                 return
-            job = self.service.submit(spec)
+            try:
+                job = self.service.submit(spec)
+            except QueueFull as exc:
+                # Backpressure, not failure: the client is told exactly
+                # when the backlog should have room again.
+                retry_after = max(1, math.ceil(exc.retry_after or 1.0))
+                self._send_json(
+                    {"error": str(exc), "retry_after": retry_after},
+                    status=429,
+                    headers={"Retry-After": str(retry_after)},
+                )
+                return
             self._send_json({**job.summary(), "stream": f"/jobs/{job.id}/stream"}, 202)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
             job = self.service.cancel(parts[1])

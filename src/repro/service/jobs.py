@@ -117,6 +117,7 @@ class JobRegistry:
         max_finished: int = 512,
         journal: JsonlWriter | None = None,
         observers: tuple[EventObserver, ...] = (),
+        fail_unfinished: bool = True,
     ) -> None:
         if max_finished < 1:
             raise ValueError("max_finished must be >= 1")
@@ -126,6 +127,11 @@ class JobRegistry:
         self._max_finished = max_finished
         self._observers = tuple(observers)
         self._replay_skipped = 0
+        # Whether jobs the old process left unfinished replay as terminal
+        # errors (single-process mode: the queue died with the process)
+        # or as re-runnable queued jobs (fleet mode: the ledger still
+        # owes them work and will re-dispatch them).
+        self._fail_unfinished = fail_unfinished
         self.journal = journal
         if journal is not None:
             self._replay(journal.path)
@@ -190,6 +196,46 @@ class JobRegistry:
                 event["error"] = error
             self._append_event(job, event)
             self._evict_finished()
+
+    def requeue(self, job: ServiceJob, reason: str) -> None:
+        """Send a job back to ``queued`` after a failed fleet attempt.
+
+        Not a terminal transition: streams stay open (they see the
+        ``requeued`` event) and the job will run again when the ledger
+        re-dispatches it.  No-op once the job is terminal — a cancel that
+        raced the failure wins.
+        """
+        with self._cond:
+            if job.finished:
+                return
+            job.status = JOB_QUEUED
+            # The retry starts from scratch: partial results of the dead
+            # attempt would double up against the re-run's.
+            job.results = []
+            job.started_at = None
+            self._append_event(job, {"event": "requeued", "reason": reason})
+
+    def adopt(self, job_id: str, spec: JobSpec) -> ServiceJob:
+        """Register a queued job under an *existing* id (ledger reconcile).
+
+        Used when the execution ledger knows a job the registry journal
+        lost (evicted, or the journals were split): the client-facing
+        view is rebuilt so ``GET /jobs/<id>`` answers again.  Idempotent
+        for known ids.
+        """
+        with self._cond:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return existing
+            job = ServiceJob(id=job_id, spec=spec)
+            self._jobs[job_id] = job
+            # Journaled (so the next replay knows the job) but not
+            # observed: the submission belongs to a previous process's
+            # counters, like replayed jobs do.
+            self._append_event(
+                job, {"event": JOB_QUEUED, "id": job_id}, notify_observers=False
+            )
+            return job
 
     def cancel(self, job_id: str) -> ServiceJob | None:
         """Flag a job for cancellation; queued jobs terminate right away.
@@ -303,6 +349,10 @@ class JobRegistry:
             if event == JOB_RUNNING:
                 job.status = JOB_RUNNING
                 job.started_at = ts
+            elif event == "requeued":
+                job.status = JOB_QUEUED
+                job.results = []
+                job.started_at = None
             elif event == "result":
                 job.results.append(
                     {k: v for k, v in entry.items() if k not in ("ts", "event")}
@@ -318,6 +368,21 @@ class JobRegistry:
             self._counter = itertools.count(max_counter + 1)
             for job in replayed.values():
                 if job.finished:
+                    continue
+                if not self._fail_unfinished:
+                    # Fleet mode: the execution ledger still owes these
+                    # jobs work and will re-dispatch them — replay them
+                    # as re-runnable, not as losses.
+                    if job.status == JOB_QUEUED and not job.results:
+                        continue
+                    job.status = JOB_QUEUED
+                    job.results = []
+                    job.started_at = None
+                    self._append_event(
+                        job,
+                        {"event": "requeued", "reason": RESTART_ERROR},
+                        notify_observers=False,
+                    )
                     continue
                 # Accepted by the old process, never finished: the queue
                 # item died with that process, so the honest answer is a

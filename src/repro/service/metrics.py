@@ -139,6 +139,8 @@ class ServiceMetrics:
             self.inc(f"scenarios_{'ok' if status == 'ok' else 'error'}")
             if record.get("cached"):
                 self.inc("scenarios_cached")
+        elif event == "requeued":
+            self.inc("jobs_requeued")
         elif event in ("done", "error", "cancelled"):
             self.inc("jobs_finished")
             self.inc(f"jobs_{event}")

@@ -1,0 +1,212 @@
+"""The fleet's worker process: one solver loop behind a task queue.
+
+Each worker is a separate OS process spawned by the supervisor (spawn
+context, never fork — the daemon carries journal/probe/handler threads
+that fork would duplicate mid-lock).  A worker owns its *own*
+:class:`~repro.dse.explorer.Explorer` stack — its own handle on the
+shared sharded :class:`~repro.dse.store.RunStore`, its own
+:class:`~repro.batch.cache.ResultCache` shard directory — so SIGKILLing
+it can never corrupt the supervisor's state: the store's per-shard
+flock'd appends are crash-safe, the cache publishes entries atomically,
+and everything else dies with the process.
+
+Protocol, all over multiprocessing queues (tasks in, messages out)::
+
+    supervisor -> worker : {"job": id, "spec": wire payload} | None (quit)
+    worker -> supervisor : {"type": "ready", ...}
+                           {"type": "started", "job": ...}
+                           {"type": "heartbeat", "job": ...}   every few s
+                           {"type": "result", "job", "results", "cancelled"}
+                           {"type": "failed", "job", "error"}
+
+Heartbeats come from a side thread so a long ILP solve still renews the
+job's lease; if the *process* dies, the heartbeats stop, the lease
+expires, and the supervisor re-queues the job — that is the whole
+crash-tolerance story, no worker-side cleanup required.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import threading
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..batch.cache import ResultCache
+from ..batch.engine import BatchMapper
+from ..dse.store import TIER_GREEDY, RunStore
+from .wire import WireError, parse_job, result_payload
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a worker needs to build its solver stack (picklable).
+
+    ``mapper_factory`` is a ``"/path/to/file.py:function"`` reference
+    resolved inside the worker process — spawn cannot pickle closures,
+    and test helpers (fault injection) live outside the import path.
+    The factory is called with ``dict(mapper_kwargs)`` and must return a
+    BatchMapper-compatible object.
+    """
+
+    store_path: str | None = None
+    store_shards: int = 8
+    cache_dir: str | None = None
+    solver_jobs: int = 1
+    portfolio: bool = False
+    time_limit: float | None = 10.0
+    lease_ttl: float = 15.0
+    heartbeat_interval: float = 3.0
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    drain_timeout: float = 20.0
+    mapper_factory: str | None = None
+    mapper_kwargs: tuple = field(default_factory=tuple)
+
+    def worker_cache_dir(self, worker_id: int) -> str | None:
+        """The per-worker result-cache shard (merged by the supervisor)."""
+        if self.cache_dir is None:
+            return None
+        return str(Path(self.cache_dir) / f"worker-{worker_id}")
+
+    def build_mapper(self, worker_id: int):
+        """The worker's private engine (factory-injected in chaos tests)."""
+        cache_dir = self.worker_cache_dir(worker_id)
+        cache = ResultCache(path=cache_dir) if cache_dir is not None else None
+        if self.mapper_factory is not None:
+            factory = _load_factory(self.mapper_factory)
+            return factory(cache=cache, **dict(self.mapper_kwargs))
+        return BatchMapper(
+            jobs=self.solver_jobs, portfolio=self.portfolio, cache=cache
+        )
+
+    def build_store(self) -> RunStore:
+        if self.store_path is None:
+            return RunStore()
+        path = Path(self.store_path)
+        if path.is_dir():
+            return RunStore(path)  # manifest knows the shard count
+        return RunStore(path, shards=self.store_shards)
+
+
+def _load_factory(reference: str):
+    """Resolve ``"/path/to/file.py:function"`` in this process.
+
+    File-path based (not module-path) because chaos helpers live under
+    ``tests/``, which is not an importable package in a spawned child.
+    """
+    path, _, name = reference.partition(":")
+    if not name:
+        raise ValueError(
+            f"mapper_factory must look like 'file.py:function', got {reference!r}"
+        )
+    spec = importlib.util.spec_from_file_location("repro_fleet_factory", path)
+    if spec is None or spec.loader is None:
+        raise ValueError(f"cannot load mapper factory from {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, name)
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one job's lease while the worker thread is deep in a solve."""
+
+    def __init__(self, emit, interval: float) -> None:
+        super().__init__(name="repro-worker-heartbeat", daemon=True)
+        self._emit = emit
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(timeout=self._interval):
+            self._emit()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def worker_main(
+    worker_id: int,
+    config: FleetConfig,
+    task_queue,
+    result_queue,
+    cancel_event,
+) -> None:
+    """A worker process's entire life (also unit-testable in-process).
+
+    ``task_queue``/``result_queue`` are multiprocessing queues (plain
+    ``queue.Queue`` works for in-process tests); ``cancel_event`` is a
+    shared event the supervisor sets to abort the *current* job at the
+    next solve boundary.
+    """
+    # Lazy construction, inside the child: the solver stack is neither
+    # picklable nor fork-safe, so it must be born here.
+    from ..dse.explorer import Explorer
+
+    store = config.build_store()
+    mapper = config.build_mapper(worker_id)
+    explorer = Explorer(store=store, mapper=mapper, time_limit=config.time_limit)
+    name = f"worker-{worker_id}"
+    result_queue.put({"type": "ready", "worker": name, "pid": os.getpid()})
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                return
+            job_id = task["job"]
+            result_queue.put({"type": "started", "job": job_id, "worker": name})
+            heartbeat = _Heartbeat(
+                lambda: result_queue.put(
+                    {"type": "heartbeat", "job": job_id, "worker": name}
+                ),
+                config.heartbeat_interval,
+            )
+            heartbeat.start()
+            try:
+                spec = parse_job(task["spec"])
+                # Siblings may have finished scenarios since this store
+                # handle last looked; the reload keeps repeats zero-solve.
+                store.reload()
+                if spec.tier == TIER_GREEDY:
+                    results = explorer.evaluate_greedy(list(spec.scenarios))
+                else:
+                    results = explorer.evaluate_ilp(
+                        list(spec.scenarios),
+                        time_limit=spec.time_limit,
+                        should_cancel=cancel_event.is_set,
+                    )
+                result_queue.put(
+                    {
+                        "type": "result",
+                        "job": job_id,
+                        "worker": name,
+                        "results": [result_payload(result) for result in results],
+                        "cancelled": bool(cancel_event.is_set()),
+                    }
+                )
+            except (WireError, KeyError, TypeError) as exc:
+                result_queue.put(
+                    {
+                        "type": "failed",
+                        "job": job_id,
+                        "worker": name,
+                        "error": f"unrunnable task: {exc}",
+                    }
+                )
+            except Exception as exc:
+                result_queue.put(
+                    {
+                        "type": "failed",
+                        "job": job_id,
+                        "worker": name,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(limit=8),
+                    }
+                )
+            finally:
+                heartbeat.stop()
+    finally:
+        store.close()

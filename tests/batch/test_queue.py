@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.batch.engine import BatchMapper
-from repro.batch.queue import CancelToken, JobQueue
+from repro.batch.queue import CancelToken, JobQueue, QueueFull
 
 pytestmark = pytest.mark.batch
 
@@ -109,6 +109,42 @@ class TestJobQueue:
         # the pop would outlive the pusher. With a real deadline it
         # returns close to the requested timeout.
         assert 0.4 <= elapsed < 3.0
+
+
+class TestBoundedDepth:
+    def test_push_beyond_maxsize_raises_queue_full(self):
+        queue = JobQueue(maxsize=2)
+        queue.push("a")
+        queue.push("b")
+        with pytest.raises(QueueFull, match="bounded depth"):
+            queue.push("c")
+
+    def test_cancelled_items_free_their_slot(self):
+        queue = JobQueue(maxsize=1)
+        token = queue.push("a")
+        token.cancel()
+        queue.push("b")  # the cancelled straggler no longer counts
+
+    def test_pop_reopens_capacity(self):
+        queue = JobQueue(maxsize=1)
+        queue.push("a")
+        assert queue.pop(timeout=0)[0] == "a"
+        queue.push("b")
+
+    def test_unbounded_by_default(self):
+        queue = JobQueue()
+        for index in range(1000):
+            queue.push(index)
+        assert len(queue) == 1000
+
+    def test_maxsize_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(maxsize=0)
+
+    def test_queue_full_carries_retry_after(self):
+        error = QueueFull("full", retry_after=4.5)
+        assert error.retry_after == 4.5
+        assert QueueFull().retry_after is None
 
 
 class TestMapAllCancellationHook:

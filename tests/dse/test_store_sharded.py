@@ -1,0 +1,243 @@
+"""Sharded RunStore layout: routing, index-accelerated resume, migration.
+
+The sharded layout must honor the exact store contract the single-file
+tests pin down (last-per-key wins, torn-tail tolerance, concurrent
+writers), while adding per-shard locking and an index sidecar that makes
+resume O(unique keys) instead of O(append history).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro.dse.store import (
+    MANIFEST_NAME,
+    TIER_GREEDY,
+    TIER_ILP,
+    RunEntry,
+    RunStore,
+)
+
+pytestmark = pytest.mark.dse
+
+OBJECTIVES = {"area": 1.0, "energy": 2.0, "latency": 3.0}
+
+
+def _entry(fingerprint: str, **kwargs) -> RunEntry:
+    return RunEntry(
+        fingerprint=fingerprint,
+        tier=kwargs.pop("tier", TIER_ILP),
+        scenario={"kind": "scenario"},
+        status=kwargs.pop("status", "ok"),
+        objectives=kwargs.pop("objectives", dict(OBJECTIVES)),
+        **kwargs,
+    )
+
+
+def _hex_fp(i: int) -> str:
+    return f"{i:08x}deadbeef"
+
+
+class TestShardedLayout:
+    def test_creates_manifest_and_routes_by_prefix(self, tmp_path):
+        root = tmp_path / "runs"
+        store = RunStore(root, shards=4)
+        assert store.shards == 4
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest == {"format": 1, "shards": 4}
+        for i in range(16):
+            store.record(_entry(_hex_fp(i)))
+        store.close()
+        # Every hex fingerprint landed on the shard its prefix names.
+        for i in range(16):
+            shard = i % 4  # int("0000000i", 16) % 4
+            data = (root / f"shard-{shard:03d}.jsonl").read_text()
+            assert _hex_fp(i) in data
+
+    def test_non_hex_fingerprints_route_stably(self, tmp_path):
+        store = RunStore(tmp_path / "runs", shards=3)
+        store.record(_entry("invalid-construction-error"))
+        store.close()
+        loaded = RunStore(tmp_path / "runs")
+        assert loaded.get("invalid-construction-error") is not None
+
+    def test_reopen_autodetects_shard_count_from_manifest(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=5) as store:
+            store.record(_entry(_hex_fp(1)))
+        # No shards= argument, and a *wrong* one: manifest wins both times.
+        assert RunStore(root).shards == 5
+        assert RunStore(root, shards=2).shards == 5
+
+    def test_directory_without_manifest_is_rejected(self, tmp_path):
+        (tmp_path / "notastore").mkdir()
+        with pytest.raises(ValueError, match="MANIFEST"):
+            RunStore(tmp_path / "notastore")
+
+    def test_last_write_per_key_wins_across_reopen(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=2) as store:
+            store.record(_entry(_hex_fp(1), tier=TIER_GREEDY))
+            store.record(_entry(_hex_fp(1), meta={"round": 1}))
+            store.record(_entry(_hex_fp(1), meta={"round": 2}))
+        loaded = RunStore(root)
+        assert loaded.get(_hex_fp(1)).meta == {"round": 2}
+        assert loaded.get(_hex_fp(1), TIER_GREEDY) is not None
+        assert len(loaded) == 2  # (fp, ilp) and (fp, greedy)
+
+
+class TestIndexSidecar:
+    def test_index_lines_match_data_offsets(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=1) as store:
+            for i in range(5):
+                store.record(_entry(_hex_fp(i)))
+        data = (root / "shard-000.jsonl").read_bytes()
+        for line in (root / "shard-000.idx").read_text().splitlines():
+            record = json.loads(line)
+            sliced = data[record["o"] : record["o"] + record["l"]]
+            assert json.loads(sliced)["fingerprint"] == record["f"]
+
+    def test_resume_without_index_falls_back_to_full_scan(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=1) as store:
+            for i in range(4):
+                store.record(_entry(_hex_fp(i)))
+        (root / "shard-000.idx").unlink()
+        loaded = RunStore(root)
+        assert len(loaded) == 4
+
+    def test_tail_beyond_index_is_scanned(self, tmp_path):
+        """Data appended by an indexless writer still loads on resume."""
+        root = tmp_path / "runs"
+        with RunStore(root, shards=1) as store:
+            store.record(_entry(_hex_fp(1)))
+        extra = _entry(_hex_fp(2)).to_json()
+        with (root / "shard-000.jsonl").open("a") as fh:
+            fh.write(json.dumps(extra) + "\n")
+        loaded = RunStore(root)
+        assert loaded.get(_hex_fp(1)) is not None
+        assert loaded.get(_hex_fp(2)) is not None
+
+    def test_lying_index_triggers_full_scan(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=1) as store:
+            store.record(_entry(_hex_fp(1)))
+            store.record(_entry(_hex_fp(2)))
+        idx = root / "shard-000.idx"
+        lines = idx.read_text().splitlines()
+        first = json.loads(lines[0])
+        first["f"] = "someone-else"  # offset now disagrees with the key
+        idx.write_text(json.dumps(first) + "\n" + lines[1] + "\n")
+        loaded = RunStore(root)
+        assert loaded.get(_hex_fp(1)) is not None
+        assert loaded.get(_hex_fp(2)) is not None
+
+    def test_index_past_end_of_data_triggers_full_scan(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=1) as store:
+            store.record(_entry(_hex_fp(1)))
+        with (root / "shard-000.idx").open("a") as fh:
+            fh.write(json.dumps({"f": "x", "t": "ilp", "o": 10_000, "l": 5}) + "\n")
+        loaded = RunStore(root)
+        assert loaded.get(_hex_fp(1)) is not None
+
+    def test_torn_index_tail_is_tolerated(self, tmp_path):
+        root = tmp_path / "runs"
+        with RunStore(root, shards=1) as store:
+            store.record(_entry(_hex_fp(1)))
+            store.record(_entry(_hex_fp(2)))
+        with (root / "shard-000.idx").open("ab") as fh:
+            fh.write(b'{"f": "torn')
+        loaded = RunStore(root)
+        assert len(loaded) == 2
+
+    def test_torn_data_tail_is_healed_on_next_append(self, tmp_path):
+        root = tmp_path / "runs"
+        store = RunStore(root, shards=1)
+        store.record(_entry(_hex_fp(1)))
+        with (root / "shard-000.jsonl").open("ab") as fh:
+            fh.write(b'{"format": 1, "fingerprint": "torn-vic')
+        store.record(_entry(_hex_fp(2)))
+        store.close()
+        loaded = RunStore(root)
+        assert loaded.get(_hex_fp(1)) is not None
+        assert loaded.get(_hex_fp(2)) is not None
+
+
+class TestMigration:
+    def test_single_file_migrates_in_place_keeping_backup(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with RunStore(path) as legacy:
+            for i in range(6):
+                legacy.record(_entry(_hex_fp(i)))
+            legacy.record(_entry(_hex_fp(0), meta={"round": 2}))  # superseded
+        migrated = RunStore(path, shards=3)
+        assert migrated.shards == 3
+        assert path.is_dir()
+        assert (path / MANIFEST_NAME).exists()
+        assert len(migrated) == 6  # last-per-key, not append history
+        assert migrated.get(_hex_fp(0)).meta == {"round": 2}
+        backup = tmp_path / "runs.jsonl.pre-shard"
+        assert backup.exists()  # nothing lost
+        migrated.close()
+        # And the migrated store reopens via its manifest.
+        assert len(RunStore(path)) == 6
+
+    def test_migrated_store_resumes_and_accepts_appends(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with RunStore(path) as legacy:
+            legacy.record(_entry(_hex_fp(1)))
+        with RunStore(path, shards=2) as migrated:
+            migrated.record(_entry(_hex_fp(2)))
+        loaded = RunStore(path)
+        assert loaded.get(_hex_fp(1)) is not None
+        assert loaded.get(_hex_fp(2)) is not None
+
+
+def _hammer_sharded(path: str, writer: int, appends: int) -> None:
+    with RunStore(path) as store:
+        for i in range(appends):
+            store.record(
+                _entry(
+                    f"{writer:04x}{i:04x}cafe",
+                    meta={"writer": writer, "pad": "x" * 512},
+                )
+            )
+
+
+class TestConcurrentShardedWriters:
+    def test_parallel_processes_no_torn_lines_any_shard(self, tmp_path):
+        root = tmp_path / "runs"
+        RunStore(root, shards=4).close()
+        writers, appends = 4, 25
+        ctx = mp.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer_sharded, args=(str(root), w, appends))
+            for w in range(writers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        loaded = RunStore(root)
+        assert loaded.skipped_lines == 0
+        assert len(loaded) == writers * appends
+        for shard in root.glob("shard-*.jsonl"):
+            for line in shard.read_text().splitlines():
+                json.loads(line)
+
+    def test_reload_picks_up_sibling_appends(self, tmp_path):
+        root = tmp_path / "runs"
+        mine = RunStore(root, shards=2)
+        mine.record(_entry(_hex_fp(1)))
+        sibling = RunStore(root)
+        sibling.record(_entry(_hex_fp(2)))
+        assert mine.get(_hex_fp(2)) is None
+        assert mine.reload() == 2
+        assert mine.get(_hex_fp(2)) is not None

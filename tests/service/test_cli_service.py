@@ -25,12 +25,55 @@ class TestParser:
         assert args.store is None
         assert not args.portfolio
 
+    def test_serve_fleet_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.fleet == 0
+        assert args.ledger is None
+        assert args.max_queue is None
+        assert args.lease_ttl == 15.0
+        assert args.heartbeat_interval == 3.0
+        assert args.max_attempts == 3
+        assert args.store_shards is None
+        assert args.drain_timeout == 20.0
+
+    def test_serve_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--fleet",
+                "4",
+                "--ledger",
+                "/tmp/ledger.jsonl",
+                "--max-queue",
+                "32",
+                "--lease-ttl",
+                "8",
+                "--heartbeat-interval",
+                "1",
+                "--max-attempts",
+                "5",
+                "--store-shards",
+                "16",
+                "--drain-timeout",
+                "3",
+            ]
+        )
+        assert args.fleet == 4
+        assert args.ledger == "/tmp/ledger.jsonl"
+        assert args.max_queue == 32
+        assert args.lease_ttl == 8.0
+        assert args.heartbeat_interval == 1.0
+        assert args.max_attempts == 5
+        assert args.store_shards == 16
+        assert args.drain_timeout == 3.0
+
     def test_submit_defaults(self):
         args = build_parser().parse_args(["submit"])
         assert args.url == "http://127.0.0.1:8100"
         assert args.tier == "ilp"
         assert args.stages == ["area"]
         assert not args.stream
+        assert args.retries == 0
 
     def test_submit_rejects_unknown_axis_values(self):
         with pytest.raises(SystemExit):
@@ -153,3 +196,28 @@ class TestSubmitEndToEnd:
         )
         assert status == 1
         assert "error" in capsys.readouterr().out
+
+    def test_stream_drop_exits_3(self, live_service, monkeypatch, capsys):
+        """A dropped stream is exit 3 — the job was accepted, only the
+        watch broke — distinct from exit 2 (service/spec errors)."""
+        from repro.service.client import ServiceClient, StreamInterrupted
+
+        def dropped_stream(self, job_id, keepalives=False, timeout=None):
+            raise StreamInterrupted(f"stream of job {job_id} dropped mid-job")
+            yield  # pragma: no cover - makes this a generator
+
+        monkeypatch.setattr(ServiceClient, "stream", dropped_stream)
+        status = main(
+            [
+                "submit",
+                "--url",
+                self._url(live_service),
+                "--tier",
+                "greedy",
+                "--stream",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert status == 3
+        assert "stream interrupted" in err
+        assert "may still finish" in err
