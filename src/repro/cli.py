@@ -262,6 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .batch.cache import ResultCache
     from .dse import Explorer, RunStore
+    from .service.admission import AdmissionController
     from .service.daemon import MappingService, make_server, run_server
     from .service.worker import FleetConfig
 
@@ -291,6 +292,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # A fleet exists to survive heavy traffic; unbounded accept is
         # exactly the failure mode it retires.
         max_queue = 1024
+    admission = AdmissionController(
+        rate=args.rate,
+        burst=args.burst,
+        max_in_flight=args.max_inflight_per_client,
+    )
     service = MappingService(
         explorer,
         workers=args.workers,
@@ -299,6 +305,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fleet=fleet,
         ledger_path=args.ledger if fleet else None,
         max_queue_depth=max_queue,
+        admission=admission,
+        shed_after=args.shed_after,
+        aging_interval=args.aging_interval,
         fleet_config=FleetConfig(
             store_path=args.store,
             store_shards=store_shards or 8,
@@ -375,13 +384,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 formulation=FormulationSpec(stages=tuple(args.stages)),
             )
             payload = JobSpec(
-                scenarios=(scenario,), tier=args.tier, time_limit=args.time_limit
+                scenarios=(scenario,),
+                tier=args.tier,
+                time_limit=args.time_limit,
+                priority=args.priority,
+                deadline_ms=args.deadline_ms,
             ).payload()
+        if args.spec:
+            # Flags win over the spec file's own keys, so one saved spec
+            # can be resubmitted at a different lane/deadline.
+            if args.priority != "normal":
+                payload["priority"] = args.priority
+            if args.deadline_ms is not None:
+                payload["deadline_ms"] = args.deadline_ms
     except (ValueError, OSError) as exc:  # WireError is a ValueError
         print(f"invalid submission: {exc}", file=sys.stderr)
         return 2
 
-    client = ServiceClient(args.url, timeout=args.timeout, max_retries=args.retries)
+    client = ServiceClient(
+        args.url,
+        timeout=args.timeout,
+        max_retries=args.retries,
+        client=args.client,
+    )
     try:
         submitted = client.submit(payload=payload)
         job_id = submitted["id"]
@@ -403,6 +428,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         detail = client.wait(job_id, timeout=args.timeout)
     except ServiceError as exc:
         print(f"service error: {exc}", file=sys.stderr)
+        if exc.status == 429:
+            wait = exc.suggested_wait or exc.retry_after
+            if wait is not None:
+                print(
+                    f"throttled; retry in {max(1, round(wait))}s",
+                    file=sys.stderr,
+                )
         return 2
     if not args.stream:
         for result in detail["results"]:
@@ -671,6 +703,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the run store into N flock'd JSONL "
                             "files (default: 8 with --fleet; single-file "
                             "otherwise); migrates a legacy store in place")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-client submission rate limit "
+                            "(tokens/second; default: unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="per-client token-bucket capacity "
+                            "(default: max(1, 2*rate))")
+    serve.add_argument("--max-inflight-per-client", type=int, default=None,
+                       help="max accepted-but-unfinished jobs per client "
+                            "(default: unlimited)")
+    serve.add_argument("--shed-after", type=float, default=None,
+                       help="shed lowest-priority queued jobs once the "
+                            "oldest has waited this many seconds "
+                            "(default: never shed)")
+    serve.add_argument("--aging-interval", type=float, default=30.0,
+                       help="seconds of queue wait that promote a job one "
+                            "priority class (anti-starvation aging)")
     serve.add_argument("--drain-timeout", type=float, default=20.0,
                        help="fleet: seconds to wait for in-flight jobs "
                             "on shutdown before re-queueing them")
@@ -705,6 +753,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluation tier")
     submit.add_argument("--time-limit", type=float, default=None,
                         help="per-stage solver budget (default: server's)")
+    submit.add_argument("--client", default="anonymous",
+                        help="client identity for the daemon's per-client "
+                             "quotas (sent as X-Repro-Client)")
+    submit.add_argument("--priority", default="normal",
+                        choices=("high", "normal", "batch"),
+                        help="scheduling lane (batch work ages its way up, "
+                             "never starves)")
+    submit.add_argument("--deadline-ms", type=int, default=None,
+                        help="end-to-end deadline in milliseconds; an "
+                             "expired job fails fast as 'deadline'")
     submit.add_argument("--stream", action="store_true",
                         help="print the NDJSON event stream while waiting")
     submit.add_argument("--timeout", type=float, default=300.0,

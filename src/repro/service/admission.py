@@ -1,0 +1,219 @@
+"""Per-client admission control: token-bucket rates and in-flight quotas.
+
+The front door of the multi-tenant daemon.  Every submission is
+attributed to a client id (the ``X-Repro-Client`` header, default
+``anonymous``) and passes through one :class:`AdmissionController`
+*before* the job registry ever sees it, so a rejection is a clean 429
+with a per-client ``Retry-After`` — never a half-accepted job.
+
+Two independent limits, both opt-in:
+
+- **rate** — a token bucket per client: ``rate`` tokens/second refill up
+  to ``burst`` capacity; each admission spends one.  An empty bucket
+  rejects with ``retry_after = deficit / rate``, the exact time until
+  the next token, so one greedy submitter self-throttles while clients
+  under their rate never notice.
+- **max_in_flight** — a cap on jobs a client may have accepted-but-not-
+  terminal (queued *or* running).  Released when the job reaches any
+  terminal state; restored across restarts from the replayed registry.
+
+With neither limit configured the controller still runs — it is also
+the per-client accounting (`admitted`/`throttled`/`in_flight`) that
+``/metrics`` reports.  Client cardinality is bounded: idle clients are
+evicted once the table outgrows ``max_clients``, so unbounded spoofed
+ids cost an attacker their own rate state, not the daemon's memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..batch.queue import QueueFull
+
+#: Idle client records kept before the oldest are evicted.
+DEFAULT_MAX_CLIENTS = 1024
+
+
+class AdmissionDenied(QueueFull):
+    """A submission refused by per-client quota (maps to HTTP 429).
+
+    Subclasses :class:`~repro.batch.queue.QueueFull` so the HTTP front's
+    backpressure path (429 + ``Retry-After``) handles both global queue
+    pressure and per-client throttling identically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float | None = None,
+        client: str = "",
+        reason: str = "",
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)
+        self.client = client
+        self.reason = reason  # "rate" | "in_flight"
+
+
+class _ClientState:
+    __slots__ = ("tokens", "refilled_at", "in_flight", "admitted", "throttled")
+
+    def __init__(self, tokens: float, now: float) -> None:
+        self.tokens = tokens
+        self.refilled_at = now
+        self.in_flight = 0
+        self.admitted = 0
+        self.throttled = 0
+
+
+class AdmissionController:
+    """Thread-safe per-client token buckets + in-flight quotas.
+
+    ``rate`` is tokens/second per client (``None`` disables rate
+    limiting), ``burst`` the bucket capacity (default ``max(1, 2*rate)``)
+    and ``max_in_flight`` the per-client accepted-but-unfinished cap
+    (``None`` disables it).  ``clock`` is injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_in_flight: int | None = None,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be > 0 (or None to disable)")
+        if burst is not None and burst < 1:
+            raise ValueError("burst must be >= 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 (or None to disable)")
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate = rate
+        self.burst = (
+            burst
+            if burst is not None
+            else (max(1.0, 2.0 * rate) if rate is not None else 1.0)
+        )
+        self.max_in_flight = max_in_flight
+        self.max_clients = max_clients
+        self._clock = clock
+        self._clients: dict[str, _ClientState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _state(self, client: str, now: float) -> _ClientState:
+        # Caller holds the lock.  Insertion order doubles as least-
+        # recently-admitted order because touched entries are re-inserted.
+        state = self._clients.pop(client, None)
+        if state is None:
+            state = _ClientState(self.burst, now)
+            self._evict(client)
+        self._clients[client] = state
+        return state
+
+    def _evict(self, incoming: str) -> None:
+        # Caller holds the lock.  Drop the stalest idle clients; a
+        # client with jobs in flight is never evicted (its release
+        # accounting must survive).
+        if len(self._clients) < self.max_clients:
+            return
+        for name, state in list(self._clients.items()):
+            if state.in_flight == 0 and name != incoming:
+                del self._clients[name]
+                if len(self._clients) < self.max_clients:
+                    return
+
+    def _refill(self, state: _ClientState, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = max(0.0, now - state.refilled_at)
+        state.tokens = min(self.burst, state.tokens + elapsed * self.rate)
+        state.refilled_at = now
+
+    # ------------------------------------------------------------------
+    def admit(self, client: str, now: float | None = None) -> None:
+        """Count one submission for ``client`` or raise :class:`AdmissionDenied`.
+
+        On success the client's in-flight count is charged; callers must
+        :meth:`release` it when the job reaches a terminal state (or on
+        any failure before the job is actually registered).
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            state = self._state(client, now)
+            self._refill(state, now)
+            if (
+                self.max_in_flight is not None
+                and state.in_flight >= self.max_in_flight
+            ):
+                state.throttled += 1
+                raise AdmissionDenied(
+                    f"client {client!r} has {state.in_flight} job(s) in "
+                    f"flight (limit {self.max_in_flight}); wait for one "
+                    "to finish",
+                    client=client,
+                    reason="in_flight",
+                )
+            if self.rate is not None and state.tokens < 1.0:
+                state.throttled += 1
+                raise AdmissionDenied(
+                    f"client {client!r} is over its {self.rate:g}/s "
+                    "submission rate",
+                    retry_after=(1.0 - state.tokens) / self.rate,
+                    client=client,
+                    reason="rate",
+                )
+            if self.rate is not None:
+                state.tokens -= 1.0
+            state.admitted += 1
+            state.in_flight += 1
+
+    def release(self, client: str) -> None:
+        """One of ``client``'s in-flight jobs reached a terminal state."""
+        with self._lock:
+            state = self._clients.get(client)
+            if state is not None:
+                state.in_flight = max(0, state.in_flight - 1)
+
+    def restore(self, client: str, now: float | None = None) -> None:
+        """Re-charge in-flight for a job replayed unfinished at startup.
+
+        Restored jobs were admitted by a previous process: they count
+        against the quota (they will run and finish here) but not
+        against this process's ``admitted`` counter or token bucket.
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            self._state(client, now).in_flight += 1
+
+    # ------------------------------------------------------------------
+    def in_flight(self, client: str) -> int:
+        with self._lock:
+            state = self._clients.get(client)
+            return state.in_flight if state is not None else 0
+
+    def snapshot(self) -> dict:
+        """The ``/metrics``/``/healthz`` admission section."""
+        with self._lock:
+            clients = {
+                name: {
+                    "admitted": state.admitted,
+                    "throttled": state.throttled,
+                    "in_flight": state.in_flight,
+                }
+                for name, state in self._clients.items()
+            }
+            return {
+                "rate": self.rate,
+                "burst": self.burst if self.rate is not None else None,
+                "max_in_flight": self.max_in_flight,
+                "clients": clients,
+                "admitted": sum(c["admitted"] for c in clients.values()),
+                "throttled": sum(c["throttled"] for c in clients.values()),
+                "in_flight": sum(c["in_flight"] for c in clients.values()),
+            }

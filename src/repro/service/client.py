@@ -21,9 +21,10 @@ import urllib.error
 import urllib.request
 from collections.abc import Iterable, Iterator
 
+from ..batch.queue import PRIORITY_NORMAL
 from ..dse.scenario import Scenario
 from ..dse.store import TIER_ILP
-from .wire import WIRE_FORMAT, JobSpec
+from .wire import DEFAULT_CLIENT, TERMINAL_STATUSES, WIRE_FORMAT, JobSpec
 
 
 class ServiceError(RuntimeError):
@@ -39,6 +40,10 @@ class ServiceError(RuntimeError):
         self.status = status
         #: The server's ``Retry-After`` hint in seconds (429 responses).
         self.retry_after = retry_after
+        #: Seconds the client-side retry loop *would* wait next — the
+        #: max of the server hint and jittered backoff — so callers can
+        #: print an actionable "retry in Ns" when retries are exhausted.
+        self.suggested_wait: float | None = None
 
 
 class StreamInterrupted(ServiceError):
@@ -68,6 +73,7 @@ class ServiceClient:
         max_retries: int = 0,
         backoff_base: float = 0.25,
         backoff_cap: float = 5.0,
+        client: str = DEFAULT_CLIENT,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -76,6 +82,9 @@ class ServiceClient:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: Client identity, sent as ``X-Repro-Client`` on every request
+        #: (the daemon's per-client quotas are keyed on it).
+        self.client = client
 
     # ------------------------------------------------------------------
     def _backoff(self, attempt: int) -> float:
@@ -86,6 +95,8 @@ class ServiceClient:
     def _open(self, method: str, path: str, payload: dict | None = None):
         data = None
         headers = {"Accept": "application/json"}
+        if self.client and self.client != DEFAULT_CLIENT:
+            headers["X-Repro-Client"] = self.client
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -138,6 +149,8 @@ class ServiceClient:
         payload: dict | None = None,
         tier: str = TIER_ILP,
         time_limit: float | None = None,
+        priority: str = PRIORITY_NORMAL,
+        deadline_ms: int | None = None,
     ) -> dict:
         """Submit scenarios (or a raw wire ``payload``); returns the 202 body."""
         if (scenarios is None) == (payload is None):
@@ -145,7 +158,11 @@ class ServiceClient:
         if payload is None:
             assert scenarios is not None
             payload = JobSpec(
-                scenarios=tuple(scenarios), tier=tier, time_limit=time_limit
+                scenarios=tuple(scenarios),
+                tier=tier,
+                time_limit=time_limit,
+                priority=priority,
+                deadline_ms=deadline_ms,
             ).payload()
         else:
             payload = {"format": WIRE_FORMAT, **payload}
@@ -156,14 +173,17 @@ class ServiceClient:
             except ServiceError as exc:
                 # Backpressure is explicitly retryable — a 429 means the
                 # job was NOT accepted, so resubmitting cannot duplicate
-                # it.  The server's Retry-After hint wins over backoff.
-                if exc.status != 429 or attempt >= self.max_retries:
+                # it.  The wait is max(server hint, jittered backoff):
+                # the hint alone would hammer the server in lockstep
+                # with every other 429'd client, the backoff alone would
+                # retry before the server said there could be room.
+                if exc.status != 429:
                     raise
-                time.sleep(
-                    exc.retry_after
-                    if exc.retry_after is not None
-                    else self._backoff(attempt)
-                )
+                wait = max(exc.retry_after or 0.0, self._backoff(attempt))
+                exc.suggested_wait = wait
+                if attempt >= self.max_retries:
+                    raise
+                time.sleep(wait)
                 attempt += 1
 
     def job(self, job_id: str) -> dict:
@@ -195,7 +215,7 @@ class ServiceClient:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             detail = self.job(job_id)
-            if detail["status"] in ("done", "error", "cancelled"):
+            if detail["status"] in TERMINAL_STATUSES:
                 return detail
             if deadline is not None and time.monotonic() > deadline:
                 raise ServiceError(
@@ -220,8 +240,9 @@ class ServiceClient:
         :class:`ServiceError` once exceeded.
 
         A stream that breaks mid-job — the connection drops, or the body
-        ends before a terminal (``done``/``error``/``cancelled``) event —
-        raises :class:`StreamInterrupted`: the job is probably still
+        ends before a terminal event (any of
+        :data:`~repro.service.wire.TERMINAL_STATUSES`) — raises
+        :class:`StreamInterrupted`: the job is probably still
         running server-side, so callers should re-poll, not give up.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -237,7 +258,7 @@ class ServiceClient:
                     if not line:
                         continue
                     event = json.loads(line.decode("utf-8"))
-                    if event.get("event") in ("done", "error", "cancelled"):
+                    if event.get("event") in TERMINAL_STATUSES:
                         terminal = True
                     if event.get("event") == "ping" and not keepalives:
                         continue

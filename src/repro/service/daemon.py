@@ -22,6 +22,17 @@ Submissions flow ``HTTP -> JobRegistry -> JobQueue -> worker thread(s)
 ``POST /shutdown``          stop accepting, stop serving, exit cleanly
 ==========================  =============================================
 
+Multi-tenant operation: every submission is attributed to the
+``X-Repro-Client`` header (default ``anonymous``) and passes per-client
+admission control — token-bucket rate plus max-in-flight quota — before
+the registry ever sees it; a quota rejection is a 429 with a per-client
+``Retry-After``.  Jobs carry a priority lane (``high``/``normal``/
+``batch``, aged so low-priority work never starves) and an optional
+end-to-end ``deadline_ms`` enforced at claim time and as a cap on the
+solver budget; under sustained overload the lowest-effective-priority
+queued jobs are shed (terminal ``shed``, resubmittable spec in the
+event) instead of the service collapsing for everyone.
+
 The server is stdlib :class:`http.server.ThreadingHTTPServer` — no new
 dependencies; one handler thread per connection, solver work stays on
 the service's worker threads.  The front end is hardened against rude
@@ -41,20 +52,37 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from ..batch.queue import JobQueue, QueueFull
+from dataclasses import replace as dataclass_replace
+
+from ..batch.queue import (
+    DEFAULT_AGING_INTERVAL,
+    JobQueue,
+    QueueFull,
+    effective_priority,
+)
 from ..dse.explorer import Explorer
 from ..dse.store import TIER_GREEDY
+from .admission import AdmissionController, AdmissionDenied
 from .jobs import (
     JOB_CANCELLED,
+    JOB_DEADLINE,
     JOB_DONE,
     JOB_ERROR,
+    JOB_SHED,
     JobRegistry,
     ServiceJob,
 )
 from .ledger import LEASE_DEAD_LETTER, LEASE_PENDING, JobLedger
 from .metrics import JsonlWriter, LoopLatencyProbe, ServiceMetrics
-from .wire import WIRE_FORMAT, JobSpec, WireError, parse_job, result_payload
-from .worker import FleetConfig, worker_main
+from .wire import (
+    TERMINAL_STATUSES,
+    WIRE_FORMAT,
+    JobSpec,
+    WireError,
+    parse_job,
+    result_payload,
+)
+from .worker import FleetConfig, capped_time_limit, worker_main
 
 #: Seconds of stream silence before a ``ping`` keepalive event is sent.
 STREAM_HEARTBEAT = 10.0
@@ -93,6 +121,9 @@ class MappingService:
         ledger_path: str | Path | None = None,
         max_queue_depth: int | None = None,
         fleet_config: FleetConfig | None = None,
+        admission: AdmissionController | None = None,
+        shed_after: float | None = None,
+        aging_interval: float = DEFAULT_AGING_INTERVAL,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -100,12 +131,21 @@ class MappingService:
             raise ValueError("fleet must be >= 0")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if shed_after is not None and shed_after <= 0:
+            raise ValueError("shed_after must be > 0 (or None to disable)")
         # The default service still shares results across clients inside
         # one process: explorer evaluations land in its (memory) RunStore.
         self.explorer = explorer if explorer is not None else Explorer()
         self.metrics = ServiceMetrics()
         self.fleet = fleet
         self.max_queue_depth = max_queue_depth
+        self.shed_after = shed_after
+        self.aging_interval = aging_interval
+        # The controller always exists: with no limits configured it is
+        # still the per-client accounting that /metrics reports.
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
         self.fleet_config = fleet_config if fleet_config is not None else FleetConfig()
         self._journal = (
             JsonlWriter(journal_path) if journal_path is not None else None
@@ -113,7 +153,7 @@ class MappingService:
         self._job_log = (
             JsonlWriter(job_log_path) if job_log_path is not None else None
         )
-        observers = [self.metrics.job_event]
+        observers = [self.metrics.job_event, self._admission_release]
         if self._job_log is not None:
             observers.append(self._job_log.append)
         self.registry = JobRegistry(
@@ -125,12 +165,16 @@ class MappingService:
             # died with the old process, so they replay as errors.
             fail_unfinished=not fleet,
         )
-        self.queue = JobQueue(maxsize=None if fleet else max_queue_depth)
+        self.queue = JobQueue(
+            maxsize=None if fleet else max_queue_depth,
+            aging_interval=aging_interval,
+        )
         self.workers = workers
         # The shared engine reports solve progress into the same sink.
         self.explorer.mapper.metrics = self.metrics
         self._probe = LoopLatencyProbe(self.metrics)
         self._threads: list[threading.Thread] = []
+        self._shed_stop = threading.Event()
         self._started = False
         self.ledger: JobLedger | None = None
         self.supervisor: Supervisor | None = None
@@ -141,8 +185,23 @@ class MappingService:
                 lease_ttl=self.fleet_config.lease_ttl,
                 backoff_base=self.fleet_config.backoff_base,
                 backoff_cap=self.fleet_config.backoff_cap,
+                aging_interval=aging_interval,
             )
             self.supervisor = Supervisor(self, fleet, self.fleet_config, self.ledger)
+        # Replayed-but-unfinished jobs were admitted by the previous
+        # process; they still occupy their client's in-flight quota here.
+        for job in self.registry.jobs():
+            if not job.finished:
+                self.admission.restore(job.spec.client)
+
+    def _admission_release(self, record: dict) -> None:
+        # Registry observer: every terminal transition frees one slot of
+        # the submitter's in-flight quota.  The client id rides on the
+        # journal record itself so this never re-enters the registry lock.
+        if record.get("event") in TERMINAL_STATUSES:
+            client = record.get("client")
+            if isinstance(client, str) and client:
+                self.admission.release(client)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -151,6 +210,11 @@ class MappingService:
             return
         self._started = True
         self._probe.start()
+        if self.shed_after is not None:
+            shedder = threading.Thread(
+                target=self._shed_loop, name="repro-service-shedder", daemon=True
+            )
+            shedder.start()
         if self.supervisor is not None:
             self.supervisor.start()
             return
@@ -170,6 +234,7 @@ class MappingService:
         """
         self.queue.close()
         self._probe.stop()
+        self._shed_stop.set()
         if self.supervisor is not None:
             self.supervisor.stop(wait=wait)
         if wait:
@@ -203,14 +268,26 @@ class MappingService:
     def submit(self, spec: JobSpec) -> ServiceJob:
         """Register and enqueue one parsed submission.
 
-        Raises :class:`~repro.batch.queue.QueueFull` (with a
-        ``retry_after`` hint) when the bounded queue depth is reached —
-        the HTTP front turns that into 429 + ``Retry-After`` instead of
-        accepting unbounded backlog.
+        Admission control runs first — *before* ``registry.create`` —
+        so a per-client quota rejection is a clean 429 with its own
+        ``Retry-After``, never a half-registered job.  Raises
+        :class:`~repro.service.admission.AdmissionDenied` (a
+        :class:`~repro.batch.queue.QueueFull`) on quota, or plain
+        ``QueueFull`` when the bounded global depth is reached.
         """
+        try:
+            self.admission.admit(spec.client)
+        except AdmissionDenied as exc:
+            self.metrics.inc("admission_throttled")
+            if exc.retry_after is None:
+                # In-flight rejections clear when a job finishes; the
+                # backlog-based hint is the honest estimate of when.
+                exc.retry_after = self._retry_after_hint(self._queue_depth())
+            raise
         if self.max_queue_depth is not None:
             depth = self._queue_depth()
             if depth >= self.max_queue_depth:
+                self.admission.release(spec.client)
                 self.metrics.inc("backpressure_rejections")
                 raise QueueFull(
                     f"queue depth {depth} is at the limit "
@@ -218,11 +295,18 @@ class MappingService:
                     retry_after=self._retry_after_hint(depth),
                 )
         job = self.registry.create(spec)
+        # From here the in-flight charge is released by the terminal-
+        # event observer — every path below ends terminal eventually.
         if self.ledger is not None:
-            self.ledger.enqueue(job.id, spec.payload())
+            self.ledger.enqueue(
+                job.id,
+                spec.payload(),
+                priority=spec.priority,
+                deadline_at=job.deadline_at,
+            )
             return job
         try:
-            self.queue.push(job, token=job.token)
+            self.queue.push(job, token=job.token, priority=spec.priority)
         except QueueFull as exc:  # a concurrent submit won the last slot
             self.metrics.inc("backpressure_rejections")
             self.registry.finish(job, JOB_ERROR, error="queue full")
@@ -234,6 +318,93 @@ class MappingService:
 
     def cancel(self, job_id: str) -> ServiceJob | None:
         return self.registry.cancel(job_id)
+
+    # -- overload shedding ---------------------------------------------
+    def _shed_loop(self) -> None:
+        while not self._shed_stop.wait(timeout=0.5):
+            try:
+                self.shed_overload()
+            except Exception:  # shedding must never kill the daemon
+                self.metrics.inc("shed_errors")
+
+    def shed_overload(self, now: float | None = None) -> int:
+        """Degrade gracefully under overload; returns jobs shed.
+
+        When the oldest queued job has waited past ``shed_after``, the
+        lowest-effective-priority half of the queued backlog (at least
+        one job) is finished as :data:`~repro.service.jobs.JOB_SHED` —
+        terminal, with the resubmittable wire spec embedded in the
+        event — so fresh high-priority work keeps flowing instead of
+        the whole service collapsing for everyone.  Runs on a
+        maintenance thread; public and clock-injectable for tests.
+        """
+        if self.shed_after is None:
+            return 0
+        now = time.time() if now is None else now
+        if self.ledger is not None:
+            pending = self.ledger.pending_snapshot()
+            if not pending:
+                return 0
+            if max(now - lease.enqueued_at for lease in pending) <= self.shed_after:
+                return 0
+            victims = sorted(
+                pending,
+                key=lambda lease: effective_priority(
+                    lease.priority, now - lease.enqueued_at, self.aging_interval
+                ),
+                reverse=True,  # worst effective priority sheds first
+            )[: max(1, len(pending) // 2)]
+            shed = 0
+            for lease in victims:
+                self.ledger.finish(lease.id, JOB_SHED)
+                job = self.registry.get(lease.id)
+                if job is not None and not job.finished:
+                    self.registry.finish(
+                        job,
+                        JOB_SHED,
+                        error=(
+                            "shed under overload after "
+                            f"{now - lease.enqueued_at:.1f}s queued; resubmit"
+                        ),
+                        extra={"spec": lease.spec},
+                    )
+                shed += 1
+            return shed
+        entries = self.queue.snapshot_entries()
+        if not entries:
+            return 0
+        queue_now = self.queue.now()  # entries carry the queue's clock
+        if max(queue_now - row[3] for row in entries) <= self.shed_after:
+            return 0
+        victims = sorted(
+            entries,
+            key=lambda row: effective_priority(
+                row[2], queue_now - row[3], self.aging_interval
+            ),
+            reverse=True,
+        )[: max(1, len(entries) // 2)]
+        shed = 0
+        for job, token, _priority, enqueued_at in victims:
+            if job.finished or token.cancelled:
+                continue
+            self.registry.finish(
+                job,
+                JOB_SHED,
+                error=(
+                    "shed under overload after "
+                    f"{queue_now - enqueued_at:.1f}s queued; resubmit"
+                ),
+                extra={"spec": job.spec.payload()},
+            )
+            token.cancel()  # drops the entry from the queue
+            shed += 1
+        return shed
+
+    def _lane_snapshot(self) -> dict:
+        """Per-lane depth and oldest wait (queue or ledger, whichever runs)."""
+        if self.ledger is not None:
+            return self.ledger.lane_snapshot()
+        return self.queue.lane_snapshot()
 
     def stats(self) -> dict:
         """The ``/healthz`` body: liveness plus shared-state counters."""
@@ -248,9 +419,13 @@ class MappingService:
             "cache": cache.stats.snapshot() if cache is not None else None,
             "store_entries": len(store),
             "store_path": str(store.path) if store.path is not None else None,
+            "admission": self.admission.snapshot(),
+            "lanes": self._lane_snapshot(),
         }
         if self.max_queue_depth is not None:
             body["max_queue_depth"] = self.max_queue_depth
+        if self.shed_after is not None:
+            body["shed_after"] = self.shed_after
         if self.supervisor is not None and self.ledger is not None:
             body["fleet"] = self.supervisor.snapshot()
             body["ledger"] = self.ledger.counts()
@@ -279,6 +454,9 @@ class MappingService:
             "workers": self.fleet or self.workers,
             "queue_depth": self._queue_depth(),
             "backpressure_rejections": counters.get("backpressure_rejections", 0),
+            "admission": self.admission.snapshot(),
+            "admission_throttled": counters.get("admission_throttled", 0),
+            "lanes": self._lane_snapshot(),
             "solves_in_flight": gauges.get("solves_in_flight", 0),
             "jobs": {
                 "by_state": self.registry.counts(),
@@ -290,6 +468,8 @@ class MappingService:
                     "done": counters.get("jobs_done", 0),
                     "error": counters.get("jobs_error", 0),
                     "cancelled": counters.get("jobs_cancelled", 0),
+                    "deadline": counters.get("jobs_deadline", 0),
+                    "shed": counters.get("jobs_shed", 0),
                 },
             },
             "scenarios": {
@@ -333,7 +513,9 @@ class MappingService:
                 job.token.cancel()
                 self.registry.finish(job, JOB_CANCELLED)
                 continue
-            self.metrics.observe("queue_wait", time.time() - job.submitted_at)
+            waited = time.time() - job.submitted_at
+            self.metrics.observe("queue_wait", waited)
+            self.metrics.observe(f"queue_wait_{job.spec.priority}", waited)
             started = time.monotonic()
             try:
                 self._run_job(job)
@@ -345,6 +527,14 @@ class MappingService:
                 self.metrics.observe("job_duration", time.monotonic() - started)
 
     def _run_job(self, job: ServiceJob) -> None:
+        if job.deadline_at is not None and job.deadline_at <= time.time():
+            # Past its end-to-end deadline before it ever started: fail
+            # fast — no "running" transition, no mapper invocation, no
+            # solve burned on an answer the caller stopped wanting.
+            self.registry.finish(
+                job, JOB_DEADLINE, error="deadline exceeded before start"
+            )
+            return
         # start() refusing means a cancel won the race after the pop —
         # the job is already terminal and must not be resurrected.
         if job.token.cancelled or not self.registry.start(job):
@@ -358,9 +548,13 @@ class MappingService:
             # One batched call so a multi-scenario submission keeps the
             # engine's process-pool parallelism and warm-start waves;
             # the token is polled at solve boundaries inside the batch.
+            # The remaining deadline (if any) caps the solver budget so
+            # a runaway solve cannot overshoot the end-to-end deadline.
             results = self.explorer.evaluate_ilp(
                 scenarios,
-                time_limit=spec.time_limit,
+                time_limit=capped_time_limit(
+                    spec.time_limit, self.explorer.time_limit, job.deadline_at
+                ),
                 should_cancel=job.token,
             )
         for result in results:
@@ -541,7 +735,12 @@ class Supervisor:
                 self.ledger.finish(lease.id, job.status)
         for job in registry.jobs():
             if not job.finished and self.ledger.get(job.id) is None:
-                self.ledger.enqueue(job.id, job.spec.payload())
+                self.ledger.enqueue(
+                    job.id,
+                    job.spec.payload(),
+                    priority=job.spec.priority,
+                    deadline_at=job.deadline_at,
+                )
 
     # -- worker processes ----------------------------------------------
     def _spawn(self, handle: _WorkerHandle) -> None:
@@ -581,6 +780,7 @@ class Supervisor:
             with self._lock:
                 self._reap_dead()
                 self._expire_leases()
+                self._sweep_deadlines()
                 self._propagate_cancels()
                 self._dispatch()
         self._drain_messages()  # a last sweep so results beat shutdown
@@ -640,6 +840,19 @@ class Supervisor:
                     self._observe_duration(handle)
                     handle.job = None
                 self._attempt_failed(job_id, str(message.get("error")))
+                return
+            if kind == "deadline":
+                # The deadline lapsed between claim and pickup: the
+                # worker declined without touching its mapper.
+                if handle is not None and handle.job == job_id:
+                    self._observe_duration(handle)
+                    handle.job = None
+                self.ledger.finish(job_id, JOB_DEADLINE)
+                job = self.service.registry.get(job_id)
+                if job is not None and not job.finished:
+                    self.service.registry.finish(
+                        job, JOB_DEADLINE, error="deadline exceeded before solve"
+                    )
                 return
             self.service.metrics.inc("fleet_bad_messages")
 
@@ -737,6 +950,16 @@ class Supervisor:
                     holder.process.terminate()
             self._attempt_failed(lease.id, "lease expired (missed heartbeats)")
 
+    def _sweep_deadlines(self) -> None:
+        # Pending jobs past their deadline finish as JOB_DEADLINE without
+        # ever being leased: zero mapper invocations, zero retry charge.
+        for lease in self.ledger.deadline_expired():
+            job = self.service.registry.get(lease.id)
+            if job is not None and not job.finished:
+                self.service.registry.finish(
+                    job, JOB_DEADLINE, error="deadline exceeded before start"
+                )
+
     def _propagate_cancels(self) -> None:
         for handle in self._handles:
             if handle.job is None or handle.cancel_event is None:
@@ -774,11 +997,17 @@ class Supervisor:
             handle.cancel_event.clear()
             handle.job = lease.id
             handle.dispatched_at = time.monotonic()
-            self.service.metrics.observe(
-                "queue_wait", max(0.0, time.time() - job.submitted_at)
-            )
+            waited = max(0.0, time.time() - job.submitted_at)
+            self.service.metrics.observe("queue_wait", waited)
+            self.service.metrics.observe(f"queue_wait_{lease.priority}", waited)
             try:
-                handle.task_queue.put({"job": lease.id, "spec": lease.spec})
+                handle.task_queue.put(
+                    {
+                        "job": lease.id,
+                        "spec": lease.spec,
+                        "deadline_at": lease.deadline_at,
+                    }
+                )
             except (OSError, ValueError):
                 # The worker's pipe is broken (it just died); the reap
                 # pass will fail the attempt and respawn.
@@ -957,6 +1186,11 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["jobs"]:
             try:
                 spec = parse_job(self._read_json())
+                header = self.headers.get("X-Repro-Client")
+                if header:
+                    # The header wins over a body `client` key; replace()
+                    # re-runs validation, so a bad header is still a 400.
+                    spec = dataclass_replace(spec, client=header.strip())
             except PayloadTooLarge as exc:
                 self._send_error_json(413, str(exc))
                 return

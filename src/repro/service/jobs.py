@@ -34,16 +34,20 @@ from dataclasses import dataclass, field
 
 from ..batch.queue import CancelToken
 from .metrics import EventObserver, JsonlWriter, read_jsonl
-from .wire import JobSpec, WireError, parse_job
+from .wire import TERMINAL_STATUSES, JobSpec, WireError, parse_job
 
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_ERROR = "error"
 JOB_CANCELLED = "cancelled"
+#: Terminal: the job's end-to-end deadline passed before (or while) it ran.
+JOB_DEADLINE = "deadline"
+#: Terminal: the daemon shed this queued job under overload.
+JOB_SHED = "shed"
 
-#: States a job never leaves.
-TERMINAL_STATES = (JOB_DONE, JOB_ERROR, JOB_CANCELLED)
+#: States a job never leaves (the wire module's client-visible list).
+TERMINAL_STATES = TERMINAL_STATUSES
 
 #: Bump when the journal record schema changes; stale lines are skipped.
 JOURNAL_FORMAT = 1
@@ -74,6 +78,13 @@ class ServiceJob:
         return self.status in TERMINAL_STATES
 
     @property
+    def deadline_at(self) -> float | None:
+        """Absolute end-to-end deadline (epoch seconds), if the spec set one."""
+        if self.spec.deadline_ms is None:
+            return None
+        return self.submitted_at + self.spec.deadline_ms / 1000.0
+
+    @property
     def ok(self) -> bool:
         return self.status == JOB_DONE and all(
             result.get("status") == "ok" for result in self.results
@@ -85,6 +96,8 @@ class ServiceJob:
             "id": self.id,
             "status": self.status,
             "tier": self.spec.tier,
+            "priority": self.spec.priority,
+            "client": self.spec.client,
             "scenarios": len(self.spec.scenarios),
             "results": len(self.results),
             "submitted_at": self.submitted_at,
@@ -97,6 +110,7 @@ class ServiceJob:
             **self.summary(),
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "deadline_at": self.deadline_at,
             "results": list(self.results),
             "events": list(self.events),
         }
@@ -183,8 +197,19 @@ class JobRegistry:
             job.results.append(result)
             self._append_event(job, {"event": "result", **result})
 
-    def finish(self, job: ServiceJob, status: str, error: str | None = None) -> None:
-        """Move a job to a terminal state (idempotent for cancellations)."""
+    def finish(
+        self,
+        job: ServiceJob,
+        status: str,
+        error: str | None = None,
+        extra: dict | None = None,
+    ) -> None:
+        """Move a job to a terminal state (idempotent for cancellations).
+
+        ``extra`` merges additional keys into the terminal event — the
+        shed path uses it to embed the resubmittable wire spec so a
+        caller watching the stream can resubmit verbatim.
+        """
         with self._cond:
             if job.finished:
                 return
@@ -194,6 +219,8 @@ class JobRegistry:
             event: dict = {"event": status, "results": len(job.results)}
             if error is not None:
                 event["error"] = error
+            if extra:
+                event.update(extra)
             self._append_event(job, event)
             self._evict_finished()
 
@@ -279,7 +306,15 @@ class JobRegistry:
         entry = {"ts": time.time(), **event}
         job.events.append(entry)
         self._cond.notify_all()
-        record = {"format": JOURNAL_FORMAT, "job": job.id, **entry}
+        # The record (journal + observers) carries the client id so the
+        # admission controller can release quotas without re-entering
+        # the registry lock; the in-memory event stream stays unchanged.
+        record = {
+            "format": JOURNAL_FORMAT,
+            "job": job.id,
+            "client": job.spec.client,
+            **entry,
+        }
         if event.get("event") == JOB_QUEUED:
             # The queued record carries everything needed to rebuild the
             # job on replay: the wire-format submission body.
@@ -343,7 +378,7 @@ class JobRegistry:
             entry = {
                 key: value
                 for key, value in record.items()
-                if key not in ("format", "job")
+                if key not in ("format", "job", "client")
             }
             job.events.append(entry)
             if event == JOB_RUNNING:

@@ -39,6 +39,13 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..batch.queue import (
+    DEFAULT_AGING_INTERVAL,
+    PRIORITIES,
+    PRIORITY_NORMAL,
+    PRIORITY_RANK,
+    effective_priority,
+)
 from .metrics import JsonlWriter, read_jsonl
 
 #: Bump when the ledger record schema changes; stale lines are skipped.
@@ -67,6 +74,8 @@ class LedgerJob:
     lease_expires: float | None = None
     last_error: str | None = None
     outcome: str | None = None  # "done" | "cancelled" | ... when FINISHED
+    priority: str = PRIORITY_NORMAL  # scheduling lane (aged at claim time)
+    deadline_at: float | None = None  # absolute wall-clock deadline
 
     @property
     def terminal(self) -> bool:
@@ -83,6 +92,8 @@ class LedgerJob:
             "not_before": self.not_before,
             "last_error": self.last_error,
             "outcome": self.outcome,
+            "priority": self.priority,
+            "deadline_at": self.deadline_at,
         }
 
 
@@ -102,15 +113,19 @@ class JobLedger:
         lease_ttl: float = 15.0,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
+        aging_interval: float = DEFAULT_AGING_INTERVAL,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be > 0")
+        if aging_interval <= 0:
+            raise ValueError("aging_interval must be > 0")
         self.max_attempts = max_attempts
         self.lease_ttl = lease_ttl
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.aging_interval = aging_interval
         self._jobs: dict[str, LedgerJob] = {}
         self._lock = threading.Lock()
         self._replay_skipped = 0
@@ -119,6 +134,7 @@ class JobLedger:
             "leases_expired": 0,
             "requeues": 0,
             "dead_letters": 0,
+            "deadline_expired": 0,
         }
         self._journal = JsonlWriter(path) if path is not None else None
         if path is not None:
@@ -163,7 +179,19 @@ class JobLedger:
                 if not isinstance(spec, dict):
                     self._replay_skipped += 1
                     continue
-                jobs[job_id] = LedgerJob(id=job_id, spec=spec, enqueued_at=ts)
+                priority = record.get("priority", PRIORITY_NORMAL)
+                if priority not in PRIORITY_RANK:
+                    priority = PRIORITY_NORMAL
+                deadline_at = record.get("deadline_at")
+                jobs[job_id] = LedgerJob(
+                    id=job_id,
+                    spec=spec,
+                    enqueued_at=ts,
+                    priority=priority,
+                    deadline_at=(
+                        float(deadline_at) if deadline_at is not None else None
+                    ),
+                )
                 continue
             if job is None or job.terminal:
                 self._replay_skipped += 1
@@ -222,44 +250,80 @@ class JobLedger:
         return self._replay_skipped
 
     # -- transitions ---------------------------------------------------
-    def enqueue(self, job_id: str, spec: dict) -> LedgerJob:
+    def enqueue(
+        self,
+        job_id: str,
+        spec: dict,
+        priority: str = PRIORITY_NORMAL,
+        deadline_at: float | None = None,
+    ) -> LedgerJob:
         """Add a pending job (idempotent: an existing id is returned)."""
+        if priority not in PRIORITY_RANK:
+            raise ValueError(
+                f"unknown priority {priority!r}; choose from {PRIORITIES}"
+            )
         with self._lock:
             existing = self._jobs.get(job_id)
             if existing is not None:
                 return existing
-            job = LedgerJob(id=job_id, spec=dict(spec))
+            job = LedgerJob(
+                id=job_id,
+                spec=dict(spec),
+                priority=priority,
+                deadline_at=deadline_at,
+            )
             self._jobs[job_id] = job
-            self._append({"event": "enqueued", "job": job_id, "spec": job.spec})
+            record = {"event": "enqueued", "job": job_id, "spec": job.spec}
+            if priority != PRIORITY_NORMAL:
+                record["priority"] = priority
+            if deadline_at is not None:
+                record["deadline_at"] = deadline_at
+            self._append(record)
             return job
 
     def claim(self, worker: str, now: float | None = None) -> LedgerJob | None:
-        """Lease the oldest claimable pending job to ``worker``.
+        """Lease the best claimable pending job to ``worker``.
 
-        FIFO among pending jobs whose backoff gate has passed; ``None``
-        when nothing is claimable (empty, or everything is backing off).
+        Claimable pending jobs (backoff gate passed, deadline not blown)
+        are ranked by :func:`~repro.batch.queue.effective_priority` —
+        lane rank minus age credit — with insertion order breaking ties,
+        so ``high`` work runs first but a starved ``batch`` job ages its
+        way to the front.  Deadline-expired pending jobs are *skipped*,
+        not claimed: :meth:`deadline_expired` sweeps them to a terminal
+        state without ever charging a lease against their retry budget.
+        ``None`` when nothing is claimable.
         """
         now = time.time() if now is None else now
         with self._lock:
-            for job in self._jobs.values():  # insertion order == FIFO
+            best: LedgerJob | None = None
+            best_score = 0.0
+            for job in self._jobs.values():  # insertion order == FIFO tie-break
                 if job.state != LEASE_PENDING or job.not_before > now:
                     continue
-                job.state = LEASE_LEASED
-                job.worker = worker
-                job.attempts += 1
-                job.lease_expires = now + self.lease_ttl
-                self._counters["leases_granted"] += 1
-                self._append(
-                    {
-                        "event": "leased",
-                        "job": job.id,
-                        "worker": worker,
-                        "attempt": job.attempts,
-                        "expires": job.lease_expires,
-                    }
+                if job.deadline_at is not None and job.deadline_at <= now:
+                    continue  # deadline sweep's business, not a lease
+                score = effective_priority(
+                    job.priority, now - job.enqueued_at, self.aging_interval
                 )
-                return job
-            return None
+                if best is None or score < best_score:
+                    best, best_score = job, score
+            if best is None:
+                return None
+            best.state = LEASE_LEASED
+            best.worker = worker
+            best.attempts += 1
+            best.lease_expires = now + self.lease_ttl
+            self._counters["leases_granted"] += 1
+            self._append(
+                {
+                    "event": "leased",
+                    "job": best.id,
+                    "worker": worker,
+                    "attempt": best.attempts,
+                    "expires": best.lease_expires,
+                }
+            )
+            return best
 
     def heartbeat(self, job_id: str, now: float | None = None) -> bool:
         """Renew a lease; false if the job is no longer leased (stale)."""
@@ -381,6 +445,35 @@ class JobLedger:
                     lapsed.append(job)
             return lapsed
 
+    def deadline_expired(self, now: float | None = None) -> list[LedgerJob]:
+        """Finish pending jobs whose end-to-end deadline has passed.
+
+        A job past its deadline when it *would* be claimed fails fast:
+        it moves straight to FINISHED with outcome ``"deadline"`` —
+        never leased, so zero mapper invocations and zero retry-budget
+        charge.  Returns the swept jobs so the supervisor can mirror the
+        terminal state into the client-facing registry.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            swept = []
+            for job in self._jobs.values():
+                if (
+                    job.state == LEASE_PENDING
+                    and job.deadline_at is not None
+                    and job.deadline_at <= now
+                ):
+                    job.state = LEASE_FINISHED
+                    job.worker = None
+                    job.lease_expires = None
+                    job.outcome = "deadline"
+                    self._counters["deadline_expired"] += 1
+                    self._append(
+                        {"event": "finished", "job": job.id, "outcome": "deadline"}
+                    )
+                    swept.append(job)
+            return swept
+
     # -- inspection ----------------------------------------------------
     def get(self, job_id: str) -> LedgerJob | None:
         with self._lock:
@@ -400,6 +493,32 @@ class JobLedger:
         """Jobs still owed work (pending + leased)."""
         with self._lock:
             return sum(1 for job in self._jobs.values() if not job.terminal)
+
+    def lane_snapshot(self, now: float | None = None) -> dict[str, dict]:
+        """Per-lane pending depth and oldest wait, for ``/metrics``."""
+        now = time.time() if now is None else now
+        with self._lock:
+            body: dict[str, dict] = {
+                lane: {"depth": 0, "oldest_wait": None} for lane in PRIORITIES
+            }
+            for job in self._jobs.values():
+                if job.state != LEASE_PENDING:
+                    continue
+                lane = body.get(job.priority)
+                if lane is None:
+                    continue
+                lane["depth"] += 1
+                waited = now - job.enqueued_at
+                if lane["oldest_wait"] is None or waited > lane["oldest_wait"]:
+                    lane["oldest_wait"] = waited
+            return body
+
+    def pending_snapshot(self) -> list[LedgerJob]:
+        """Pending jobs (shed picker input); callers must not mutate."""
+        with self._lock:
+            return [
+                job for job in self._jobs.values() if job.state == LEASE_PENDING
+            ]
 
     def counts(self) -> dict:
         """Per-state totals plus lifetime lease/retry counters."""

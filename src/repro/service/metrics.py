@@ -141,7 +141,9 @@ class ServiceMetrics:
                 self.inc("scenarios_cached")
         elif event == "requeued":
             self.inc("jobs_requeued")
-        elif event in ("done", "error", "cancelled"):
+        elif event in ("done", "error", "cancelled", "deadline", "shed"):
+            # Mirrors wire.TERMINAL_STATUSES (kept literal: this module
+            # sits below the wire layer in the import graph).
             self.inc("jobs_finished")
             self.inc(f"jobs_{event}")
 

@@ -7,7 +7,10 @@ A client submits a job as one JSON object::
       "scenario":  { ... Scenario.payload() ... },   # single scenario, or
       "scenarios": [ { ... }, ... ],                  # an ordered batch
       "tier": "ilp" | "greedy",                       # default "ilp"
-      "time_limit": 10.0                              # per-stage seconds
+      "time_limit": 10.0,                             # per-stage seconds
+      "priority": "high" | "normal" | "batch",        # default "normal"
+      "deadline_ms": 30000,                           # end-to-end budget
+      "client": "team-a"                              # usually via header
     }
 
 Scenario payloads are exactly what :meth:`repro.dse.scenario.Scenario.
@@ -15,15 +18,26 @@ payload` emits (and what the run store records), so anything the DSE
 layer can sweep, a client can submit — the wire format is the scenario
 registry's plain-data view, not a second schema.
 
+Client identity normally rides the ``X-Repro-Client`` HTTP header (the
+header wins over a ``client`` body key); it lives in the spec too so a
+fleet re-queue or a journal replay keeps the job attributed to its
+submitter.  ``deadline_ms`` is relative to submission: the absolute
+deadline is ``submitted_at + deadline_ms / 1000`` wherever the job
+travels.
+
 Parsing is strict: unknown keys, malformed sections and invalid axis
 values raise :class:`WireError` with a human-readable message that HTTP
-handlers return verbatim as a 400 body.
+handlers return verbatim as a 400 body — an unknown ``priority`` or a
+negative/absurd ``deadline_ms`` fails at submit, never later as a
+worker failure.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
+from ..batch.queue import PRIORITIES, PRIORITY_NORMAL
 from ..dse.explorer import ScenarioResult
 from ..dse.scenario import Scenario, scenario_from_payload
 from ..dse.store import TIER_GREEDY, TIER_ILP
@@ -33,7 +47,28 @@ WIRE_FORMAT = 1
 
 TIERS = (TIER_ILP, TIER_GREEDY)
 
-_JOB_KEYS = {"format", "scenario", "scenarios", "tier", "time_limit"}
+#: Client id every unattributed submission is accounted under.
+DEFAULT_CLIENT = "anonymous"
+
+#: Job statuses a stream/poll ends on (client-visible terminal states).
+TERMINAL_STATUSES = ("done", "error", "cancelled", "deadline", "shed")
+
+#: Ceiling on ``deadline_ms``: anything past a day is a config error,
+#: not a deadline — reject it at submit instead of scheduling it.
+MAX_DEADLINE_MS = 24 * 60 * 60 * 1000
+
+_JOB_KEYS = {
+    "format",
+    "scenario",
+    "scenarios",
+    "tier",
+    "time_limit",
+    "priority",
+    "deadline_ms",
+    "client",
+}
+
+_CLIENT_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 class WireError(ValueError):
@@ -47,6 +82,9 @@ class JobSpec:
     scenarios: tuple[Scenario, ...]
     tier: str = TIER_ILP
     time_limit: float | None = None
+    priority: str = PRIORITY_NORMAL
+    deadline_ms: int | None = None
+    client: str = DEFAULT_CLIENT
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -55,9 +93,43 @@ class JobSpec:
             raise WireError(f"unknown tier {self.tier!r}; choose from {TIERS}")
         if self.time_limit is not None and self.time_limit <= 0:
             raise WireError("time_limit must be positive")
+        if self.priority not in PRIORITIES:
+            raise WireError(
+                f"unknown priority {self.priority!r}; choose from {PRIORITIES}"
+            )
+        if self.deadline_ms is not None:
+            if (
+                isinstance(self.deadline_ms, bool)
+                or not isinstance(self.deadline_ms, int)
+            ):
+                raise WireError(
+                    "deadline_ms must be an integer number of milliseconds, "
+                    f"got {self.deadline_ms!r}"
+                )
+            if self.deadline_ms <= 0:
+                raise WireError(
+                    f"deadline_ms must be positive, got {self.deadline_ms}"
+                )
+            if self.deadline_ms > MAX_DEADLINE_MS:
+                raise WireError(
+                    f"deadline_ms {self.deadline_ms} exceeds the "
+                    f"{MAX_DEADLINE_MS} ms (24 h) ceiling"
+                )
+        if not isinstance(self.client, str) or not _CLIENT_PATTERN.match(
+            self.client
+        ):
+            raise WireError(
+                "client must be 1-64 characters of [A-Za-z0-9._-] "
+                f"starting alphanumeric, got {self.client!r}"
+            )
 
     def payload(self) -> dict:
-        """The submission body that parses back into this spec."""
+        """The submission body that parses back into this spec.
+
+        Default-valued fields are omitted, so pre-existing payloads (and
+        everything journaled before these fields existed) stay
+        bit-identical.
+        """
         body: dict = {
             "format": WIRE_FORMAT,
             "scenarios": [scenario.payload() for scenario in self.scenarios],
@@ -65,6 +137,12 @@ class JobSpec:
         }
         if self.time_limit is not None:
             body["time_limit"] = self.time_limit
+        if self.priority != PRIORITY_NORMAL:
+            body["priority"] = self.priority
+        if self.deadline_ms is not None:
+            body["deadline_ms"] = self.deadline_ms
+        if self.client != DEFAULT_CLIENT:
+            body["client"] = self.client
         return body
 
 
@@ -99,11 +177,29 @@ def parse_job(payload: object) -> JobSpec:
             time_limit = float(time_limit)
         except (TypeError, ValueError):
             raise WireError(f"time_limit must be a number, got {time_limit!r}") from None
+    priority = payload.get("priority", PRIORITY_NORMAL)
+    if not isinstance(priority, str):
+        raise WireError(
+            f"priority must be one of {PRIORITIES}, got {priority!r}"
+        )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and isinstance(deadline_ms, float):
+        # JSON decoders may hand an integral float; a fractional one is
+        # a caller bug worth naming, not silently truncating.
+        if not deadline_ms.is_integer():
+            raise WireError(
+                "deadline_ms must be an integer number of milliseconds, "
+                f"got {deadline_ms!r}"
+            )
+        deadline_ms = int(deadline_ms)
     try:
         return JobSpec(
             scenarios=tuple(scenarios),
             tier=payload.get("tier", TIER_ILP),
             time_limit=time_limit,
+            priority=priority,
+            deadline_ms=deadline_ms,
+            client=payload.get("client", DEFAULT_CLIENT),
         )
     except WireError:
         raise
@@ -130,12 +226,12 @@ def result_payload(result: ScenarioResult) -> dict:
             else None
         ),
         "solves": result.solves,
-        "wall_time": result.wall_time,
         # Greedy evaluations never solve, so zero solves only signals a
         # cache/store hit at the ILP tier.
         "cached": bool(
             result.from_store
             or (result.tier == TIER_ILP and result.ok and result.solves == 0)
         ),
+        "wall_time": result.wall_time,
         "error": result.error,
     }

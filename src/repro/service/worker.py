@@ -12,12 +12,19 @@ and everything else dies with the process.
 
 Protocol, all over multiprocessing queues (tasks in, messages out)::
 
-    supervisor -> worker : {"job": id, "spec": wire payload} | None (quit)
+    supervisor -> worker : {"job": id, "spec": wire payload,
+                            "deadline_at": epoch | None} | None (quit)
     worker -> supervisor : {"type": "ready", ...}
                            {"type": "started", "job": ...}
                            {"type": "heartbeat", "job": ...}   every few s
                            {"type": "result", "job", "results", "cancelled"}
                            {"type": "failed", "job", "error"}
+                           {"type": "deadline", "job": ...}  expired unstarted
+
+A task whose ``deadline_at`` has already passed when the worker picks it
+up is reported ``deadline`` without touching the mapper; otherwise the
+remaining deadline caps the solver's ``time_limit`` so a runaway solve
+cannot overshoot the end-to-end budget.
 
 Heartbeats come from a side thread so a long ILP solve still renews the
 job's lease; if the *process* dies, the heartbeats stop, the lease
@@ -30,6 +37,7 @@ from __future__ import annotations
 import importlib.util
 import os
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +46,33 @@ from ..batch.cache import ResultCache
 from ..batch.engine import BatchMapper
 from ..dse.store import TIER_GREEDY, RunStore
 from .wire import WireError, parse_job, result_payload
+
+#: Smallest solver budget (seconds) the deadline watchdog will grant; a
+#: job with less remaining than this fails fast instead of starting a
+#: solve that cannot possibly finish.
+MIN_DEADLINE_BUDGET = 0.05
+
+
+def capped_time_limit(
+    spec_limit: float | None,
+    default_limit: float | None,
+    deadline_at: float | None,
+    now: float | None = None,
+) -> float | None:
+    """The solver ``time_limit`` after the deadline watchdog's cap.
+
+    The effective limit starts as the job's own ``time_limit`` (falling
+    back to the worker's default) and is then capped at the seconds
+    remaining until ``deadline_at`` — a runaway solve cannot overshoot
+    the end-to-end deadline.  Returns ``None`` only when there is no
+    limit from any source.
+    """
+    limit = spec_limit if spec_limit is not None else default_limit
+    if deadline_at is None:
+        return limit
+    now = time.time() if now is None else now
+    remaining = max(MIN_DEADLINE_BUDGET, deadline_at - now)
+    return remaining if limit is None else min(limit, remaining)
 
 
 @dataclass(frozen=True)
@@ -157,6 +192,14 @@ def worker_main(
             if task is None:
                 return
             job_id = task["job"]
+            deadline_at = task.get("deadline_at")
+            if deadline_at is not None and deadline_at <= time.time():
+                # Claimed but already past its end-to-end deadline: fail
+                # fast, mapper never invoked, no solve burned.
+                result_queue.put(
+                    {"type": "deadline", "job": job_id, "worker": name}
+                )
+                continue
             result_queue.put({"type": "started", "job": job_id, "worker": name})
             heartbeat = _Heartbeat(
                 lambda: result_queue.put(
@@ -175,7 +218,9 @@ def worker_main(
                 else:
                     results = explorer.evaluate_ilp(
                         list(spec.scenarios),
-                        time_limit=spec.time_limit,
+                        time_limit=capped_time_limit(
+                            spec.time_limit, config.time_limit, deadline_at
+                        ),
                         should_cancel=cancel_event.is_set,
                     )
                 result_queue.put(

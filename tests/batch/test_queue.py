@@ -7,9 +7,27 @@ import threading
 import pytest
 
 from repro.batch.engine import BatchMapper
-from repro.batch.queue import CancelToken, JobQueue, QueueFull
+from repro.batch.queue import (
+    CancelToken,
+    JobQueue,
+    QueueFull,
+    effective_priority,
+)
 
 pytestmark = pytest.mark.batch
+
+
+class FakeClock:
+    """A settable monotonic clock for deterministic aging tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
 
 
 class TestCancelToken:
@@ -145,6 +163,92 @@ class TestBoundedDepth:
         error = QueueFull("full", retry_after=4.5)
         assert error.retry_after == 4.5
         assert QueueFull().retry_after is None
+
+
+class TestPriorityLanes:
+    def test_effective_priority_scores(self):
+        assert effective_priority("high", 0.0) == 0.0
+        assert effective_priority("batch", 0.0) == 2.0
+        # 2 aging intervals of waiting promote batch to fresh-high level.
+        assert effective_priority("batch", 60.0, aging_interval=30.0) == 0.0
+
+    def test_pop_order_is_high_normal_batch(self):
+        queue = JobQueue(clock=FakeClock())
+        queue.push("b", priority="batch")
+        queue.push("n", priority="normal")
+        queue.push("h", priority="high")
+        assert [queue.pop(timeout=0)[0] for _ in range(3)] == ["h", "n", "b"]
+
+    def test_fifo_within_a_lane(self):
+        queue = JobQueue(clock=FakeClock())
+        queue.push("first", priority="high")
+        queue.push("second", priority="high")
+        assert queue.pop(timeout=0)[0] == "first"
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="priority"):
+            JobQueue().push("x", priority="urgent")
+
+    def test_aged_batch_beats_fresh_high(self):
+        clock = FakeClock()
+        queue = JobQueue(aging_interval=1.0, clock=clock)
+        queue.push("starved", priority="batch")
+        clock.advance(3.0)  # batch score: 2 - 3/1 = -1 < fresh high's 0
+        queue.push("fresh", priority="high")
+        assert queue.pop(timeout=0)[0] == "starved"
+        assert queue.pop(timeout=0)[0] == "fresh"
+
+    def test_no_starvation_under_steady_high_traffic(self):
+        """A batch job outlasts any stream of fresh high-priority work."""
+        clock = FakeClock()
+        queue = JobQueue(aging_interval=1.0, clock=clock)
+        queue.push("batch-job", priority="batch")
+        popped = []
+        for index in range(10):
+            queue.push(f"high-{index}", priority="high")
+            clock.advance(0.5)
+            popped.append(queue.pop(timeout=0)[0])
+        assert "batch-job" in popped  # aged its way past the flood
+
+    def test_lane_snapshot_depth_and_wait(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        queue.push("a", priority="batch")
+        clock.advance(2.0)
+        queue.push("b", priority="batch")
+        snapshot = queue.lane_snapshot()
+        assert snapshot["batch"]["depth"] == 2
+        assert snapshot["batch"]["oldest_wait"] == pytest.approx(2.0)
+        assert snapshot["high"] == {"depth": 0, "oldest_wait": None}
+
+
+class TestLiveDepthCounters:
+    def test_cancel_flood_compacts_the_lane(self):
+        queue = JobQueue()
+        tokens = [queue.push(i) for i in range(20)]
+        for token in tokens[:15]:
+            token.cancel()
+        assert len(queue) == 5
+        # Compaction keeps the deque near the live size instead of
+        # accumulating every cancelled straggler until pop time.
+        assert len(queue._lanes["normal"]) <= 10
+
+    def test_precancelled_token_never_counts(self):
+        queue = JobQueue(maxsize=1)
+        dead = CancelToken()
+        dead.cancel()
+        queue.push("noise", token=dead)  # subscribe fires synchronously
+        assert len(queue) == 0
+        queue.push("real")  # the dead entry freed its slot immediately
+
+    def test_snapshot_entries_lists_only_live(self):
+        queue = JobQueue(clock=FakeClock())
+        token = queue.push("doomed", priority="batch")
+        queue.push("live", priority="high")
+        token.cancel()
+        rows = queue.snapshot_entries()
+        assert [row[0] for row in rows] == ["live"]
+        assert rows[0][2] == "high"
 
 
 class TestMapAllCancellationHook:

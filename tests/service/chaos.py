@@ -119,6 +119,32 @@ class FaultInjectingMapper(BatchMapper):
         return super().map_all(batch_jobs, should_cancel=should_cancel)
 
 
+class CountingMapper(BatchMapper):
+    """A BatchMapper that counts ``map_all`` invocations, then solves.
+
+    The deadline-propagation tests use it to prove a claimed-but-expired
+    job terminates with *zero* mapper invocations: the persistent
+    counter survives worker spawns and daemon restarts, so "the mapper
+    was never called" is a disk fact, not an in-memory guess.
+    """
+
+    def __init__(
+        self,
+        cache=None,
+        attempts_dir: str | Path | None = None,
+        key: str = "invocations",
+    ) -> None:
+        super().__init__(jobs=1, portfolio=False, cache=cache)
+        if attempts_dir is None:
+            raise ValueError("attempts_dir is required (counts must persist)")
+        self.attempts_dir = attempts_dir
+        self.key = key
+
+    def map_all(self, batch_jobs, should_cancel=None):
+        bump_attempt(self.attempts_dir, self.key)
+        return super().map_all(batch_jobs, should_cancel=should_cancel)
+
+
 # -- factories (FleetConfig.mapper_factory targets) ---------------------
 def flaky_mapper(cache=None, **kwargs):
     """First ``fail_first`` attempts raise; later attempts solve."""
@@ -133,3 +159,8 @@ def crashing_mapper(cache=None, **kwargs):
 def stalling_mapper(cache=None, **kwargs):
     """First ``fail_first`` attempts stall ``delay`` seconds, then solve."""
     return FaultInjectingMapper(cache=cache, mode="sleep", **kwargs)
+
+
+def counting_mapper(cache=None, **kwargs):
+    """Counts every ``map_all`` call in the attempts dir, then solves."""
+    return CountingMapper(cache=cache, **kwargs)

@@ -154,3 +154,72 @@ class TestJobSpec:
     def test_non_object_body_rejected(self):
         with pytest.raises(WireError, match="JSON object"):
             parse_job("map everything")
+
+
+class TestMultiTenantFields:
+    """Strictness for the admission-control fields: bad values die at
+    submit as 400s, never later as scheduler or worker failures."""
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(WireError, match="priority.*urgent"):
+            parse_job({"scenario": _scenario().payload(), "priority": "urgent"})
+        with pytest.raises(WireError, match="priority"):
+            JobSpec(scenarios=(_scenario(),), priority="urgent")
+
+    def test_non_string_priority_rejected(self):
+        with pytest.raises(WireError, match="priority"):
+            parse_job({"scenario": _scenario().payload(), "priority": 1})
+        with pytest.raises(WireError, match="priority"):
+            parse_job({"scenario": _scenario().payload(), "priority": ["high"]})
+
+    def test_bad_deadline_ms_rejected(self):
+        body = {"scenario": _scenario().payload()}
+        with pytest.raises(WireError, match="deadline_ms must be positive"):
+            parse_job({**body, "deadline_ms": -5})
+        with pytest.raises(WireError, match="deadline_ms must be positive"):
+            parse_job({**body, "deadline_ms": 0})
+        with pytest.raises(WireError, match="24 h"):
+            parse_job({**body, "deadline_ms": 25 * 60 * 60 * 1000})
+        with pytest.raises(WireError, match="integer"):
+            parse_job({**body, "deadline_ms": "soon"})
+        with pytest.raises(WireError, match="integer"):
+            parse_job({**body, "deadline_ms": 99.5})
+        # bools are ints to Python, never to the wire format
+        with pytest.raises(WireError, match="integer"):
+            parse_job({**body, "deadline_ms": True})
+
+    def test_integral_float_deadline_accepted(self):
+        # Some JSON encoders emit 30000.0; that is still 30000 ms.
+        parsed = parse_job(
+            {"scenario": _scenario().payload(), "deadline_ms": 30000.0}
+        )
+        assert parsed.deadline_ms == 30000
+        assert isinstance(parsed.deadline_ms, int)
+
+    def test_bad_client_rejected(self):
+        body = {"scenario": _scenario().payload()}
+        for bad in ("", "bad client!", "-leading-dash", "x" * 65, 7, None):
+            with pytest.raises(WireError, match="client"):
+                parse_job({**body, "client": bad})
+
+    def test_payload_roundtrip_preserves_tenant_fields(self):
+        spec = JobSpec(
+            scenarios=(_scenario(),),
+            priority="batch",
+            deadline_ms=30000,
+            client="team-a",
+        )
+        parsed = parse_job(json.loads(json.dumps(spec.payload())))
+        assert parsed == spec
+        assert parsed.priority == "batch"
+        assert parsed.deadline_ms == 30000
+        assert parsed.client == "team-a"
+
+    def test_default_tenant_fields_omitted_from_payload(self):
+        # Pre-existing journals/goldens must stay bit-identical: a spec
+        # that never opted in serializes exactly as it did before the
+        # fields existed.
+        body = JobSpec(scenarios=(_scenario(),)).payload()
+        assert "priority" not in body
+        assert "deadline_ms" not in body
+        assert "client" not in body
