@@ -9,7 +9,11 @@ Two claims behind PR-7's crash-tolerant fleet, measured:
   every superseded line;
 - **fleet** — a fleet of two worker processes finishes a batch of
   independent jobs in less wall-clock than one in-process worker thread,
-  spawn overhead included (the recorded ``speedup`` tracks how much).
+  spawn overhead included (the recorded ``speedup`` tracks how much);
+- **tracing** — end-to-end span tracing is cheap enough to leave on: the
+  same batch runs traced and untraced (best of two each), and the
+  recorded ``overhead_ratio`` must stay at or below
+  ``MAX_TRACE_OVERHEAD``.
 
 Emits ``BENCH_service.json`` at the **repo root** so both trajectories
 are tracked across PRs alongside the other ``BENCH_*.json`` files.
@@ -54,6 +58,15 @@ TIME_LIMIT = 15.0
 #: The contention floor: sharded must not lose to single-file by more
 #: than measurement noise (it usually wins outright).
 MIN_STORE_RATIO = 0.9
+
+#: Tracing workload: small real solves, re-run per mode on fresh
+#: store/cache so both modes do identical solver work.
+TRACE_SCENARIOS = (("C", 16), ("A", 18), ("E", 18))
+TRACE_REPEATS = 2
+
+#: The always-on budget: a traced batch may cost at most 5% more
+#: wall-clock than the identical untraced batch.
+MAX_TRACE_OVERHEAD = 1.05
 
 
 def _entry(fingerprint: str, payload_version: int) -> RunEntry:
@@ -180,6 +193,71 @@ def _run_fleet(tmp: Path) -> float:
     return elapsed
 
 
+def _trace_scenarios() -> list[Scenario]:
+    return [
+        Scenario(
+            architecture=ArchitectureSpec(
+                kind="homogeneous", dimension=dimension
+            ),
+            workload=WorkloadSpec(network=network, scale=0.3, profile="uniform"),
+            formulation=FormulationSpec(stages=("area",)),
+        )
+        for network, dimension in TRACE_SCENARIOS
+    ]
+
+
+def _run_batch(tmp: Path, tag: str, trace_dir: Path | None) -> float:
+    """One classic-service batch on a fresh store/cache; returns wall-clock."""
+    explorer = Explorer(
+        store=RunStore(tmp / f"{tag}-store.jsonl"),
+        cache=ResultCache(),
+        time_limit=TIME_LIMIT,
+    )
+    service = MappingService(explorer, trace_dir=trace_dir)
+    service.start()
+    started = time.perf_counter()
+    jobs = [
+        service.submit(
+            JobSpec(scenarios=(scenario,), tier="ilp", time_limit=TIME_LIMIT)
+        )
+        for scenario in _trace_scenarios()
+    ]
+    _wait_all(service, [job.id for job in jobs])
+    elapsed = time.perf_counter() - started
+    service.stop(wait=True)
+    return elapsed
+
+
+def _trace_overhead(tmp: Path) -> dict:
+    """Traced-vs-untraced wall-clock on identical work, best of N each.
+
+    Runs alternate modes (untraced, traced, untraced, ...) so slow
+    machine-wide drift hits both sides equally; the min per mode strips
+    scheduler noise from what is fundamentally a deterministic batch.
+    """
+    untraced, traced = [], []
+    from repro import trace as trace_mod
+
+    for repeat in range(TRACE_REPEATS):
+        untraced.append(_run_batch(tmp, f"plain-{repeat}", None))
+        traced.append(
+            _run_batch(tmp, f"traced-{repeat}", tmp / f"trace-{repeat}")
+        )
+        # The classic service installs a process-global runtime; drop it
+        # between repeats so untraced runs really are untraced.
+        trace_mod.uninstall()
+    spans = len(trace_mod.read_trace_dir(tmp / "trace-0"))
+    return {
+        "jobs": len(TRACE_SCENARIOS),
+        "repeats": TRACE_REPEATS,
+        "untraced_seconds": min(untraced),
+        "traced_seconds": min(traced),
+        "overhead_ratio": min(traced) / min(untraced),
+        "records_per_batch": spans,
+        "max_overhead": MAX_TRACE_OVERHEAD,
+    }
+
+
 def _wait_all(service, job_ids, timeout: float = 300.0) -> None:
     deadline = time.monotonic() + timeout
     for job_id in job_ids:
@@ -200,7 +278,9 @@ def _run_bench() -> dict:
         sharded = _hammer(tmp / "sharded-store", shards=SHARDS)
         single_wall = _run_single(tmp)
         fleet_wall = _run_fleet(tmp)
+        tracing = _trace_overhead(tmp)
     return {
+        "tracing": tracing,
         "store": {
             "writers": WRITERS,
             "shards": SHARDS,
@@ -247,3 +327,10 @@ def test_benchmark_service(benchmark):
     )
     assert stats["fleet"]["speedup"] > 0  # recorded, not asserted faster:
     # two spawns plus solver variance can eat the win on tiny batches.
+
+    tracing = stats["tracing"]
+    assert tracing["records_per_batch"] > 0, "traced batch journaled nothing"
+    assert tracing["overhead_ratio"] <= MAX_TRACE_OVERHEAD, (
+        f"tracing cost {tracing['overhead_ratio']:.3f}x the untraced batch "
+        f"(> {MAX_TRACE_OVERHEAD}x budget)"
+    )

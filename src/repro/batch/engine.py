@@ -48,6 +48,7 @@ from ..mapping.solution import Mapping
 from ..mca.architecture import Architecture
 from ..snn.network import Network
 from ..ilp.result import SolveResult, SolveStatus
+from .. import trace
 from .cache import ResultCache
 from .portfolio import portfolio_solver_factory
 
@@ -235,7 +236,11 @@ class BatchMapper:
         submission order, matching a plain serial loop bit-for-bit.
     portfolio:
         Race HiGHS against the branch-and-bound backend per stage and keep
-        the best incumbent (see :mod:`repro.batch.portfolio`).
+        the best incumbent (see :mod:`repro.batch.portfolio`).  May also
+        be a :data:`~repro.mapping.pipeline.SolverFactory` for a custom
+        per-stage solver (e.g. a different portfolio composition) —
+        callable factories are serial-only (``jobs=1``): closures do not
+        cross the process pool.
     cache:
         Optional :class:`ResultCache`; hits skip the solve entirely and
         rehydrate the stored solution.
@@ -284,18 +289,19 @@ class BatchMapper:
 
         records: dict[int, JobRecord] = {}
         pending: list[tuple[int, BatchJob, str]] = []
-        for idx, job in enumerate(batch_jobs):
-            key = job.fingerprint(self.portfolio)
-            payload = self.cache.get(key) if self.cache is not None else None
-            if payload is not None and not _cache_entry_satisfies(job, payload):
-                # The cached solve limited out under a smaller budget than
-                # this job brings: re-solve rather than pin the old quality.
-                self.cache.stats.reclassify_hit_as_miss()
-                payload = None
-            if payload is not None:
-                records[idx] = _rehydrate(job, key, payload, from_cache=True)
-            else:
-                pending.append((idx, job, key))
+        with trace.span("cache-lookup", jobs=len(batch_jobs)):
+            for idx, job in enumerate(batch_jobs):
+                key = job.fingerprint(self.portfolio)
+                payload = self.cache.get(key) if self.cache is not None else None
+                if payload is not None and not _cache_entry_satisfies(job, payload):
+                    # The cached solve limited out under a smaller budget than
+                    # this job brings: re-solve rather than pin the old quality.
+                    self.cache.stats.reclassify_hit_as_miss()
+                    payload = None
+                if payload is not None:
+                    records[idx] = _rehydrate(job, key, payload, from_cache=True)
+                else:
+                    pending.append((idx, job, key))
 
         sink = self.metrics
         if sink is not None and pending:
@@ -312,6 +318,7 @@ class BatchMapper:
                 )
                 if cacheable and self.cache is not None:
                     self.cache.put(key, payload)
+                _record_stage_spans(job.name, payload)
                 records[idx] = _rehydrate(job, key, payload, from_cache=False)
         finally:
             # A crash mid-batch must not leave the in-flight gauge stuck
@@ -399,6 +406,49 @@ class BatchMapper:
                 yield from _drain_cancelled()
 
 
+def _record_stage_spans(name: str, payload: dict) -> None:
+    """Reconstruct per-stage/per-phase spans from a completed payload.
+
+    Pool workers have no ambient trace context (nothing crosses the
+    ``ProcessPoolExecutor`` boundary but plain data), so the parent derives
+    solver spans after the fact from the phase breakdowns the payload
+    carries — end-aligned to now, stages walked newest-first.  Strictly a
+    no-op when tracing is inactive.
+    """
+    if trace.current_context() is None or trace.get_runtime() is None:
+        return
+    end = time.time()
+    for stage in reversed(payload.get("stages") or []):
+        summary = stage.get("solve") or {}
+        phases = [
+            (str(phase), float(seconds))
+            for phase, seconds in summary.get("phases") or ()
+        ]
+        stage_wall = sum(seconds for _, seconds in phases) or float(
+            summary.get("wall_time") or 0.0
+        )
+        stage_start = end - stage_wall
+        trace.record_span(
+            f"stage:{stage.get('name')}",
+            start=stage_start,
+            duration=stage_wall,
+            job=name,
+            backend=summary.get("backend"),
+            status=summary.get("status"),
+        )
+        cursor = stage_start
+        for phase, seconds in phases:
+            trace.record_span(
+                f"phase:{phase}",
+                start=cursor,
+                duration=seconds,
+                job=name,
+                stage=stage.get("name"),
+            )
+            cursor += seconds
+        end = stage_start
+
+
 def parallel_map(fn, items, jobs: int = 1) -> list:
     """Ordered ``map(fn, items)`` across a process pool.
 
@@ -444,7 +494,10 @@ def _execute_job(job: BatchJob, portfolio: bool) -> dict:
     start = time.perf_counter()
     try:
         problem = job.build_problem()
-        solver = portfolio_solver_factory() if portfolio else None
+        if callable(portfolio):
+            solver = portfolio
+        else:
+            solver = portfolio_solver_factory() if portfolio else None
         pipeline = MappingPipeline(
             problem,
             area_time_limit=job.area_time_limit,
@@ -543,6 +596,7 @@ def _solve_summary(solve: SolveResult | None) -> dict | None:
         "wall_time": solve.wall_time,
         "node_count": solve.node_count,
         "backend": solve.backend,
+        "phases": [[name, float(seconds)] for name, seconds in solve.phases],
     }
 
 
@@ -574,6 +628,12 @@ def _rehydrate(job: BatchJob, key: str, payload: dict, from_cache: bool) -> JobR
                 wall_time=summary["wall_time"],
                 node_count=summary["node_count"],
                 backend=summary["backend"],
+                # Tolerant: entries cached before phase breakdowns existed
+                # simply rehydrate with an empty tuple.
+                phases=tuple(
+                    (str(name), float(seconds))
+                    for name, seconds in summary.get("phases") or ()
+                ),
             )
         stages[stage["name"]] = StageRecord(stage["name"], mapping, metrics, solve)
     return JobRecord(

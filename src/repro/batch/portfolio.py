@@ -23,9 +23,11 @@ deterministic time, then on portfolio order.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from .. import trace
 from ..ilp.model import Model, ObjectiveSense
 from ..ilp.result import SolveResult, SolveStatus
 from ..ilp.solve import SolverSpec, solve_model
@@ -106,7 +108,10 @@ class PortfolioSolver:
         # Model.lower() (and warm-start feasibility check) then reuses the
         # cached system instead of re-lowering per backend — including in
         # thread mode, where racers would otherwise assemble concurrently.
+        lower_entry = time.perf_counter()
         model.lower()
+        lower_wall = time.perf_counter() - lower_entry
+        race_start = time.time()
         results: list[SolveResult] = []
         if opts.race == "threads" and len(opts.specs) > 1:
             with ThreadPoolExecutor(max_workers=len(opts.specs)) as pool:
@@ -126,6 +131,25 @@ class PortfolioSolver:
                     # members, report the best of what finished.
                     break
 
+        # Per-arm race spans: derived post-race from each member's own
+        # wall time (thread racers don't inherit the ambient context, so
+        # recording here covers both race modes).  Sequential arms are
+        # laid end to end; threaded arms all start at the race start.
+        arm_start = race_start
+        for member in results:
+            trace.record_span(
+                f"arm:{member.backend}",
+                start=arm_start,
+                duration=member.wall_time,
+                status=member.status.value,
+                objective=member.objective,
+                bound=member.bound,
+                det_time=member.det_time,
+                nodes=member.node_count,
+            )
+            if opts.race != "threads":
+                arm_start += member.wall_time
+
         winner = _pick_winner(results, model.objective_sense)
         winner.det_time = sum(r.det_time for r in results)
         winner.wall_time = (
@@ -134,6 +158,10 @@ class PortfolioSolver:
             else sum(r.wall_time for r in results)
         )
         winner.backend = f"{self.name}[{winner.backend}]"
+        # The shared lowering above is work the winning arm's own phase
+        # breakdown never saw — prepend it so phase histograms account
+        # for every second the portfolio spent.
+        winner.phases = (("lower", lower_wall),) + tuple(winner.phases)
         # A race truncated by cancellation is itself degraded unless the
         # winner independently proved optimality — tag it so the batch
         # cache refuses the result even when the interrupted member lost.

@@ -319,6 +319,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             drain_timeout=args.drain_timeout,
         ),
+        trace_dir=args.trace_dir,
+        trace_slow_span=args.trace_slow_span,
     )
     server = make_server(service, host=args.host, port=args.port)
 
@@ -344,6 +346,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"job journal {args.journal}: {replayed} job(s) replayed", flush=True)
     if args.log_jobs:
         print(f"structured job log -> {args.log_jobs}", flush=True)
+    if args.trace_dir:
+        print(f"span journals -> {args.trace_dir}", flush=True)
     print("POST /jobs to submit; POST /shutdown to stop", flush=True)
     run_server(service, server)
     store.close()
@@ -401,6 +405,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"invalid submission: {exc}", file=sys.stderr)
         return 2
 
+    trace_context = None
+    if args.trace is not None:
+        from . import trace as trace_mod
+
+        if args.trace == "new":
+            trace_context = trace_mod.mint_context().encode()
+        elif trace_mod.valid_encoded(args.trace):
+            trace_context = args.trace
+        else:
+            print(
+                f"invalid --trace {args.trace!r}: expected "
+                "'<trace-id>' or '<trace-id>:<span-id>' (lowercase hex)",
+                file=sys.stderr,
+            )
+            return 2
+
     client = ServiceClient(
         args.url,
         timeout=args.timeout,
@@ -408,9 +428,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         client=args.client,
     )
     try:
-        submitted = client.submit(payload=payload)
+        submitted = client.submit(payload=payload, trace=trace_context)
         job_id = submitted["id"]
         print(f"submitted {job_id} ({submitted['scenarios']} scenario(s))")
+        if submitted.get("trace"):
+            trace_id = submitted["trace"].partition(":")[0]
+            print(f"trace {trace_id} (repro trace {job_id} --url {args.url})")
         if args.stream:
             try:
                 for event in client.stream(job_id, timeout=args.timeout):
@@ -458,6 +481,76 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(detail, indent=2) + "\n")
         print(f"job detail written to {args.json}")
     return 0 if detail["status"] == "done" else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from . import trace as trace_mod
+
+    target = Path(args.target)
+    try:
+        if target.is_dir():
+            records = trace_mod.read_trace_dir(target, args.trace_id)
+            source = f"directory {target}"
+        elif target.is_file():
+            from .jsonlio import read_jsonl
+
+            records = list(read_jsonl(target))
+            if args.trace_id:
+                records = [
+                    record for record in records
+                    if record.get("trace") == args.trace_id
+                ]
+            source = f"journal {target}"
+        else:
+            from .service.client import ServiceClient, ServiceError
+
+            client = ServiceClient(args.url)
+            try:
+                payload = client.trace(args.target)
+            except ServiceError as exc:
+                print(f"service error: {exc}", file=sys.stderr)
+                if exc.status == 404:
+                    print(
+                        "unknown job id (and no such file/directory); is "
+                        "the daemon running with --trace-dir?",
+                        file=sys.stderr,
+                    )
+                return 2
+            records = payload["records"]
+            source = f"job {args.target} ({payload['status']})"
+            if payload.get("progress"):
+                progress = payload["progress"]
+                gap = progress.get("gap")
+                print(
+                    "live progress: "
+                    f"objective={progress.get('objective')} "
+                    f"bound={progress.get('bound')}"
+                    + (f" gap={gap:.3f}" if gap is not None else "")
+                )
+    except OSError as exc:
+        print(f"cannot read {args.target}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no trace records in {source}", file=sys.stderr)
+        return 1
+    print(trace_mod.render_tree(records))
+    if args.slow:
+        print(f"\nslowest {args.slow} span(s):")
+        for span in trace_mod.slowest_spans(records, args.slow):
+            print(
+                f"  {span.duration * 1000.0:9.1f}ms  {span.name}"
+                f"  [{span.process}]"
+            )
+    if args.chrome:
+        chrome = trace_mod.chrome_trace(records)
+        Path(args.chrome).write_text(
+            json.dumps(chrome) + "\n", encoding="utf-8"
+        )
+        print(f"chrome trace written to {args.chrome}")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -719,6 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--aging-interval", type=float, default=30.0,
                        help="seconds of queue wait that promote a job one "
                             "priority class (anti-starvation aging)")
+    serve.add_argument("--trace-dir", default=None,
+                       help="span-journal directory; enables end-to-end "
+                            "tracing (every job gets a trace id, "
+                            "GET /jobs/<id>/trace serves the span tree)")
+    serve.add_argument("--trace-slow-span", type=float, default=None,
+                       help="log + count spans slower than this many "
+                            "seconds (needs --trace-dir)")
     serve.add_argument("--drain-timeout", type=float, default=20.0,
                        help="fleet: seconds to wait for in-flight jobs "
                             "on shutdown before re-queueing them")
@@ -763,6 +863,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--deadline-ms", type=int, default=None,
                         help="end-to-end deadline in milliseconds; an "
                              "expired job fails fast as 'deadline'")
+    submit.add_argument("--trace", nargs="?", const="new", default=None,
+                        help="trace the job end to end: with no value, "
+                             "mint a fresh trace id; with a value, join an "
+                             "existing trace ('<trace-id>[:<span-id>]'). "
+                             "Needs a server started with --trace-dir")
     submit.add_argument("--stream", action="store_true",
                         help="print the NDJSON event stream while waiting")
     submit.add_argument("--timeout", type=float, default=300.0,
@@ -773,6 +878,24 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--json", default=None,
                         help="write the final job detail JSON here")
     submit.set_defaults(func=_cmd_submit)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="inspect a job's span tree (from the daemon or journal files)",
+    )
+    trace_cmd.add_argument("target",
+                           help="job id (fetched from --url), a span-journal "
+                                ".jsonl file, or a trace directory")
+    trace_cmd.add_argument("--url", default="http://127.0.0.1:8100",
+                           help="daemon base URL (job-id targets)")
+    trace_cmd.add_argument("--trace-id", default=None,
+                           help="filter file/directory targets to one trace")
+    trace_cmd.add_argument("--chrome", default=None, metavar="PATH",
+                           help="also write a Chrome trace-event JSON "
+                                "(load in Perfetto / chrome://tracing)")
+    trace_cmd.add_argument("--slow", type=int, default=0, metavar="N",
+                           help="also list the N slowest spans")
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser(
         "bench",

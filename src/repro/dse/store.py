@@ -47,10 +47,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO
 
-try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    fcntl = None  # type: ignore[assignment]
+from ..jsonlio import flock as _shared_flock
+from ..jsonlio import funlock as _shared_funlock
+from ..jsonlio import heal_torn_tail as _shared_heal_torn_tail
 
 #: Bump when the entry schema changes; older entries are ignored on load.
 STORE_FORMAT = 1
@@ -184,31 +183,19 @@ class _Appender:
             setattr(self, attr, None)
 
 
+# The flock/heal protocol lives in repro.jsonlio now (shared with the
+# service journals and the trace span journals); the historical names
+# stay importable for callers and tests grown against this module.
 def _heal_torn_tail(handle: IO[bytes]) -> None:
-    """Terminate a torn final line left by a crashed writer.
-
-    Must run under the exclusive lock.  If the file's last byte is not a
-    newline, some sibling died mid-append; writing our entry straight
-    after it would merge the two lines and lose *ours* too.  A lone
-    ``\\n`` turns the torn tail into one unparseable line that the
-    loader already skips, and keeps every later entry intact.
-    """
-    size = handle.seek(0, 2)
-    if size == 0:
-        return
-    handle.seek(size - 1)
-    if handle.read(1) != b"\n":
-        handle.write(b"\n")
+    _shared_heal_torn_tail(handle)
 
 
 def _flock(handle: IO[bytes], exclusive: bool) -> None:
-    if fcntl is not None:
-        fcntl.flock(handle, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+    _shared_flock(handle, exclusive)
 
 
 def _funlock(handle: IO[bytes]) -> None:
-    if fcntl is not None:
-        fcntl.flock(handle, fcntl.LOCK_UN)
+    _shared_funlock(handle)
 
 
 class RunStore:

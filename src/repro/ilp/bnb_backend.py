@@ -28,6 +28,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from .. import trace
 from .dettime import DeterministicClock
 from .model import MatrixForm, Model
 from .result import Incumbent, SolveResult, SolveStatus
@@ -133,17 +134,23 @@ class BnBBackend:
         keep_values: bool = True,
     ) -> SolveResult:
         opts = self.options
+        entry = time.perf_counter()
         form = model.lower()
         relax = _LpRelaxation(form)
         clock = DeterministicClock()
         clock.charge("setup", relax.nnz * 0.001)
         start = time.perf_counter()
+        presolve_wall = start - entry
         names = model.var_names()
         int_mask = form.integrality > 0
 
         best_x: np.ndarray | None = None
         best_obj = np.inf  # minimized-form objective (c.x)
         incumbents: list[Incumbent] = []
+        # Mutable search state shared with _search (and read by the
+        # progress events) so an interrupt mid-loop still leaves the
+        # true node count and bound readable.
+        state: dict = {"nodes": 0, "bound": None}
 
         def record(x: np.ndarray, cx: float) -> None:
             nonlocal best_x, best_obj
@@ -159,6 +166,17 @@ class BnBBackend:
                         wall_time=time.perf_counter() - start,
                         values=values,
                     )
+                )
+                trace.progress(
+                    "incumbent",
+                    objective=form.sign * (cx + form.offset),
+                    bound=(
+                        form.sign * (state["bound"] + form.offset)
+                        if state["bound"] is not None
+                        else None
+                    ),
+                    nodes=state["nodes"],
+                    det_time=clock.now(),
                 )
 
         if warm_start is not None:
@@ -176,7 +194,8 @@ class BnBBackend:
         clock.charge_lp(nit, relax.nnz)
         if status == "infeasible":
             return self._finish(
-                SolveStatus.INFEASIBLE, None, None, None, clock, start, incumbents, 1
+                SolveStatus.INFEASIBLE, None, None, None, clock, start,
+                incumbents, 1, presolve=presolve_wall,
             )
         if status in ("unbounded", "error"):
             final = (
@@ -186,17 +205,17 @@ class BnBBackend:
                 return self._finish(
                     SolveStatus.FEASIBLE, best_x, best_obj, None, clock, start,
                     incumbents, 1, form, names, keep_values,
+                    presolve=presolve_wall,
                 )
             return self._finish(
-                final, None, None, None, clock, start, incumbents, 1
+                final, None, None, None, clock, start, incumbents, 1,
+                presolve=presolve_wall,
             )
 
         counter = itertools.count()
         heap: list[_Node] = []
         heapq.heappush(heap, _Node(obj, next(counter), root_lb, root_ub))
-        # Mutable search state shared with _search so that an interrupt
-        # mid-loop still leaves the true node count and bound readable.
-        state = {"nodes": 0, "bound": obj}
+        state["bound"] = obj
 
         interrupted = False
         try:
@@ -210,6 +229,24 @@ class BnBBackend:
             interrupted = True
         nodes = state["nodes"]
         global_bound = state["bound"]
+        # Final progress event: every solve that reached the search loop
+        # reports its last bound/node count, even when no incumbent ever
+        # improved (limits, interrupts).
+        trace.progress(
+            "bound",
+            objective=(
+                form.sign * (best_obj + form.offset)
+                if best_obj < np.inf
+                else None
+            ),
+            bound=(
+                form.sign * (global_bound + form.offset)
+                if global_bound is not None
+                else None
+            ),
+            nodes=nodes,
+            det_time=clock.now(),
+        )
 
         # An interrupted search proves nothing: the heap may be transiently
         # empty (node popped, children not yet pushed), so never conclude
@@ -220,7 +257,8 @@ class BnBBackend:
         if best_x is None:
             final = SolveStatus.INFEASIBLE if exhausted else SolveStatus.NO_SOLUTION
             result = self._finish(
-                final, None, None, global_bound, clock, start, incumbents, nodes
+                final, None, None, global_bound, clock, start, incumbents,
+                nodes, presolve=presolve_wall,
             )
             if interrupted:
                 result.backend = f"{self.name}-interrupted"
@@ -236,7 +274,7 @@ class BnBBackend:
         )
         result = self._finish(
             final, best_x, best_obj, global_bound, clock, start, incumbents,
-            nodes, form, names, keep_values,
+            nodes, form, names, keep_values, presolve=presolve_wall,
         )
         if interrupted:
             # Tag the degradation so portfolios and the batch cache can
@@ -272,6 +310,21 @@ class BnBBackend:
             nodes += 1
             state["nodes"] = nodes
             clock.charge_node()
+            if nodes % opts.heuristic_period == 0:
+                # Live bound convergence, paced with the heuristic so the
+                # event stream stays O(nodes / period).  No-op untraced.
+                form = relax.form
+                trace.progress(
+                    "bound",
+                    objective=(
+                        form.sign * (best_obj + form.offset)
+                        if best_obj < np.inf
+                        else None
+                    ),
+                    bound=form.sign * (node.bound + form.offset),
+                    nodes=nodes,
+                    det_time=clock.now(),
+                )
             status, obj, x, nit = relax.solve(node.lb, node.ub)
             clock.charge_lp(nit, relax.nnz)
             if status != "optimal" or obj >= best_obj - 1e-9:
@@ -328,6 +381,7 @@ class BnBBackend:
         form: MatrixForm | None = None,
         names: list[str] | None = None,
         keep_values: bool = True,
+        presolve: float = 0.0,
     ) -> SolveResult:
         values = None
         objective = None
@@ -340,6 +394,7 @@ class BnBBackend:
                 user_bound = form.sign * (bound + form.offset)
         elif bound is not None and form is not None:
             user_bound = form.sign * (bound + form.offset)
+        wall = time.perf_counter() - start
         return SolveResult(
             status=status,
             objective=objective,
@@ -347,10 +402,11 @@ class BnBBackend:
             x=best_x if (best_x is not None and keep_values) else None,
             bound=user_bound,
             det_time=clock.now(),
-            wall_time=time.perf_counter() - start,
+            wall_time=wall,
             incumbents=incumbents,
             node_count=nodes,
             backend=self.name,
+            phases=(("presolve", presolve), ("solve", wall)),
         )
 
 

@@ -71,7 +71,9 @@ class HighsBackend:
         returned as the solution whenever HiGHS itself finds nothing better
         within its limits.
         """
+        entry = time.perf_counter()
         form = model.lower()
+        lower_wall = time.perf_counter() - entry
         warm_x: np.ndarray | None = None
         warm_obj: float | None = None
         if warm_start is not None:
@@ -146,6 +148,7 @@ class HighsBackend:
             incumbents=incumbents,
             node_count=nodes,
             backend=self.name,
+            phases=(("lower", lower_wall), ("solve", wall)),
         )
 
 

@@ -66,6 +66,13 @@ class SolveResult:
         Branch-and-bound nodes processed (0 for single-shot backends).
     backend:
         Name of the backend that produced the result.
+    phases:
+        Per-phase wall-time breakdown as ``(name, seconds)`` pairs in
+        execution order — e.g. ``(("build", ...), ("lower", ...),
+        ("solve", ...))``.  Backends record their own phases; wrapping
+        layers (pipeline build, portfolio lower) prepend theirs, so the
+        tuple reads outermost-first.  Plain data: it crosses process
+        pools and lands in solve summaries / phase histograms as-is.
     """
 
     status: SolveStatus
@@ -78,6 +85,7 @@ class SolveResult:
     incumbents: list[Incumbent] = field(default_factory=list)
     node_count: int = 0
     backend: str = ""
+    phases: tuple[tuple[str, float], ...] = ()
 
     def value(self, name: str, default: float = 0.0) -> float:
         """Value of variable ``name`` in the best solution."""

@@ -22,6 +22,7 @@ extraction — no name-keyed dict hops anywhere on the stage hot path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping as MappingT, Protocol
 
@@ -168,6 +169,7 @@ class MappingPipeline:
         return evaluate_mapping(mapping, counts)
 
     def _run_area(self, warm: Mapping) -> tuple[Mapping, SolveResult]:
+        build_entry = time.perf_counter()
         if self.precision is not None:
             handle = PrecisionAreaModel(
                 self.problem, self.precision, self.formulation
@@ -180,14 +182,19 @@ class MappingPipeline:
         else:
             handle = AreaModel(self.problem, self.formulation)
             warm_vec = handle.warm_start_from(warm)
+        build_wall = time.perf_counter() - build_entry
         backend = self.solver(self.area_time_limit)
         solve = backend.solve(handle.model, warm_start=warm_vec)
+        solve.phases = (("build", build_wall),) + tuple(solve.phases)
         return handle.extract_mapping(solve), solve
 
     def _run_snu(self, base: Mapping) -> tuple[Mapping, SolveResult]:
+        build_entry = time.perf_counter()
         handle = build_snu_model(self.problem, base, RouteObjective.GLOBAL)
+        build_wall = time.perf_counter() - build_entry
         backend = self.solver(self.route_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
+        solve.phases = (("build", build_wall),) + tuple(solve.phases)
         mapping = handle.extract_mapping(solve)
         # The SNU stage must never regress area (paper Figs. 5/6 premise).
         assert mapping.area() <= base.area() + 1e-9
@@ -196,9 +203,12 @@ class MappingPipeline:
     def _run_pgo(
         self, base: Mapping, profile: SpikeProfile | MappingT[int, int]
     ) -> tuple[Mapping, SolveResult]:
+        build_entry = time.perf_counter()
         handle = build_pgo_model(self.problem, base, profile)
+        build_wall = time.perf_counter() - build_entry
         backend = self.solver(self.route_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
+        solve.phases = (("build", build_wall),) + tuple(solve.phases)
         mapping = handle.extract_mapping(solve)
         assert mapping.area() <= base.area() + 1e-9
         return mapping, solve

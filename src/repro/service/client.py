@@ -24,6 +24,7 @@ from collections.abc import Iterable, Iterator
 from ..batch.queue import PRIORITY_NORMAL
 from ..dse.scenario import Scenario
 from ..dse.store import TIER_ILP
+from ..trace import TRACE_HEADER
 from .wire import DEFAULT_CLIENT, TERMINAL_STATUSES, WIRE_FORMAT, JobSpec
 
 
@@ -92,9 +93,15 @@ class ServiceClient:
         ceiling = min(self.backoff_cap, self.backoff_base * (2**attempt))
         return ceiling * random.random()
 
-    def _open(self, method: str, path: str, payload: dict | None = None):
+    def _open(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ):
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **(headers or {})}
         if self.client and self.client != DEFAULT_CLIENT:
             headers["X-Repro-Client"] = self.client
         if payload is not None:
@@ -127,12 +134,18 @@ class ServiceClient:
         except urllib.error.URLError as exc:
             raise ServiceError(f"{method} {path} failed: {exc.reason}") from None
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
         retries = self.max_retries if method == "GET" else 0
         attempt = 0
         while True:
             try:
-                with self._open(method, path, payload) as response:
+                with self._open(method, path, payload, headers) as response:
                     return json.loads(response.read().decode("utf-8"))
             except ServiceError as exc:
                 # Only *connection-level* trouble retries (no status):
@@ -151,8 +164,14 @@ class ServiceClient:
         time_limit: float | None = None,
         priority: str = PRIORITY_NORMAL,
         deadline_ms: int | None = None,
+        trace: str | None = None,
     ) -> dict:
-        """Submit scenarios (or a raw wire ``payload``); returns the 202 body."""
+        """Submit scenarios (or a raw wire ``payload``); returns the 202 body.
+
+        ``trace`` is an encoded trace context (or bare trace id) sent as
+        the ``X-Repro-Trace`` header — the daemon adopts it instead of
+        minting one, so a caller can stitch the job into its own trace.
+        """
         if (scenarios is None) == (payload is None):
             raise ValueError("pass exactly one of scenarios= or payload=")
         if payload is None:
@@ -166,10 +185,11 @@ class ServiceClient:
             ).payload()
         else:
             payload = {"format": WIRE_FORMAT, **payload}
+        headers = {TRACE_HEADER: trace} if trace else None
         attempt = 0
         while True:
             try:
-                return self._request("POST", "/jobs", payload)
+                return self._request("POST", "/jobs", payload, headers)
             except ServiceError as exc:
                 # Backpressure is explicitly retryable — a 429 means the
                 # job was NOT accepted, so resubmitting cannot duplicate
@@ -197,6 +217,10 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def trace(self, job_id: str) -> dict:
+        """The job's merged trace records (``GET /jobs/<id>/trace``)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
 
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")

@@ -16,6 +16,7 @@ Submissions flow ``HTTP -> JobRegistry -> JobQueue -> worker thread(s)
 ``GET /jobs``               job summaries, submission order
 ``GET /jobs/<id>``          full status, per-scenario results, event log
 ``GET /jobs/<id>/stream``   NDJSON event stream until the job finishes
+``GET /jobs/<id>/trace``    merged span records + live solver progress
 ``POST /jobs/<id>/cancel``  flag cancellation (queued: immediate)
 ``GET /healthz``            liveness + shared cache/store statistics
 ``GET /metrics``            lock-consistent counters/gauges/percentiles
@@ -46,6 +47,7 @@ from __future__ import annotations
 import json
 import math
 import multiprocessing
+import os
 import queue as queue_module
 import threading
 import time
@@ -54,6 +56,7 @@ from pathlib import Path
 
 from dataclasses import replace as dataclass_replace
 
+from .. import trace
 from ..batch.queue import (
     DEFAULT_AGING_INTERVAL,
     JobQueue,
@@ -124,6 +127,8 @@ class MappingService:
         admission: AdmissionController | None = None,
         shed_after: float | None = None,
         aging_interval: float = DEFAULT_AGING_INTERVAL,
+        trace_dir: str | Path | None = None,
+        trace_slow_span: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -147,6 +152,29 @@ class MappingService:
             admission if admission is not None else AdmissionController()
         )
         self.fleet_config = fleet_config if fleet_config is not None else FleetConfig()
+        # Tracing: one runtime for this process, its journal named after
+        # the pid so restarts never contend over a file; fleet workers
+        # inherit the directory through their config.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.trace_runtime: trace.TraceRuntime | None = None
+        if self.trace_dir is not None:
+            self.trace_runtime = trace.install(
+                trace.TraceRuntime(
+                    self.trace_dir,
+                    f"daemon-{os.getpid()}",
+                    slow_span_threshold=trace_slow_span,
+                )
+            )
+            # Classic mode solves in-process: live solver progress flows
+            # straight into the gap gauge (fleet mode arrives the same
+            # place via worker heartbeats instead).
+            self.trace_runtime.on_progress = self.metrics.set_solver_progress
+            if self.fleet_config.trace_dir is None:
+                self.fleet_config = dataclass_replace(
+                    self.fleet_config,
+                    trace_dir=str(self.trace_dir),
+                    trace_slow_span=trace_slow_span,
+                )
         self._journal = (
             JsonlWriter(journal_path) if journal_path is not None else None
         )
@@ -245,6 +273,8 @@ class MappingService:
         for writer in (self._journal, self._job_log):
             if writer is not None:
                 writer.close()
+        if self.trace_runtime is not None:
+            self.trace_runtime.flush()
 
     # ------------------------------------------------------------------
     def _queue_depth(self) -> int:
@@ -294,7 +324,20 @@ class MappingService:
                     f"({self.max_queue_depth}); retry later",
                     retry_after=self._retry_after_hint(depth),
                 )
+        if self.trace_runtime is not None and spec.trace is None:
+            # No inbound context: the accept point mints the trace root.
+            spec = dataclass_replace(spec, trace=trace.mint_context().encode())
         job = self.registry.create(spec)
+        context = self._job_context(job)
+        if context is not None:
+            trace.event(
+                "accepted",
+                context,
+                job=job.id,
+                client=spec.client,
+                priority=spec.priority,
+                tier=spec.tier,
+            )
         # From here the in-flight charge is released by the terminal-
         # event observer — every path below ends terminal eventually.
         if self.ledger is not None:
@@ -318,6 +361,67 @@ class MappingService:
 
     def cancel(self, job_id: str) -> ServiceJob | None:
         return self.registry.cancel(job_id)
+
+    # -- tracing -------------------------------------------------------
+    def _job_context(self, job: ServiceJob) -> "trace.TraceContext | None":
+        """The job's trace context, or ``None`` (inactive/malformed)."""
+        if self.trace_runtime is None or job.spec.trace is None:
+            return None
+        try:
+            return trace.parse_context(job.spec.trace)
+        except ValueError:
+            return None
+
+    def _finish_trace(self, job: ServiceJob) -> None:
+        """Seal a job's trace: root span, gauge cleanup, journal flush.
+
+        The root span reuses the context's *own* span id, so every hop
+        recorded against the context (queue, lease, solve) parents to it
+        and ``repro trace`` renders one tree per job.
+        """
+        runtime = self.trace_runtime
+        context = self._job_context(job)
+        if runtime is None or context is None:
+            return
+        end = job.finished_at or time.time()
+        runtime.record_span(
+            trace.Span(
+                trace_id=context.trace_id,
+                span_id=context.span_id,
+                name="job",
+                start=job.submitted_at,
+                duration=max(0.0, end - job.submitted_at),
+                process=runtime.process,
+                attrs={"job": job.id, "status": job.status},
+            )
+        )
+        runtime.clear_progress(job.id)
+        self.metrics.clear_solver_progress(job.id)
+        runtime.flush()
+
+    def trace_payload(self, job_id: str) -> dict | None:
+        """The ``GET /jobs/<id>/trace`` body (``None`` -> 404).
+
+        Reads every journal in the trace directory — the supervisor's
+        merged file *and* the live per-process ones — so spans of a job
+        still running are visible before any merge happens.
+        """
+        job = self.registry.get(job_id)
+        if job is None:
+            return None
+        records: list[dict] = []
+        if self.trace_dir is not None and job.spec.trace is not None:
+            if self.trace_runtime is not None:
+                self.trace_runtime.flush()
+            trace_id = job.spec.trace.partition(":")[0]
+            records = trace.read_trace_dir(self.trace_dir, trace_id)
+        return {
+            "id": job.id,
+            "status": job.status,
+            "trace": job.spec.trace,
+            "records": records,
+            "progress": self.metrics.snapshot()["solver_progress"].get(job_id),
+        }
 
     # -- overload shedding ---------------------------------------------
     def _shed_loop(self) -> None:
@@ -491,7 +595,15 @@ class MappingService:
             "cache": cache.stats.snapshot() if cache is not None else None,
             "store_entries": len(self.explorer.store),
             "latency": snapshot["latency"],
+            "solver_progress": snapshot["solver_progress"],
         }
+        if self.trace_runtime is not None:
+            body["trace"] = {
+                "enabled": True,
+                "dir": str(self.trace_dir),
+                "slow_spans": self.trace_runtime.slow_spans,
+                "slow_span_threshold": self.trace_runtime.slow_span_threshold,
+            }
         if self.supervisor is not None and self.ledger is not None:
             body["fleet"] = self.supervisor.snapshot()
             body["ledger"] = self.ledger.counts()
@@ -525,6 +637,7 @@ class MappingService:
                 )
             finally:
                 self.metrics.observe("job_duration", time.monotonic() - started)
+                self._finish_trace(job)
 
     def _run_job(self, job: ServiceJob) -> None:
         if job.deadline_at is not None and job.deadline_at <= time.time():
@@ -542,21 +655,36 @@ class MappingService:
             return
         spec = job.spec
         scenarios = list(spec.scenarios)
-        if spec.tier == TIER_GREEDY:
-            results = self.explorer.evaluate_greedy(scenarios)
-        else:
-            # One batched call so a multi-scenario submission keeps the
-            # engine's process-pool parallelism and warm-start waves;
-            # the token is polled at solve boundaries inside the batch.
-            # The remaining deadline (if any) caps the solver budget so
-            # a runaway solve cannot overshoot the end-to-end deadline.
-            results = self.explorer.evaluate_ilp(
-                scenarios,
-                time_limit=capped_time_limit(
-                    spec.time_limit, self.explorer.time_limit, job.deadline_at
-                ),
-                should_cancel=job.token,
+        context = self._job_context(job)
+        if context is not None:
+            trace.record_span(
+                "queue",
+                context,
+                start=job.submitted_at,
+                duration=max(0.0, (job.started_at or time.time()) - job.submitted_at),
+                job=job.id,
+                priority=spec.priority,
             )
+        with trace.activate(context, job.id):
+            with trace.span("solve", job=job.id, tier=spec.tier):
+                if spec.tier == TIER_GREEDY:
+                    results = self.explorer.evaluate_greedy(scenarios)
+                else:
+                    # One batched call so a multi-scenario submission keeps
+                    # the engine's process-pool parallelism and warm-start
+                    # waves; the token is polled at solve boundaries inside
+                    # the batch.  The remaining deadline (if any) caps the
+                    # solver budget so a runaway solve cannot overshoot the
+                    # end-to-end deadline.
+                    results = self.explorer.evaluate_ilp(
+                        scenarios,
+                        time_limit=capped_time_limit(
+                            spec.time_limit,
+                            self.explorer.time_limit,
+                            job.deadline_at,
+                        ),
+                        should_cancel=job.token,
+                    )
         for result in results:
             self.registry.add_result(job, result_payload(result))
         if job.token.cancelled:
@@ -642,6 +770,8 @@ class Supervisor:
         self._draining = False
         self._thread: threading.Thread | None = None
         self._started = False
+        #: Per-source byte offsets into worker span journals (merge state).
+        self._trace_offsets: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -708,6 +838,7 @@ class Supervisor:
                     process.kill()
                     process.join(timeout=2.0)
                 self._merge_cache(handle.index)
+            self._merge_trace()
 
     # -- startup reconcile ---------------------------------------------
     def _reconcile(self) -> None:
@@ -818,6 +949,11 @@ class Supervisor:
                 return
             if kind == "heartbeat":
                 self.ledger.heartbeat(job_id)
+                progress = message.get("progress")
+                if isinstance(progress, dict) and isinstance(job_id, str):
+                    # The worker's live solver progress (incumbent/bound/
+                    # gap) surfaces through the daemon's /metrics gauge.
+                    self.service.metrics.set_solver_progress(job_id, progress)
                 return
             if kind == "started":
                 job = self.service.registry.get(job_id)
@@ -853,6 +989,8 @@ class Supervisor:
                     self.service.registry.finish(
                         job, JOB_DEADLINE, error="deadline exceeded before solve"
                     )
+                if job is not None:
+                    self.service._finish_trace(job)
                 return
             self.service.metrics.inc("fleet_bad_messages")
 
@@ -871,14 +1009,32 @@ class Supervisor:
         worker_cancelled: bool,
     ) -> None:
         registry = self.service.registry
+        lease_duration = None
+        lease_worker = None
         if handle is not None and handle.job == job_id:
+            if handle.dispatched_at is not None:
+                lease_duration = time.monotonic() - handle.dispatched_at
+                lease_worker = handle.name
             self._observe_duration(handle)
             handle.job = None
             self._merge_cache(handle.index)
+            self._merge_trace()
         job = registry.get(job_id)
         if job is None:  # evicted mid-flight; the answer is in the store
             self.ledger.finish(job_id, JOB_DONE)
             return
+        context = self.service._job_context(job)
+        if context is not None and lease_duration is not None:
+            # The lease span is reconstructed supervisor-side: dispatch to
+            # result, the interval the worker held the job.
+            trace.record_span(
+                "lease",
+                context,
+                start=time.time() - lease_duration,
+                duration=lease_duration,
+                job=job_id,
+                worker=lease_worker,
+            )
         if job.finished:  # a cancel landed while the result was in transit
             self.ledger.finish(job_id, job.status)
             return
@@ -887,6 +1043,7 @@ class Supervisor:
         if worker_cancelled or job.token.cancelled:
             registry.finish(job, JOB_CANCELLED)
             self.ledger.finish(job_id, JOB_CANCELLED)
+            self.service._finish_trace(job)
             return
         failed = [r for r in results if r.get("status") != "ok"]
         if failed:
@@ -898,6 +1055,7 @@ class Supervisor:
         else:
             registry.finish(job, JOB_DONE)
             self.ledger.finish(job_id, JOB_DONE)
+        self.service._finish_trace(job)
 
     def _attempt_failed(self, job_id: str, error: str) -> None:
         state = self.ledger.fail_attempt(job_id, error)
@@ -911,8 +1069,12 @@ class Supervisor:
                     JOB_ERROR,
                     error=f"dead-letter after {attempts} attempt(s): {error}",
                 )
+                self.service._finish_trace(job)
         elif state == LEASE_PENDING and job is not None:
             self.service.registry.requeue(job, reason=error)
+            context = self.service._job_context(job)
+            if context is not None:
+                trace.event("requeued", context, job=job_id, reason=error)
 
     def _reap_dead(self) -> None:
         for handle in self._handles:
@@ -924,6 +1086,7 @@ class Supervisor:
             handle.ready = False
             job_id, handle.job = handle.job, None
             self._merge_cache(handle.index)  # salvage finished payloads
+            self._merge_trace()  # salvage the dead worker's spans too
             if job_id is not None:
                 self._observe_duration(handle)
                 self._attempt_failed(
@@ -1000,18 +1163,51 @@ class Supervisor:
             waited = max(0.0, time.time() - job.submitted_at)
             self.service.metrics.observe("queue_wait", waited)
             self.service.metrics.observe(f"queue_wait_{lease.priority}", waited)
+            context = self.service._job_context(job)
+            if context is not None:
+                # Queue wait: ledger enqueue (or submission) to claim.
+                enqueued = getattr(lease, "enqueued_at", None) or job.submitted_at
+                trace.record_span(
+                    "queue",
+                    context,
+                    start=enqueued,
+                    duration=max(0.0, time.time() - enqueued),
+                    job=lease.id,
+                    priority=lease.priority,
+                    worker=handle.name,
+                )
             try:
                 handle.task_queue.put(
                     {
                         "job": lease.id,
                         "spec": lease.spec,
                         "deadline_at": lease.deadline_at,
+                        "trace": job.spec.trace,
                     }
                 )
             except (OSError, ValueError):
                 # The worker's pipe is broken (it just died); the reap
                 # pass will fail the attempt and respawn.
                 pass
+
+    # -- span-journal merging ------------------------------------------
+    def _merge_trace(self) -> None:
+        """Fold new worker span-journal lines into ``merged.jsonl``.
+
+        Incremental (per-source byte offsets) and torn-tail safe: a line
+        a SIGKILLed worker half-wrote is left for the next pass, which
+        will skip it the same way.  Reading tools dedup merged + source
+        copies, so merging is free to run as often as convenient.
+        """
+        trace_dir = self.service.trace_dir
+        if trace_dir is None:
+            return
+        dest = trace_dir / trace.MERGED_NAME
+        for source in sorted(trace_dir.glob("worker-*.jsonl")):
+            offset = self._trace_offsets.get(source.name, 0)
+            self._trace_offsets[source.name] = trace.merge_journal(
+                source, dest, offset
+            )
 
     # -- result-cache merging ------------------------------------------
     def _prime_cache(self, worker_id: int) -> None:
@@ -1154,6 +1350,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "GET /jobs",
                         "GET /jobs/<id>",
                         "GET /jobs/<id>/stream",
+                        "GET /jobs/<id>/trace",
                         "POST /jobs/<id>/cancel",
                         "GET /healthz",
                         "GET /metrics",
@@ -1177,6 +1374,12 @@ class _Handler(BaseHTTPRequestHandler):
             job = self._job_or_404(parts[1])
             if job is not None:
                 self._stream(job)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            payload = self.service.trace_payload(parts[1])
+            if payload is None:
+                self._send_error_json(404, f"no such job {parts[1]!r}")
+            else:
+                self._send_json(payload)
         else:
             self._send_error_json(404, f"unknown path {path!r}")
 
@@ -1191,6 +1394,11 @@ class _Handler(BaseHTTPRequestHandler):
                     # The header wins over a body `client` key; replace()
                     # re-runs validation, so a bad header is still a 400.
                     spec = dataclass_replace(spec, client=header.strip())
+                trace_header = self.headers.get(trace.TRACE_HEADER)
+                if trace_header:
+                    # Same contract as the client header: the caller's
+                    # context wins, and a malformed one is a 400.
+                    spec = dataclass_replace(spec, trace=trace_header.strip())
             except PayloadTooLarge as exc:
                 self._send_error_json(413, str(exc))
                 return

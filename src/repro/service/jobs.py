@@ -102,6 +102,7 @@ class ServiceJob:
             "results": len(self.results),
             "submitted_at": self.submitted_at,
             "error": self.error,
+            "trace": self.spec.trace,
         }
 
     def detail(self) -> dict:

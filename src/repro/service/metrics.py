@@ -24,20 +24,22 @@ Everything the ``GET /metrics`` endpoint reports lives here:
 
 from __future__ import annotations
 
-import json
+import re
 import threading
 import time
 from collections import deque
 from pathlib import Path
 from typing import IO, Callable, Iterator
 
-try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    fcntl = None  # type: ignore[assignment]
+from .. import jsonlio
+from ..jsonlio import read_jsonl as _read_jsonl
 
 #: Samples kept per histogram; percentiles are over this sliding window.
 HISTOGRAM_WINDOW = 2048
+
+#: Characters allowed in a solve-phase histogram suffix; anything else
+#: collapses to ``_`` so a hostile/garbled payload can't mint odd keys.
+_PHASE_NAME = re.compile(r"[^a-z0-9_]+")
 
 #: Percentiles every histogram snapshot reports.
 PERCENTILES = (50, 90, 99)
@@ -95,6 +97,8 @@ class ServiceMetrics:
         self._gauges: dict[str, int] = {}
         self._histograms: dict[str, _Histogram] = {}
         self._portfolio_wins: dict[str, int] = {}
+        #: job id -> latest in-flight solver progress (gap gauge et al).
+        self._solver_progress: dict[str, dict] = {}
 
     # -- primitives ----------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
@@ -190,12 +194,34 @@ class ServiceMetrics:
                         self._counters.get("portfolio_races", 0) + 1
                     )
                     self._portfolio_wins[arm] = self._portfolio_wins.get(arm, 0) + 1
+                for phase, seconds in solve.get("phases") or ():
+                    name = _PHASE_NAME.sub("_", str(phase).lower()) or "unknown"
+                    self._observe_locked(f"solve_phase_{name}", float(seconds))
             wall = payload.get("wall_time")
             if wall is not None:
-                histogram = self._histograms.get("solve_wall_time")
-                if histogram is None:
-                    histogram = self._histograms["solve_wall_time"] = _Histogram()
-                histogram.observe(float(wall))
+                self._observe_locked("solve_wall_time", float(wall))
+
+    def _observe_locked(self, name: str, value: float) -> None:
+        # Caller holds the lock.
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = _Histogram()
+        histogram.observe(value)
+
+    # -- live solver progress (trace-era gap gauge) --------------------
+    def set_solver_progress(self, job_id: str, progress: dict) -> None:
+        """Record a job's latest incumbent/bound/gap while it runs.
+
+        Fed by worker heartbeats (fleet mode) or the in-process trace
+        runtime (classic mode); cleared when the job finishes so the
+        ``/metrics`` gap section only ever shows live solves.
+        """
+        with self._lock:
+            self._solver_progress[job_id] = dict(progress)
+
+    def clear_solver_progress(self, job_id: str) -> None:
+        with self._lock:
+            self._solver_progress.pop(job_id, None)
 
     # -- scrape --------------------------------------------------------
     def snapshot(self) -> dict:
@@ -219,6 +245,10 @@ class ServiceMetrics:
                 "latency": {
                     name: histogram.snapshot()
                     for name, histogram in self._histograms.items()
+                },
+                "solver_progress": {
+                    job_id: dict(progress)
+                    for job_id, progress in self._solver_progress.items()
                 },
             }
 
@@ -334,13 +364,7 @@ class JsonlWriter:
                     return
                 batch = list(self._pending)
                 self._pending.clear()
-            lines = [
-                json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
-                    "utf-8"
-                )
-                + b"\n"
-                for record in batch
-            ]
+            lines = [jsonlio.dump_line(record) for record in batch]
             try:
                 self._write_locked(b"".join(lines))
             except OSError:  # disk trouble must not kill the daemon
@@ -350,58 +374,21 @@ class JsonlWriter:
                 self._wakeup.notify_all()
 
     def _write_locked(self, data: bytes) -> None:
-        handle = self._ensure_handle()
-        if fcntl is not None:
-            fcntl.flock(handle, fcntl.LOCK_EX)
-        try:
-            self._heal_torn_tail(handle)
-            handle.write(data)
-            handle.flush()
-        finally:
-            if fcntl is not None:
-                fcntl.flock(handle, fcntl.LOCK_UN)
+        jsonlio.append_records(self._ensure_handle(), data)
 
     def _ensure_handle(self) -> IO[bytes]:
         if self._handle is None or self._handle.closed:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # "a+b": O_APPEND keeps concurrent writers' lines whole; the
-            # read side lets the torn-tail check see the last byte.
-            self._handle = self.path.open("a+b")
+            self._handle = jsonlio.open_append(self.path)
         return self._handle
 
     @staticmethod
     def _heal_torn_tail(handle: IO[bytes]) -> None:
-        # Under the exclusive lock: a final line without its newline is a
-        # crashed sibling's torn write — terminate it so our lines (and
-        # the torn entry's successors) stay parseable.
-        size = handle.seek(0, 2)
-        if size == 0:
-            return
-        handle.seek(size - 1)
-        if handle.read(1) != b"\n":
-            handle.write(b"\n")
+        jsonlio.heal_torn_tail(handle)
 
 
 def read_jsonl(path: str | Path) -> Iterator[dict]:
-    """Yield every parseable JSON-object line of ``path`` (missing: none).
-
-    Torn tails, blank lines and non-object lines are silently skipped —
-    the journal/replay contract is "every healthy line, nothing else".
-    """
-    path = Path(path)
-    if not path.exists():
-        return
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(payload, dict):
-                yield payload
+    """Tolerant JSONL iterator (see :func:`repro.jsonlio.read_jsonl`)."""
+    return _read_jsonl(path)
 
 
 #: The observer signature the registry calls with each journal record.

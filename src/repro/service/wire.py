@@ -41,6 +41,7 @@ from ..batch.queue import PRIORITIES, PRIORITY_NORMAL
 from ..dse.explorer import ScenarioResult
 from ..dse.scenario import Scenario, scenario_from_payload
 from ..dse.store import TIER_GREEDY, TIER_ILP
+from ..trace import valid_encoded as _valid_trace
 
 #: Bump when the request/response schema changes incompatibly.
 WIRE_FORMAT = 1
@@ -66,6 +67,7 @@ _JOB_KEYS = {
     "priority",
     "deadline_ms",
     "client",
+    "trace",
 }
 
 _CLIENT_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -85,6 +87,10 @@ class JobSpec:
     priority: str = PRIORITY_NORMAL
     deadline_ms: int | None = None
     client: str = DEFAULT_CLIENT
+    #: Encoded trace context (``trace_id:span_id``), usually minted at
+    #: accept from the ``X-Repro-Trace`` header.  Living in the spec means
+    #: a fleet re-queue or journal replay keeps the job's trace identity.
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -122,6 +128,13 @@ class JobSpec:
                 "client must be 1-64 characters of [A-Za-z0-9._-] "
                 f"starting alphanumeric, got {self.client!r}"
             )
+        if self.trace is not None and (
+            not isinstance(self.trace, str) or not _valid_trace(self.trace)
+        ):
+            raise WireError(
+                "trace must be '<trace-id>:<span-id>' (lowercase hex), "
+                f"got {self.trace!r}"
+            )
 
     def payload(self) -> dict:
         """The submission body that parses back into this spec.
@@ -143,6 +156,8 @@ class JobSpec:
             body["deadline_ms"] = self.deadline_ms
         if self.client != DEFAULT_CLIENT:
             body["client"] = self.client
+        if self.trace is not None:
+            body["trace"] = self.trace
         return body
 
 
@@ -200,6 +215,7 @@ def parse_job(payload: object) -> JobSpec:
             priority=priority,
             deadline_ms=deadline_ms,
             client=payload.get("client", DEFAULT_CLIENT),
+            trace=payload.get("trace"),
         )
     except WireError:
         raise

@@ -42,6 +42,7 @@ import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import trace
 from ..batch.cache import ResultCache
 from ..batch.engine import BatchMapper
 from ..dse.store import TIER_GREEDY, RunStore
@@ -100,6 +101,10 @@ class FleetConfig:
     drain_timeout: float = 20.0
     mapper_factory: str | None = None
     mapper_kwargs: tuple = field(default_factory=tuple)
+    #: Span-journal directory; ``None`` disables tracing in the worker.
+    trace_dir: str | None = None
+    #: Slow-span watchdog threshold (seconds), forwarded to the runtime.
+    trace_slow_span: float | None = None
 
     def worker_cache_dir(self, worker_id: int) -> str | None:
         """The per-worker result-cache shard (merged by the supervisor)."""
@@ -146,6 +151,31 @@ def _load_factory(reference: str):
     return getattr(module, name)
 
 
+def _task_context(task: dict, spec) -> "trace.TraceContext | None":
+    """The trace context a task travels under, if any (never raises).
+
+    The supervisor sends the encoded context both as a task key and
+    inside the spec payload; the task key wins (it is what the live
+    dispatch saw), the spec copy covers ledger replays.
+    """
+    encoded = task.get("trace") or spec.trace
+    if not encoded:
+        return None
+    try:
+        return trace.parse_context(encoded)
+    except ValueError:
+        return None
+
+
+def _heartbeat_message(job_id: str, worker: str, runtime) -> dict:
+    message = {"type": "heartbeat", "job": job_id, "worker": worker}
+    if runtime is not None:
+        progress = runtime.progress_for(job_id)
+        if progress is not None:
+            message["progress"] = progress
+    return message
+
+
 class _Heartbeat(threading.Thread):
     """Renews one job's lease while the worker thread is deep in a solve."""
 
@@ -185,6 +215,15 @@ def worker_main(
     mapper = config.build_mapper(worker_id)
     explorer = Explorer(store=store, mapper=mapper, time_limit=config.time_limit)
     name = f"worker-{worker_id}"
+    runtime = None
+    if config.trace_dir is not None:
+        runtime = trace.install(
+            trace.TraceRuntime(
+                config.trace_dir,
+                f"{name}-{os.getpid()}",
+                slow_span_threshold=config.trace_slow_span,
+            )
+        )
     result_queue.put({"type": "ready", "worker": name, "pid": os.getpid()})
     try:
         while True:
@@ -203,26 +242,36 @@ def worker_main(
             result_queue.put({"type": "started", "job": job_id, "worker": name})
             heartbeat = _Heartbeat(
                 lambda: result_queue.put(
-                    {"type": "heartbeat", "job": job_id, "worker": name}
+                    _heartbeat_message(job_id, name, runtime)
                 ),
                 config.heartbeat_interval,
             )
             heartbeat.start()
             try:
                 spec = parse_job(task["spec"])
-                # Siblings may have finished scenarios since this store
-                # handle last looked; the reload keeps repeats zero-solve.
-                store.reload()
-                if spec.tier == TIER_GREEDY:
-                    results = explorer.evaluate_greedy(list(spec.scenarios))
-                else:
-                    results = explorer.evaluate_ilp(
-                        list(spec.scenarios),
-                        time_limit=capped_time_limit(
-                            spec.time_limit, config.time_limit, deadline_at
-                        ),
-                        should_cancel=cancel_event.is_set,
-                    )
+                context = _task_context(task, spec)
+                with trace.activate(context, job_id):
+                    with trace.span(
+                        "worker-solve", job=job_id, tier=spec.tier, worker=name
+                    ):
+                        # Siblings may have finished scenarios since this
+                        # store handle last looked; the reload keeps
+                        # repeats zero-solve.
+                        store.reload()
+                        if spec.tier == TIER_GREEDY:
+                            results = explorer.evaluate_greedy(
+                                list(spec.scenarios)
+                            )
+                        else:
+                            results = explorer.evaluate_ilp(
+                                list(spec.scenarios),
+                                time_limit=capped_time_limit(
+                                    spec.time_limit,
+                                    config.time_limit,
+                                    deadline_at,
+                                ),
+                                should_cancel=cancel_event.is_set,
+                            )
                 result_queue.put(
                     {
                         "type": "result",
@@ -253,5 +302,12 @@ def worker_main(
                 )
             finally:
                 heartbeat.stop()
+                if runtime is not None:
+                    # Flushed per task so a SIGKILL between tasks loses
+                    # nothing; the lease re-queue covers mid-task kills.
+                    runtime.flush()
+                    runtime.clear_progress(job_id)
     finally:
         store.close()
+        if runtime is not None:
+            runtime.close()

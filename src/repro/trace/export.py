@@ -1,0 +1,175 @@
+"""Trace exporters: span-tree text, Chrome trace-event JSON, slow-span view.
+
+Everything here is pure functions over the plain record dicts the
+journals store, so the ``repro trace`` CLI and the daemon's
+``GET /jobs/<id>/trace`` endpoint share one implementation.
+
+The Chrome export emits the `Trace Event Format`_ ("X" complete events
+plus process-name metadata), which loads directly in Perfetto or
+``chrome://tracing``.
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+from .spans import Span, TraceEvent, parse_record
+
+
+def parse_records(records: list[dict]) -> tuple[list[Span], list[TraceEvent]]:
+    """Split raw journal dicts into typed spans and events (junk dropped)."""
+    spans: list[Span] = []
+    events: list[TraceEvent] = []
+    for record in records:
+        parsed = parse_record(record)
+        if isinstance(parsed, Span):
+            spans.append(parsed)
+        elif isinstance(parsed, TraceEvent):
+            events.append(parsed)
+    return spans, events
+
+
+def trace_ids(records: list[dict]) -> list[str]:
+    """Distinct trace ids in first-appearance order."""
+    seen: list[str] = []
+    for record in records:
+        trace_id = record.get("trace")
+        if isinstance(trace_id, str) and trace_id not in seen:
+            seen.append(trace_id)
+    return seen
+
+
+def render_tree(records: list[dict]) -> str:
+    """Human-readable span tree with inline events.
+
+    Spans nest under their parents (orphans — parents lost to a torn
+    journal — render at the root); events attach to the span they were
+    recorded against.  Durations are milliseconds, offsets are relative
+    to the trace's earliest span start.
+    """
+    spans, events = parse_records(records)
+    if not spans and not events:
+        return "(no trace records)"
+    by_parent: dict[str | None, list[Span]] = {}
+    span_ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in span_ids else None
+        by_parent.setdefault(parent, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: s.start)
+    events_by_span: dict[str | None, list[TraceEvent]] = {}
+    for trace_event in events:
+        key = trace_event.span_id if trace_event.span_id in span_ids else None
+        events_by_span.setdefault(key, []).append(trace_event)
+    origin = min(
+        [span.start for span in spans] + [e.ts for e in events]
+    )
+    lines: list[str] = []
+    for trace_id in sorted({span.trace_id for span in spans} | {e.trace_id for e in events}):
+        lines.append(f"trace {trace_id}")
+
+    def emit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        attrs = _format_attrs(span.attrs)
+        lines.append(
+            f"{indent}{span.name}  +{(span.start - origin) * 1e3:.1f}ms "
+            f"{span.duration * 1e3:.1f}ms  [{span.process}]{attrs}"
+        )
+        for trace_event in sorted(
+            events_by_span.get(span.span_id, ()), key=lambda e: e.ts
+        ):
+            lines.append(
+                f"{indent}  * {trace_event.name}  "
+                f"+{(trace_event.ts - origin) * 1e3:.1f}ms"
+                f"{_format_attrs(trace_event.attrs)}"
+            )
+        for child in by_parent.get(span.span_id, ()):  # noqa: B023
+            emit(child, depth + 1)
+
+    for root in by_parent.get(None, ()):
+        emit(root, 1)
+    for trace_event in sorted(events_by_span.get(None, ()), key=lambda e: e.ts):
+        lines.append(
+            f"  * {trace_event.name}  +{(trace_event.ts - origin) * 1e3:.1f}ms"
+            f"{_format_attrs(trace_event.attrs)}"
+        )
+    return "\n".join(lines)
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  {" + ", ".join(parts) + "}"
+
+
+def slowest_spans(records: list[dict], limit: int = 10) -> list[Span]:
+    """The ``limit`` longest spans, descending by duration."""
+    spans, _ = parse_records(records)
+    spans.sort(key=lambda s: s.duration, reverse=True)
+    return spans[: max(0, limit)]
+
+
+def chrome_trace(records: list[dict]) -> dict:
+    """Records -> Chrome trace-event JSON (Perfetto-loadable).
+
+    Spans become ``"X"`` complete events (timestamps/durations in
+    microseconds); progress events become ``"i"`` instants.  Process
+    names map to synthetic integer pids, labelled via ``"M"`` metadata
+    events so the viewer shows ``daemon-1234`` / ``worker-0-5678`` rows.
+    """
+    spans, events = parse_records(records)
+    pids: dict[str, int] = {}
+
+    def pid_of(process: str) -> int:
+        if process not in pids:
+            pids[process] = len(pids) + 1
+        return pids[process]
+
+    trace_events: list[dict] = []
+    for span in spans:
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "span",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid_of(span.process),
+                "tid": 1,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    **span.attrs,
+                },
+            }
+        )
+    for trace_event in events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "name": trace_event.name,
+                "cat": "event",
+                "ts": trace_event.ts * 1e6,
+                "pid": pid_of(trace_event.process),
+                "tid": 1,
+                "args": {"trace_id": trace_event.trace_id, **trace_event.attrs},
+            }
+        )
+    metadata = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "args": {"name": process or "unknown"},
+        }
+        for process, pid in pids.items()
+    ]
+    return {"displayTimeUnit": "ms", "traceEvents": metadata + trace_events}

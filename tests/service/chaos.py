@@ -164,3 +164,72 @@ def stalling_mapper(cache=None, **kwargs):
 def counting_mapper(cache=None, **kwargs):
     """Counts every ``map_all`` call in the attempts dir, then solves."""
     return CountingMapper(cache=cache, **kwargs)
+
+
+class TracedStallingMapper(BatchMapper):
+    """Journals an ``attempt`` span, then stalls — the SIGKILL-survival
+    fixture for trace tests.
+
+    The span (tagged with the persistent attempt number) is flushed to
+    the worker's journal *before* the stall begins, so a test that kills
+    the worker mid-stall knows exactly which record must survive the
+    supervisor's salvage merge.
+    """
+
+    def __init__(
+        self,
+        cache=None,
+        attempts_dir: str | Path | None = None,
+        fail_first: int = 1,
+        key: str = "traced-stall",
+        delay: float = 60.0,
+    ) -> None:
+        super().__init__(jobs=1, portfolio=False, cache=cache)
+        if attempts_dir is None:
+            raise ValueError("attempts_dir is required (faults must persist)")
+        self.attempts_dir = attempts_dir
+        self.fail_first = fail_first
+        self.key = key
+        self.delay = delay
+
+    def map_all(self, batch_jobs, should_cancel=None):
+        from repro import trace
+
+        count = bump_attempt(self.attempts_dir, self.key)
+        trace.record_span(
+            "attempt", start=time.time(), duration=0.0, attempt=count
+        )
+        runtime = trace.get_runtime()
+        if runtime is not None:
+            runtime.flush()
+        if count <= self.fail_first:
+            deadline = time.monotonic() + self.delay
+            while time.monotonic() < deadline:
+                if should_cancel is not None and should_cancel():
+                    break
+                time.sleep(0.05)
+        return super().map_all(batch_jobs, should_cancel=should_cancel)
+
+
+def bnb_portfolio_mapper(cache=None, **kwargs):
+    """Race only the pure-Python branch-and-bound backend.
+
+    HiGHS usually proves optimality before the B&B even starts, so a
+    default portfolio rarely emits incumbent/bound progress events; this
+    factory forces the slow solver so traced fleet tests can observe
+    live solver progress deterministically.
+    """
+    from repro.batch.portfolio import portfolio_solver_factory
+    from repro.ilp.solve import SolverSpec
+
+    return BatchMapper(
+        jobs=1,
+        portfolio=portfolio_solver_factory(specs=(SolverSpec("bnb"),)),
+        cache=cache,
+        **kwargs,
+    )
+
+
+def traced_stalling_mapper(cache=None, **kwargs):
+    """Journals an attempt span then stalls; later attempts solve."""
+    return TracedStallingMapper(cache=cache, **kwargs)

@@ -52,7 +52,7 @@ def _client(monkeypatch, script, **kwargs):
     calls = []
     sleeps = []
 
-    def fake_open(method, path, payload=None):
+    def fake_open(method, path, payload=None, headers=None):
         calls.append((method, path))
         outcome = script.pop(0)
         if isinstance(outcome, Exception):
