@@ -18,6 +18,17 @@ Asserted, per instance:
 - the columnar path is **>= 5x** faster at build+lower on every fig-scale
   SNU instance (the acceptance floor; observed is typically ~10x).
 
+It also benches the structure-exploiting *solve* acceleration:
+
+- **accelerated vs baseline arm** — the fig2-E SNU instance solved by the
+  ``lp_round`` racer on the ``symmetry="lex"`` model must be **>= 5x**
+  faster than the baseline node-capped HiGHS arm while matching or
+  beating its incumbent objective (the ``acceleration`` section);
+- **symmetry objective equality** — on instances the node-capped solve
+  closes to optimality, the symmetry-broken and unbroken models must
+  return bit-identical optimal objectives (the ``symmetry_equality``
+  section; symmetry breaking preserves the optimum, not the optimizer).
+
 Emits ``BENCH_ilp.json`` at the **repo root** so the solver-core perf
 trajectory is tracked across PRs alongside ``BENCH_simcore.json``.
 
@@ -38,9 +49,17 @@ from repro.ilp.expr import lin_sum
 from repro.ilp.highs_backend import HighsBackend, HighsOptions
 from repro.ilp.model import Model
 from repro.ilp.presolve import presolve
-from repro.mapping.axon_sharing import AreaModel, s_name, x_name, y_name, b_name
+from repro.ilp.solve import SolveStatus, SolverSpec, solve_model
+from repro.mapping.axon_sharing import (
+    AreaModel,
+    FormulationOptions,
+    s_name,
+    x_name,
+    y_name,
+    b_name,
+)
 from repro.mapping.greedy import greedy_first_fit
-from repro.mapping.snu import RouteModel, build_snu_model
+from repro.mapping.snu import RouteModel, RouteModelOptions, build_snu_model
 
 #: Repo root (benchmarks/ is one level below it).
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ilp.json"
@@ -53,6 +72,16 @@ INSTANCES = [
 ]
 #: Acceptance floor for columnar vs per-expression build+lower on SNU.
 MIN_BUILD_SPEEDUP = 5.0
+#: Acceptance floor for the symmetry + lp_round racer vs the baseline
+#: node-capped HiGHS arm on the fig2-E SNU solve.
+MIN_SOLVE_SPEEDUP = 5.0
+#: Which instance the acceleration floor is asserted on.
+ACCEL_INSTANCE = "fig2-E"
+#: Wall-clock cap for the lp_round arm.  The rounding repair loop drains
+#: its trial budget and exits early (a few seconds on the reference
+#: host); the cap only bites on much slower machines, where the baseline
+#: arm slows down proportionally, so the speedup floor still holds.
+LP_ROUND_TIME_LIMIT = 20.0
 #: Deterministic solve effort cap: identical model inputs + a node limit
 #: (never a wall-clock limit) keep the two paths' solves bit-comparable.
 SOLVE_NODE_LIMIT = 150
@@ -249,21 +278,136 @@ def _bench_instance(label: str, network_name: str, scale: float) -> list[dict]:
     return rows
 
 
+def _instance_problem(label: str):
+    """Rebuild the (deterministic) problem + greedy base for ``label``."""
+    _, name, scale = next(i for i in INSTANCES if i[0] == label)
+    config = ExperimentConfig(scale=scale)
+    problem = het_problem(paper_network(name, scale=scale), config)
+    return problem, greedy_first_fit(problem)
+
+
+def _bench_acceleration(rows: list[dict]) -> dict:
+    """The structure-exploiting arm vs the baseline arm on fig2-E SNU.
+
+    Baseline: the node-capped HiGHS solve already measured in ``rows``
+    (no warm start, no symmetry).  Accelerated: the ``lp_round`` racer on
+    the ``symmetry="lex"`` model, warm-started from the greedy base the
+    way the portfolio seeds its arms.  The racer's incumbent is checked
+    feasible against the model and sandwiched by the LP bound.
+    """
+    baseline = next(
+        r
+        for r in rows
+        if r["instance"] == ACCEL_INSTANCE and r["formulation"] == "snu"
+    )
+    problem, base = _instance_problem(ACCEL_INSTANCE)
+    handle = build_snu_model(
+        problem, base, options=RouteModelOptions(symmetry="lex")
+    )
+    warm = handle.warm_start_from(base)
+    start = time.perf_counter()
+    result = solve_model(
+        handle.model,
+        SolverSpec("lp_round", time_limit=LP_ROUND_TIME_LIMIT),
+        warm_start=warm,
+    )
+    accelerated_s = time.perf_counter() - start
+    assert result.status.has_solution(), "lp_round returned no incumbent"
+    assert not handle.model.check_feasible(result.x), (
+        "lp_round incumbent violates the symmetry-broken model"
+    )
+    assert result.bound is None or result.objective >= result.bound - 1e-6
+    return {
+        "instance": ACCEL_INSTANCE,
+        "formulation": "snu",
+        "baseline_arm": f"highs(node_limit={SOLVE_NODE_LIMIT})",
+        "accelerated_arm": "lp_round(symmetry=lex, greedy warm start)",
+        "baseline_seconds": baseline["solve_seconds_node_capped"],
+        "baseline_objective": baseline["solve_objective"],
+        "accelerated_seconds": accelerated_s,
+        "accelerated_objective": result.objective,
+        "accelerated_status": result.status.value,
+        "lp_bound": result.bound,
+        "solve_speedup": baseline["solve_seconds_node_capped"] / accelerated_s,
+    }
+
+
+def _bench_symmetry_equality(rows: list[dict]) -> list[dict]:
+    """Lex-broken vs default models: identical optimal objectives.
+
+    Symmetry breaking restricts the feasible set to canonical
+    representatives of each slot-permutation orbit, so on any solve both
+    sides *close* the optimal objective must agree bit for bit (the
+    optimizer itself may differ).  Only instance/formulation pairs whose
+    default node-capped solve came back OPTIMAL are compared — on capped
+    feasible solves the incumbents are incomparable by design.
+    """
+    backend = HighsBackend(HighsOptions(node_limit=SOLVE_NODE_LIMIT))
+    comparisons = []
+    for label, _, _ in INSTANCES:
+        problem, base = _instance_problem(label)
+        for formulation in ("area", "snu"):
+            row = next(
+                r
+                for r in rows
+                if r["instance"] == label and r["formulation"] == formulation
+            )
+            if row["solve_status"] != SolveStatus.OPTIMAL.value:
+                continue
+            if formulation == "area":
+                model = AreaModel(
+                    problem, FormulationOptions(symmetry="lex")
+                ).model
+            else:
+                model = build_snu_model(
+                    problem, base, options=RouteModelOptions(symmetry="lex")
+                ).model
+            start = time.perf_counter()
+            result = backend.solve(model)
+            lex_s = time.perf_counter() - start
+            comparisons.append(
+                {
+                    "instance": label,
+                    "formulation": formulation,
+                    "default_objective": row["solve_objective"],
+                    "lex_objective": result.objective,
+                    "lex_status": result.status.value,
+                    "lex_solve_seconds": lex_s,
+                    "objectives_identical": (
+                        result.status is SolveStatus.OPTIMAL
+                        and result.objective == row["solve_objective"]
+                    ),
+                }
+            )
+    return comparisons
+
+
 def test_benchmark_ilp_core(benchmark):
-    rows = once(
-        benchmark,
-        lambda: [
+    def _run():
+        rows = [
             row
             for label, name, scale in INSTANCES
             for row in _bench_instance(label, name, scale)
-        ],
-    )
+        ]
+        return {
+            "instances": rows,
+            "acceleration": _bench_acceleration(rows),
+            "symmetry_equality": _bench_symmetry_equality(rows),
+        }
+
+    data = once(benchmark, _run)
+    rows = data["instances"]
+    acceleration = data["acceleration"]
+    equality = data["symmetry_equality"]
 
     payload = {
-        "schema": "repro.bench_ilp/1",
+        "schema": "repro.bench_ilp/2",
         "source": "benchmarks/bench_ilp.py",
         "min_snu_build_lower_speedup": MIN_BUILD_SPEEDUP,
+        "min_solve_speedup": MIN_SOLVE_SPEEDUP,
         "instances": rows,
+        "acceleration": acceleration,
+        "symmetry_equality": equality,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -274,3 +418,21 @@ def test_benchmark_ilp_core(benchmark):
                 f"{row['build_lower_speedup']:.1f}x faster "
                 f"(< {MIN_BUILD_SPEEDUP}x floor)"
             )
+
+    assert acceleration["solve_speedup"] >= MIN_SOLVE_SPEEDUP, (
+        f"{ACCEL_INSTANCE} SNU: symmetry+lp_round arm only "
+        f"{acceleration['solve_speedup']:.1f}x faster than the baseline "
+        f"node-capped arm (< {MIN_SOLVE_SPEEDUP}x floor)"
+    )
+    assert (
+        acceleration["accelerated_objective"]
+        <= acceleration["baseline_objective"]
+    ), "accelerated arm returned a worse incumbent than the baseline arm"
+
+    closed = [r for r in equality if r["lex_status"] == SolveStatus.OPTIMAL.value]
+    assert closed, "no symmetry-equality pair closed to optimality"
+    for row in closed:
+        assert row["objectives_identical"], (
+            f"{row['instance']}/{row['formulation']}: lex objective "
+            f"{row['lex_objective']} != default {row['default_objective']}"
+        )

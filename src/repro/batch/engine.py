@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..mapping.axon_sharing import FormulationOptions
 from ..mapping.fingerprint import (
@@ -48,6 +48,7 @@ from ..mapping.solution import Mapping
 from ..mca.architecture import Architecture
 from ..snn.network import Network
 from ..ilp.result import SolveResult, SolveStatus
+from ..ilp.solve import SolverSpec
 from .. import trace
 from .cache import ResultCache
 from .portfolio import portfolio_solver_factory
@@ -73,6 +74,12 @@ class BatchJob:
 
     ``precision`` switches the area stage to the bit-slicing-aware
     :class:`~repro.mapping.precision.PrecisionAreaModel`.
+
+    ``solver_specs`` overrides the portfolio's arm composition for this
+    job (a tuple of :class:`~repro.ilp.solve.SolverSpec`); it only takes
+    effect when the engine runs with ``portfolio=True`` and is how the
+    DSE adaptive driver runs cheap fidelity rungs on loose-gap arms (see
+    :mod:`repro.dse.fidelity`).
     """
 
     name: str
@@ -85,6 +92,7 @@ class BatchJob:
     route_time_limit: float | None = 30.0
     initial_assignment: tuple[tuple[int, int], ...] | None = None
     precision: PrecisionSpec | None = None
+    solver_specs: tuple[SolverSpec, ...] | None = None
 
     def __post_init__(self) -> None:
         unknown = [s for s in self.stages if s not in STAGES]
@@ -151,6 +159,12 @@ class BatchJob:
             # A warm seed can steer which incumbent a budget-limited solve
             # lands on, so it is part of the result's identity.
             parts.append(digest([list(p) for p in self.initial_assignment]))
+        if self.solver_specs is not None:
+            # Arm composition changes which incumbent a race lands on, so
+            # differently-tuned rungs must not share cache entries.
+            parts.append(
+                digest([sorted(asdict(spec).items()) for spec in self.solver_specs])
+            )
         return combine(*parts)
 
 
@@ -496,6 +510,10 @@ def _execute_job(job: BatchJob, portfolio: bool) -> dict:
         problem = job.build_problem()
         if callable(portfolio):
             solver = portfolio
+        elif portfolio and job.solver_specs is not None:
+            # Per-job arm tuning (DSE fidelity rungs): race exactly the
+            # requested composition instead of the default portfolio.
+            solver = portfolio_solver_factory(job.solver_specs)
         else:
             solver = portfolio_solver_factory() if portfolio else None
         pipeline = MappingPipeline(

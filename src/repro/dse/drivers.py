@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from .explorer import ExplorationResult, Explorer, ScenarioResult
+from .fidelity import rung_solver_specs
 from .objectives import objective_matrix
 from .pareto import crowding_distance, pareto_rank
 from .scenario import DesignSpace, Scenario
@@ -149,10 +150,20 @@ def explore_adaptive(
         promote = _select_band(remaining, bounds, min(quota, budget))
         if not promote:
             break
+        # Portfolio runs scale solver fidelity with the rung: cheap rungs
+        # race loose-gap node-capped arms behind the lp_round heuristic,
+        # the top rung races full-fidelity exact arms (see dse.fidelity).
+        # Single-backend runs keep their historical configuration.
+        specs = (
+            rung_solver_specs(rung, max_rungs)
+            if explorer.portfolio and not callable(explorer.portfolio)
+            else None
+        )
         batch = explorer.evaluate_ilp(
             [remaining[fp][0] for fp in promote],
             time_limit=time_limit,
             meta={"rung": rung},
+            solver_specs=specs,
         )
         for fingerprint, result in zip(promote, batch):
             ilp_results[fingerprint] = result

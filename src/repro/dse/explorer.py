@@ -22,6 +22,7 @@ requested tier is rehydrated from the store instead of re-solved.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -257,6 +258,7 @@ class Explorer:
         time_limit: float | None = None,
         meta: dict | None = None,
         should_cancel=None,
+        solver_specs=None,
     ) -> list[ScenarioResult]:
         """Full pipeline evaluation, store-first, in warm-start waves.
 
@@ -268,6 +270,12 @@ class Explorer:
         ``should_cancel`` is polled at job boundaries inside the batch
         engine (see :meth:`BatchMapper.map_all`); cancelled scenarios are
         recorded as errors, never as answers.
+
+        ``solver_specs`` (a tuple of :class:`~repro.ilp.solve.SolverSpec`)
+        overrides the portfolio arm composition for every job of this
+        call — the adaptive driver's per-rung fidelity knob.  It only
+        takes effect when the mapper races portfolios, and it changes the
+        job fingerprints, so rungs tuned differently cache separately.
         """
         limit = self.time_limit if time_limit is None else time_limit
         fingerprints: list[str] = []
@@ -314,6 +322,10 @@ class Explorer:
                     job = self.registry.to_job(
                         scenario, time_limit=limit, initial_assignment=seed
                     )
+                    if solver_specs is not None:
+                        job = dataclasses.replace(
+                            job, solver_specs=tuple(solver_specs)
+                        )
                 except Exception as exc:
                     by_fingerprint[fingerprint] = self._construction_error(
                         scenario,

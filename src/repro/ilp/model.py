@@ -210,7 +210,16 @@ class Model:
         ub: float = float("inf"),
         vartype: VarType = VarType.CONTINUOUS,
     ) -> list[Variable]:
-        """Bulk :meth:`add_var`: register every name with shared bounds."""
+        """Bulk :meth:`add_var`: register every name with shared bounds.
+
+        Returns the new :class:`~repro.ilp.expr.Variable` objects in
+        ``names`` order; their column indices are consecutive, starting
+        at the model's current :attr:`num_vars`.  Formulation builders
+        rely on that contiguity to address whole variable families by
+        index arithmetic in :meth:`add_block` (e.g. the y/x/s layout of
+        the mapping formulations), so call it once per family, in layout
+        order, before emitting any constraint block over the family.
+        """
         if lb > ub:
             raise ValueError(f"variable block has lb {lb} > ub {ub}")
         lb, ub = float(lb), float(ub)
@@ -230,7 +239,7 @@ class Model:
         return self.add_var(name, 0.0, 1.0, VarType.BINARY)
 
     def add_binaries(self, names: Iterable[str]) -> list[Variable]:
-        """Bulk :meth:`add_binary`."""
+        """Bulk :meth:`add_binary`: consecutive 0/1 columns, ``names`` order."""
         return self.add_vars(names, 0.0, 1.0, VarType.BINARY)
 
     def add_integer(self, name: str, lb: float = 0.0, ub: float = float("inf")) -> Variable:

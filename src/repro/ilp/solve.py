@@ -22,20 +22,50 @@ import numpy as np
 
 from .bnb_backend import BnBBackend, BnBOptions
 from .highs_backend import HighsBackend, HighsOptions
+from .lp_round import LpRoundBackend, LpRoundOptions
 from .model import Model
 from .result import Incumbent, SolveResult, SolveStatus
 
 #: Names accepted by :attr:`SolverSpec.backend`.
-BACKEND_NAMES = ("highs", "bnb")
+BACKEND_NAMES = ("highs", "bnb", "lp_round")
+
+#: Values accepted by :attr:`SolverSpec.emphasis` (``None`` = balanced).
+EMPHASIS_MODES = ("speed", "quality")
+
+#: The loose relative gap ``emphasis="speed"`` implies when no explicit
+#: ``mip_rel_gap`` is given: stop as soon as the incumbent is within 5%.
+SPEED_EMPHASIS_GAP = 0.05
 
 
 @dataclass(frozen=True)
 class SolverSpec:
-    """A picklable (backend, limits) pair.
+    """A picklable (backend, limits) pair — one portfolio *arm*.
 
     ``build()`` instantiates the concrete backend; the spec itself is what
     travels between processes.  Fields that a backend does not understand
-    are simply ignored by it (e.g. ``det_limit`` for HiGHS).
+    are simply ignored by it (e.g. ``det_limit`` for HiGHS, ``node_limit``
+    for ``lp_round``).
+
+    Tuning knobs (all optional, all picklable):
+
+    - ``time_limit`` — wall-clock cap in seconds;
+    - ``mip_rel_gap`` — stop once the relative optimality gap closes to
+      this (``0.05`` = accept 5%-from-proven);
+    - ``node_limit`` — branch-and-bound node cap (anytime behavior: the
+      best incumbent at the cap is returned as ``FEASIBLE``);
+    - ``det_limit`` — deterministic-work cap (``bnb`` only; reproducible
+      across machines, unlike wall time);
+    - ``emphasis`` — coarse intent: ``"speed"`` loosens the gap to
+      :data:`SPEED_EMPHASIS_GAP` when no explicit gap is set (cheap DSE
+      fidelity rungs), ``"quality"`` forces the gap to 0 even if a looser
+      default would apply (top rungs / final answers), ``None`` keeps the
+      backend's balanced defaults.  Explicit ``mip_rel_gap`` always wins
+      over ``"speed"``.
+
+    Backends: ``"highs"`` (exact, SciPy HiGHS), ``"bnb"`` (exact,
+    pure-Python branch and bound), ``"lp_round"`` (heuristic LP-relaxation
+    rounding — returns a feasible incumbent and a true LP dual bound fast,
+    never a proof; see :mod:`repro.ilp.lp_round`).
     """
 
     backend: str = "highs"
@@ -43,15 +73,33 @@ class SolverSpec:
     mip_rel_gap: float | None = None  # relative-gap stop
     node_limit: int | None = None  # branch-and-bound node cap
     det_limit: float | None = None  # deterministic work cap (bnb only)
+    emphasis: str | None = None  # "speed" | "quality" | None (balanced)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {BACKEND_NAMES}"
             )
+        if self.emphasis is not None and self.emphasis not in EMPHASIS_MODES:
+            raise ValueError(
+                f"unknown emphasis {self.emphasis!r}; choose from {EMPHASIS_MODES}"
+            )
 
     def with_time_limit(self, time_limit: float | None) -> "SolverSpec":
         return replace(self, time_limit=time_limit)
+
+    def effective_gap(self, default: float | None = None) -> float | None:
+        """The relative gap after ``emphasis`` is applied.
+
+        Precedence: explicit ``mip_rel_gap`` > ``emphasis`` > ``default``.
+        """
+        if self.mip_rel_gap is not None:
+            return self.mip_rel_gap
+        if self.emphasis == "speed":
+            return SPEED_EMPHASIS_GAP
+        if self.emphasis == "quality":
+            return 0.0
+        return default
 
     def build(self):
         """Instantiate the backend this spec describes."""
@@ -59,15 +107,22 @@ class SolverSpec:
             return HighsBackend(
                 HighsOptions(
                     time_limit=self.time_limit,
-                    mip_rel_gap=self.mip_rel_gap,
+                    mip_rel_gap=self.effective_gap(),
                     node_limit=self.node_limit,
                 )
             )
+        if self.backend == "lp_round":
+            return LpRoundBackend(
+                LpRoundOptions(
+                    time_limit=self.time_limit if self.time_limit is not None else 5.0
+                )
+            )
+        gap = self.effective_gap(1e-6)
         options = BnBOptions(
             max_nodes=self.node_limit if self.node_limit is not None else 100_000,
             time_limit=self.time_limit,
             det_limit=self.det_limit,
-            gap_tol=self.mip_rel_gap if self.mip_rel_gap is not None else 1e-6,
+            gap_tol=gap if gap is not None else 1e-6,
         )
         return BnBBackend(options)
 

@@ -53,12 +53,44 @@ from .solution import Mapping
 
 @dataclass(frozen=True)
 class FormulationOptions:
-    """Tunable aspects of the area formulation (defaults = paper-faithful)."""
+    """Tunable aspects of the area formulation (defaults = paper-faithful).
+
+    ``symmetry`` selects the slot-permutation symmetry-breaking level (see
+    :mod:`repro.mapping.symmetry`): ``"order"`` (default) emits the
+    historical ``y[a] >= y[b]`` prefix rows on the area model only;
+    ``"lex"`` adds per-neuron column-precedence rows *and* extends
+    symmetry breaking to the route stages of a pipeline; ``"off"``
+    disables it everywhere.  The legacy booleans remain the master
+    switches for ablations — when either is ``False`` the effective level
+    degrades to ``"off"``.
+    """
 
     symmetry_breaking: bool = True
     disaggregate_sharing: bool = True  # per-edge constraint 6 (tighter LP)
     include_upper_link: bool = True  # constraint 5
     order_enabled_slots: bool = True  # y_j >= y_{j+1} within identical groups
+    symmetry: str = "order"  # "off" | "order" | "lex"
+
+    def __post_init__(self) -> None:
+        from .symmetry import check_level
+
+        check_level(self.symmetry)
+
+    def effective_symmetry(self) -> str:
+        """The symmetry level after the legacy ablation switches apply."""
+        if not (self.symmetry_breaking and self.order_enabled_slots):
+            return "off"
+        return self.symmetry
+
+    def route_symmetry(self) -> str:
+        """The level route stages inherit from these options.
+
+        ``"order"`` historically applied to the area model only, so route
+        stages stay symmetric under the default; only an explicit
+        ``"lex"`` (or ``"off"``) propagates.
+        """
+        level = self.effective_symmetry()
+        return level if level == "lex" else "off"
 
     def fingerprint(self) -> str:
         """Process-stable content fingerprint of these options."""
@@ -336,45 +368,46 @@ class AreaModel:
         layout.emit_inputs(model)
 
         # Symmetry breaking: identical slots are interchangeable; force
-        # enabled ones to be the lowest-indexed of each group.  Cheap rows
-        # that cut the search space by the product of group factorials.
-        if opts.symmetry_breaking and opts.order_enabled_slots:
-            pairs = [
-                (a, b)
-                for group in prob.architecture.identical_slot_groups()
-                for a, b in zip(group, group[1:])
-            ]
-            if pairs:
-                pair_arr = np.asarray(pairs, dtype=np.int64)
-                rows = np.arange(len(pairs), dtype=np.int64)
-                model.add_block(
-                    rows=np.concatenate([rows, rows]),
-                    cols=np.concatenate([pair_arr[:, 0], pair_arr[:, 1]]),
-                    coefs=np.concatenate(
-                        [np.ones(len(pairs)), -np.ones(len(pairs))]
-                    ),
-                    sense=Sense.GE,
-                    rhs=0.0,
-                    num_rows=len(pairs),
-                    name=[f"sym_{a}_{b}" for a, b in pairs],
-                )
+        # enabled ones to be the lowest-indexed of each group ("order"), or
+        # the full lexicographic canonical form ("lex").  Cheap rows that
+        # cut the search space by the product of group factorials.
+        from .symmetry import emit_symmetry, slot_orbits
+
+        level = opts.effective_symmetry()
+        if level != "off":
+            emit_symmetry(
+                model,
+                slot_orbits(prob.architecture, layout.slot_list),
+                layout.num_neurons,
+                layout.x_base,
+                m,
+                level,
+            )
 
         # (8) minimize enabled area (y variables occupy columns 0..m-1).
         model.minimize(LinExpr(dict(zip(range(m), layout.areas.tolist()))))
+
+        # Duck-typed hook for the LP-rounding backend: how to turn an LP
+        # point plus a seed into a feasible incumbent for *this* model.
+        from .rounding import MappingRoundingGuide
+
+        model.rounding_guide = MappingRoundingGuide(
+            handle=self, objective="area", symmetry=level
+        )
 
     # ------------------------------------------------------------------
     def warm_start_from(self, mapping: Mapping) -> np.ndarray:
         """Dense variable assignment (x, s, y consistent) for a valid mapping.
 
-        With symmetry breaking enabled the mapping is first canonicalized:
-        enabled slots are compacted to the lowest indices of their identical
-        groups, preserving validity and objective value.
+        With symmetry breaking enabled the mapping is first canonicalized
+        to the model's symmetry level: enabled slots are compacted to the
+        lowest indices of their identical groups (and, under ``"lex"``,
+        ordered by minimum member neuron), preserving validity and
+        objective value.
         """
-        canonical = (
-            canonicalize_mapping(mapping)
-            if self.options.symmetry_breaking
-            else mapping
-        )
+        from .symmetry import canonicalize
+
+        canonical = canonicalize(mapping, self.options.effective_symmetry())
         return self._layout.warm_vector(self.model, canonical)
 
     def extract_mapping(self, result: SolveResult) -> Mapping:
@@ -418,17 +451,13 @@ def canonicalize_mapping(mapping: Mapping) -> Mapping:
     """Relocate enabled slots to the lowest indices within identical groups.
 
     Produces an equivalent mapping (same area, routes and packets) that
-    satisfies the ``y_a >= y_b`` symmetry-breaking order.
+    satisfies the ``y_a >= y_b`` symmetry-breaking order.  This is the
+    ``"order"`` level of :func:`repro.mapping.symmetry.canonicalize`, kept
+    as a named entry point for callers that predate the leveled API.
     """
-    arch = mapping.problem.architecture
-    relocation: dict[int, int] = {}
-    enabled = set(mapping.enabled_slots())
-    for group in arch.identical_slot_groups():
-        used = [j for j in group if j in enabled]
-        for new_j, old_j in zip(group, used):
-            relocation[old_j] = new_j
-    assignment = {i: relocation[j] for i, j in mapping.assignment.items()}
-    return Mapping(mapping.problem, assignment)
+    from .symmetry import canonicalize
+
+    return canonicalize(mapping, "order")
 
 
 def build_area_model(

@@ -20,7 +20,7 @@ solve time does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping as MappingT
 
 from .problem import MappingProblem
@@ -72,12 +72,7 @@ def build_pgo_model(
     counts = profile.counts if isinstance(profile, SpikeProfile) else dict(profile)
     opts = options or RouteModelOptions(objective=RouteObjective.GLOBAL)
     if opts.area_budget is None:
-        opts = RouteModelOptions(
-            objective=opts.objective,
-            include_b_lower=opts.include_b_lower,
-            include_upper_link=opts.include_upper_link,
-            area_budget=base_mapping.area(),
-        )
+        opts = replace(opts, area_budget=base_mapping.area())
     return RouteModel(
         problem,
         base_mapping.enabled_slots(),

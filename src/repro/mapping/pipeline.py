@@ -34,7 +34,7 @@ from .metrics import MappingMetrics, evaluate_mapping
 from .pgo import SpikeProfile, build_pgo_model
 from .precision import PrecisionAreaModel, PrecisionSpec, validate_sliced
 from .problem import MappingProblem
-from .snu import RouteObjective, build_snu_model
+from .snu import RouteModelOptions, RouteObjective, build_snu_model
 from .solution import Mapping
 
 STAGES = ("area", "snu", "pgo")
@@ -188,9 +188,25 @@ class MappingPipeline:
         solve.phases = (("build", build_wall),) + tuple(solve.phases)
         return handle.extract_mapping(solve), solve
 
+    def _route_options(self, objective: RouteObjective) -> RouteModelOptions:
+        """Route-stage options inheriting the formulation's symmetry level.
+
+        Only an explicit ``"lex"`` propagates (``"order"`` historically
+        applied to the area model alone); warm starts stay valid because
+        the route builders canonicalize them to the model's level.
+        """
+        return RouteModelOptions(
+            objective=objective, symmetry=self.formulation.route_symmetry()
+        )
+
     def _run_snu(self, base: Mapping) -> tuple[Mapping, SolveResult]:
         build_entry = time.perf_counter()
-        handle = build_snu_model(self.problem, base, RouteObjective.GLOBAL)
+        handle = build_snu_model(
+            self.problem,
+            base,
+            RouteObjective.GLOBAL,
+            options=self._route_options(RouteObjective.GLOBAL),
+        )
         build_wall = time.perf_counter() - build_entry
         backend = self.solver(self.route_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))
@@ -204,7 +220,12 @@ class MappingPipeline:
         self, base: Mapping, profile: SpikeProfile | MappingT[int, int]
     ) -> tuple[Mapping, SolveResult]:
         build_entry = time.perf_counter()
-        handle = build_pgo_model(self.problem, base, profile)
+        handle = build_pgo_model(
+            self.problem,
+            base,
+            profile,
+            options=self._route_options(RouteObjective.GLOBAL),
+        )
         build_wall = time.perf_counter() - build_entry
         backend = self.solver(self.route_time_limit)
         solve = backend.solve(handle.model, warm_start=handle.warm_start_from(base))

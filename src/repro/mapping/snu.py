@@ -27,7 +27,7 @@ variables and the routing objectives.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping as MappingT, Sequence
 
 import numpy as np
@@ -49,12 +49,25 @@ class RouteObjective(enum.Enum):
 
 @dataclass(frozen=True)
 class RouteModelOptions:
-    """Options for the route/packet formulation."""
+    """Options for the route/packet formulation.
+
+    ``symmetry`` applies slot-permutation symmetry breaking over the
+    allowed-slot set (see :mod:`repro.mapping.symmetry`); it defaults to
+    ``"off"`` because route stages are warm-started and historically ran
+    unconstrained — :class:`~repro.mapping.pipeline.MappingPipeline`
+    threads the formulation-level ``"lex"`` opt-in through here.
+    """
 
     objective: RouteObjective = RouteObjective.GLOBAL
     include_b_lower: bool = True  # the b >= s + x - 1 row of constraint 10
     include_upper_link: bool = True  # constraint 5
     area_budget: float | None = None  # default: area of the allowed slots
+    symmetry: str = "off"  # "off" | "order" | "lex"
+
+    def __post_init__(self) -> None:
+        from .symmetry import check_level
+
+        check_level(self.symmetry)
 
 
 class RouteModel:
@@ -142,6 +155,29 @@ class RouteModel:
             name="area_budget",
         )
 
+        # Slot-permutation symmetry breaking over the allowed set: slots of
+        # one crossbar type are interchangeable in every row and objective
+        # of this model, so orbit-ordering rows only discard duplicates.
+        from .rounding import MappingRoundingGuide
+        from .symmetry import emit_symmetry, slot_orbits
+
+        if opts.symmetry != "off":
+            emit_symmetry(
+                model,
+                slot_orbits(prob.architecture, slots),
+                layout.num_neurons,
+                xb,
+                m,
+                opts.symmetry,
+            )
+
+        # Duck-typed hook for the LP-rounding backend (see
+        # repro.mapping.rounding): route models repair/improve incumbents
+        # under the global-routes score within the frozen area budget.
+        model.rounding_guide = MappingRoundingGuide(
+            handle=self, objective="routes", symmetry=opts.symmetry
+        )
+
         # Objective support: sources with nonzero weight ("hot").  Silent
         # sources (weight 0) vanish from the objective — and, below, need
         # no b variables at all (the PGO variable-elimination speedup).
@@ -214,13 +250,22 @@ class RouteModel:
 
     # ------------------------------------------------------------------
     def warm_start_from(self, mapping: Mapping) -> np.ndarray:
-        """Dense consistent assignment from a mapping on allowed slots."""
+        """Dense consistent assignment from a mapping on allowed slots.
+
+        Under a symmetry-broken model the mapping is first canonicalized
+        (within the allowed set) so the seed satisfies the ordering rows;
+        the relabeling preserves area, routes and packets.
+        """
         allowed = set(self.slots)
         outside = {j for j in mapping.assignment.values() if j not in allowed}
         if outside:
             raise ValueError(
                 f"mapping uses slots {sorted(outside)} outside the allowed set"
             )
+        if self.options.symmetry != "off":
+            from .symmetry import canonicalize
+
+            mapping = canonicalize(mapping, self.options.symmetry, self.slots)
         x0 = self._layout.warm_vector(self.model, mapping)
         # b[k, j] = x AND s: set where the hot source itself sits on the
         # slot its axon is routed to.
@@ -279,17 +324,7 @@ def build_snu_model(
     """SNU post-optimization over ``base_mapping``'s enabled crossbars."""
     opts = options or RouteModelOptions(objective=objective)
     if opts.objective is not objective:
-        opts = RouteModelOptions(
-            objective=objective,
-            include_b_lower=opts.include_b_lower,
-            include_upper_link=opts.include_upper_link,
-            area_budget=opts.area_budget,
-        )
+        opts = replace(opts, objective=objective)
     if opts.area_budget is None:
-        opts = RouteModelOptions(
-            objective=opts.objective,
-            include_b_lower=opts.include_b_lower,
-            include_upper_link=opts.include_upper_link,
-            area_budget=base_mapping.area(),
-        )
+        opts = replace(opts, area_budget=base_mapping.area())
     return RouteModel(problem, base_mapping.enabled_slots(), opts)

@@ -1,0 +1,179 @@
+"""Slot-permutation symmetry breaking for the mapping formulations.
+
+Crossbars of the same :class:`~repro.mca.architecture.CrossbarType` are
+interchangeable in every mapping formulation: the y/x/s/b variable blocks
+of :class:`~repro.mapping.axon_sharing._SlotFormulation` carry identical
+objective coefficients, capacities and areas for every slot of a type, so
+permuting two same-type slots maps any feasible solution onto another
+feasible solution with the same objective.  An ILP solver unaware of this
+re-proves the same subtree once per permutation — a factor of
+``prod(|orbit|!)`` of wasted search.
+
+This module enumerates those *orbits* straight from the model's slot list
+and emits symmetry-breaking constraint blocks via the columnar
+:meth:`~repro.ilp.model.Model.add_block` API at three strength levels:
+
+- ``"off"`` — no rows;
+- ``"order"`` — ``y[a] >= y[b]`` for adjacent orbit positions: enabled
+  slots must form a prefix of their orbit (the historical area-model
+  behavior);
+- ``"lex"`` — the ``order`` rows plus per-neuron *column precedence*
+  rows ``x[i, b] <= sum_{i' < i} x[i', a]``: slot ``b`` may host neuron
+  ``i`` only if the preceding orbit slot ``a`` hosts some smaller-indexed
+  neuron.  Equivalently, used slots must occupy the orbit prefix ordered
+  by their minimum member neuron — a full lexicographic canonical form.
+
+**Invariant: symmetry constraints preserve the optimal objective, not the
+optimal solution's identity.**  Every feasible mapping has an equivalent
+canonical representative (:func:`canonicalize`) with the same area,
+routes and packets that satisfies the rows, so the optimum over the
+constrained model equals the unconstrained optimum; which of the
+symmetric optima the solver returns does change.  Warm starts must be
+canonicalized to the model's level before seeding, or the backends will
+reject them as infeasible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ilp.model import Model, Sense
+from .solution import Mapping
+
+#: Accepted ``symmetry=`` levels, weakest first.
+SYMMETRY_LEVELS = ("off", "order", "lex")
+
+
+def check_level(level: str) -> str:
+    """Validate a symmetry level string (returns it for chaining)."""
+    if level not in SYMMETRY_LEVELS:
+        raise ValueError(
+            f"unknown symmetry level {level!r}; choose from {SYMMETRY_LEVELS}"
+        )
+    return level
+
+
+def slot_orbits(architecture, slots: Sequence[int]) -> list[list[int]]:
+    """Orbits of interchangeable slots as *positions* into ``slots``.
+
+    Slots sharing a :class:`~repro.mca.architecture.CrossbarType` are
+    interchangeable regardless of which subset of the architecture the
+    model ranges over (the area model uses every slot, the route models a
+    frozen allowed set).  Orbits of size one break nothing and are
+    dropped.  Positions within an orbit keep the model's slot order, so
+    the emitted rows always prefer lower-indexed slots.
+    """
+    groups: dict[object, list[int]] = {}
+    for pos, j in enumerate(slots):
+        groups.setdefault(architecture.slot(j).ctype, []).append(pos)
+    return [group for group in groups.values() if len(group) >= 2]
+
+
+def emit_symmetry(
+    model: Model,
+    orbits: list[list[int]],
+    num_neurons: int,
+    x_base: int,
+    num_model_slots: int,
+    level: str,
+) -> int:
+    """Emit the symmetry rows for ``level`` as columnar blocks.
+
+    ``x_base``/``num_model_slots`` locate the row-major x block (the y
+    block occupies columns ``0..m-1`` by layout convention).  Returns the
+    number of rows added so callers can log/assert the cut size.
+    """
+    check_level(level)
+    if level == "off" or not orbits:
+        return 0
+    pairs = [(a, b) for orbit in orbits for a, b in zip(orbit, orbit[1:])]
+    if not pairs:
+        return 0
+    pair_arr = np.asarray(pairs, dtype=np.int64)
+    npairs = pair_arr.shape[0]
+    rows = np.arange(npairs, dtype=np.int64)
+    # y[a] - y[b] >= 0: enabled slots form a prefix of each orbit.
+    model.add_block(
+        rows=np.concatenate([rows, rows]),
+        cols=np.concatenate([pair_arr[:, 0], pair_arr[:, 1]]),
+        coefs=np.concatenate([np.ones(npairs), -np.ones(npairs)]),
+        sense=Sense.GE,
+        rhs=0.0,
+        num_rows=npairs,
+        name=[f"sym_{a}_{b}" for a, b in pairs],
+    )
+    emitted = npairs
+    if level != "lex" or num_neurons == 0:
+        return emitted
+
+    # Column precedence per adjacent pair (a, b): for every neuron i,
+    #   x[i, b] - sum_{i' < i} x[i', a] <= 0.
+    # Neuron 0's row degenerates to x[0, b] <= 0 — the smallest-indexed
+    # neuron can never sit on a later orbit slot.  One block per pair keeps
+    # the triplet buffers columnar (rows of growing support concatenated).
+    n, m = num_neurons, num_model_slots
+    for a, b in pairs:
+        rows_l: list[np.ndarray] = []
+        cols_l: list[np.ndarray] = []
+        coefs_l: list[np.ndarray] = []
+        for i in range(n):
+            rows_l.append(np.full(1 + i, i, dtype=np.int64))
+            cols_l.append(
+                np.concatenate(
+                    [
+                        np.asarray([x_base + i * m + b], dtype=np.int64),
+                        x_base + np.arange(i, dtype=np.int64) * m + a,
+                    ]
+                )
+            )
+            coefs_l.append(np.concatenate([[1.0], -np.ones(i)]))
+        model.add_block(
+            rows=np.concatenate(rows_l),
+            cols=np.concatenate(cols_l),
+            coefs=np.concatenate(coefs_l),
+            sense=Sense.LE,
+            rhs=0.0,
+            num_rows=n,
+            name=f"lex_{a}_{b}",
+        )
+        emitted += n
+    return emitted
+
+
+def canonicalize(mapping: Mapping, level: str, slots: Sequence[int] | None = None) -> Mapping:
+    """The symmetric representative of ``mapping`` that satisfies ``level``.
+
+    - ``"off"`` returns the mapping unchanged.
+    - ``"order"`` compacts used slots to the lowest indices of their orbit
+      (the classic :func:`~repro.mapping.axon_sharing.canonicalize_mapping`).
+    - ``"lex"`` additionally orders the compacted slots by their minimum
+      member neuron, which is exactly the form the column-precedence rows
+      accept (min members strictly increase along each orbit prefix).
+
+    ``slots`` restricts orbit enumeration to a model's allowed-slot subset
+    (route models); ``None`` means the full architecture.  Relocation
+    stays within orbits, so capacities, area, routes and packets are all
+    preserved — the result is equivalent, merely relabeled.
+    """
+    check_level(level)
+    if level == "off":
+        return mapping
+    arch = mapping.problem.architecture
+    universe = list(slots) if slots is not None else list(range(mapping.problem.num_slots))
+    groups: dict[object, list[int]] = {}
+    for j in universe:
+        groups.setdefault(arch.slot(j).ctype, []).append(j)
+
+    enabled = set(mapping.enabled_slots())
+    relocation: dict[int, int] = {}
+    for group in groups.values():
+        used = [j for j in group if j in enabled]
+        if level == "lex":
+            min_member = {j: min(mapping.neurons_on(j)) for j in used}
+            used.sort(key=lambda j: min_member[j])
+        for new_j, old_j in zip(group, used):
+            relocation[old_j] = new_j
+    assignment = {i: relocation.get(j, j) for i, j in mapping.assignment.items()}
+    return Mapping(mapping.problem, assignment)

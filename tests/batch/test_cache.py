@@ -124,6 +124,28 @@ class TestCacheHits:
         record = BatchMapper(jobs=1, portfolio=True, cache=cache).map_all([job])
         assert not record.records[0].from_cache
 
+    def test_solver_specs_key_separately(self, batch_jobs):
+        """Per-rung arm tuning must not collide with untuned (or other
+        rungs') cache entries — the specs are part of the job key."""
+        from repro.ilp.solve import SolverSpec
+
+        job = batch_jobs[0]
+        tuned = BatchJob(
+            job.name, job.network, job.architecture, stages=job.stages,
+            solver_specs=(SolverSpec("lp_round", time_limit=5.0),),
+        )
+        other = BatchJob(
+            job.name, job.network, job.architecture, stages=job.stages,
+            solver_specs=(SolverSpec("highs", emphasis="speed"),),
+        )
+        assert tuned.fingerprint() != job.fingerprint()
+        assert tuned.fingerprint() != other.fingerprint()
+        # Absent specs reproduce the historical key exactly.
+        plain = BatchJob(
+            job.name, job.network, job.architecture, stages=job.stages
+        )
+        assert plain.fingerprint() == job.fingerprint()
+
     def test_budgets_do_not_change_the_key(self, batch_jobs):
         job = batch_jobs[0]
         cheap = BatchJob(

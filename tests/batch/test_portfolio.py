@@ -7,6 +7,7 @@ import pickle
 import pytest
 
 from repro.batch.portfolio import (
+    ACCELERATED_SPECS,
     PortfolioOptions,
     PortfolioSolver,
     portfolio_solver_factory,
@@ -177,6 +178,78 @@ class TestOnRaceHook:
 
     def test_hook_defaults_to_none(self):
         assert PortfolioSolver().on_race is None
+
+
+class TestIncumbentSharing:
+    def _race(self, share: bool):
+        handle, warm = _area_instance()
+        solver = PortfolioSolver(
+            PortfolioOptions(
+                specs=(
+                    SolverSpec("highs", time_limit=5.0),
+                    # Crippled arm: 0 nodes = it can only echo its seed.
+                    SolverSpec("bnb", node_limit=0),
+                ),
+                stop_on_optimal=False,
+                share_incumbents=share,
+            )
+        )
+        races: list = []
+        solver.on_race = lambda winner, results: races.append(results)
+        solver.solve(handle.model, warm_start=warm)
+        seed_objective = handle.model.objective_of(
+            handle.model.dense_values(warm)
+        )
+        return races[0], seed_objective
+
+    def test_earlier_arms_donate_their_incumbent(self):
+        results, _ = self._race(share=True)
+        # The crippled arm received the first arm's solution as its warm
+        # start and echoes it back — donation reached the next member.
+        assert results[1].objective == pytest.approx(results[0].objective)
+
+    def test_sharing_disabled_keeps_the_original_seed(self):
+        results, seed_objective = self._race(share=False)
+        assert results[1].objective == pytest.approx(seed_objective)
+
+    def test_accelerated_specs_lead_with_the_heuristic_arm(self):
+        assert ACCELERATED_SPECS[0].backend == "lp_round"
+        assert ACCELERATED_SPECS[-1].backend == "highs"
+        handle, warm = _area_instance()
+        result = PortfolioSolver(
+            PortfolioOptions(specs=ACCELERATED_SPECS)
+        ).solve(handle.model, warm_start=warm)
+        assert result.status.has_solution()
+        assert result.backend.startswith("portfolio[")
+        seed_objective = handle.model.objective_of(
+            handle.model.dense_values(warm)
+        )
+        assert result.objective <= seed_objective + 1e-9
+
+
+class TestSolverSpecKnobs:
+    def test_emphasis_maps_to_a_gap(self):
+        assert SolverSpec("highs", emphasis="speed").effective_gap() == (
+            pytest.approx(0.05)
+        )
+        assert SolverSpec("highs", emphasis="quality").effective_gap() == 0.0
+        assert SolverSpec("highs").effective_gap() is None
+        assert SolverSpec("highs").effective_gap(0.01) == pytest.approx(0.01)
+
+    def test_explicit_gap_beats_emphasis(self):
+        spec = SolverSpec("highs", mip_rel_gap=0.2, emphasis="speed")
+        assert spec.effective_gap() == pytest.approx(0.2)
+
+    def test_unknown_emphasis_rejected(self):
+        with pytest.raises(ValueError, match="emphasis"):
+            SolverSpec("highs", emphasis="ludicrous")
+
+    def test_lp_round_spec_builds_its_backend(self):
+        from repro.ilp.lp_round import LpRoundBackend
+
+        backend = SolverSpec("lp_round", time_limit=2.0).build()
+        assert isinstance(backend, LpRoundBackend)
+        assert backend.options.time_limit == pytest.approx(2.0)
 
 
 class TestOptionsValidation:

@@ -1,0 +1,46 @@
+"""Rung-indexed solver fidelity ladders for the adaptive driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.fidelity import rung_solver_specs
+
+
+def test_every_rung_leads_with_the_lp_round_racer():
+    for rung in range(1, 5):
+        specs = rung_solver_specs(rung, 4)
+        assert specs[0].backend == "lp_round"
+        assert specs[-1].backend == "highs"
+
+
+def test_top_rung_is_full_fidelity():
+    _, exact = rung_solver_specs(3, 3)
+    assert exact.emphasis == "quality"
+    assert exact.node_limit is None
+    assert exact.effective_gap() == 0.0
+
+
+def test_cheap_rungs_tighten_monotonically():
+    gaps, caps = [], []
+    for rung in range(1, 4):
+        _, exact = rung_solver_specs(rung, 4)
+        assert exact.emphasis == "speed"
+        assert exact.node_limit is not None
+        gaps.append(exact.effective_gap())
+        caps.append(exact.node_limit)
+    # Later rungs never run looser arms than earlier ones.
+    assert gaps == sorted(gaps, reverse=True)
+    assert caps == sorted(caps)
+    assert len(set(caps)) == len(caps)
+
+
+def test_single_rung_ladder_goes_straight_to_full_fidelity():
+    _, exact = rung_solver_specs(1, 1)
+    assert exact.emphasis == "quality"
+    assert exact.node_limit is None
+
+
+def test_rungs_are_one_based():
+    with pytest.raises(ValueError, match="1-based"):
+        rung_solver_specs(0, 3)

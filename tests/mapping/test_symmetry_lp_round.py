@@ -1,0 +1,159 @@
+"""Symmetry breaking and lp_round racer invariants.
+
+The load-bearing guarantees of the structure-exploiting solve path:
+
+- symmetry-broken and unbroken models share the same *optimal objective*
+  (symmetry constraints cut permuted copies of each solution, never the
+  whole orbit — they preserve the optimum, not the optimizer identity),
+  property-tested on small random instances solved to optimality;
+- canonicalized warm starts satisfy the lex constraint blocks, so warm
+  starting a symmetry-broken model never rejects a feasible mapping;
+- the ``lp_round`` backend returns a *feasible* incumbent sandwiched
+  between the LP dual bound and the warm start it was seeded with.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp.highs_backend import HighsBackend, HighsOptions
+from repro.ilp.result import SolveStatus
+from repro.ilp.solve import SolverSpec, solve_model
+from repro.mapping.axon_sharing import AreaModel, FormulationOptions
+from repro.mapping.greedy import greedy_first_fit
+from repro.mapping.problem import MappingProblem
+from repro.mapping.snu import RouteModelOptions, build_snu_model
+from repro.mapping.symmetry import SYMMETRY_LEVELS, canonicalize, slot_orbits
+from repro.mca.architecture import custom_architecture
+from repro.mca.crossbar import CrossbarType
+from repro.snn.generators import random_network
+
+
+@st.composite
+def small_problem(draw):
+    """Instances small enough to solve to optimality in well under a second."""
+    n = draw(st.integers(5, 9))
+    m = draw(st.integers(n, 2 * n))
+    seed = draw(st.integers(0, 10_000))
+    net = random_network(n, m, seed=seed, max_fan_in=3)
+    pool = draw(
+        st.sampled_from(
+            [
+                [(CrossbarType(4, 4), n)],
+                [(CrossbarType(4, 4), n // 2 + 1), (CrossbarType(8, 8), 2)],
+            ]
+        )
+    )
+    return MappingProblem(net, custom_architecture(pool))
+
+
+def _optimal_area_objective(problem, symmetry: str) -> float:
+    handle = AreaModel(problem, FormulationOptions(symmetry=symmetry))
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    result = HighsBackend(HighsOptions(time_limit=10)).solve(
+        handle.model, warm_start=warm
+    )
+    assert result.status is SolveStatus.OPTIMAL, (
+        f"small instance failed to close under symmetry={symmetry!r}"
+    )
+    return result.objective
+
+
+@settings(max_examples=10, deadline=None)
+@given(problem=small_problem())
+def test_symmetry_levels_share_the_optimal_objective(problem):
+    """The defining invariant: every level closes to the same optimum."""
+    objectives = {
+        level: _optimal_area_objective(problem, level)
+        for level in SYMMETRY_LEVELS
+    }
+    assert objectives["order"] == pytest.approx(objectives["off"])
+    assert objectives["lex"] == pytest.approx(objectives["off"])
+
+
+@settings(max_examples=20, deadline=None)
+@given(problem=small_problem())
+def test_lex_warm_start_satisfies_the_broken_model(problem):
+    """warm_start_from canonicalizes, so the vector passes every lex row."""
+    handle = AreaModel(problem, FormulationOptions(symmetry="lex"))
+    warm = handle.warm_start_from(greedy_first_fit(problem))
+    assert handle.model.check_feasible(warm) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(problem=small_problem())
+def test_lex_canonicalization_idempotent_and_metric_invariant(problem):
+    mapping = greedy_first_fit(problem)
+    canon = canonicalize(mapping, "lex")
+    assert canon.validate() == []
+    assert canonicalize(canon, "lex").assignment == canon.assignment
+    # Permuting interchangeable slots moves nothing that is measured.
+    assert canon.area() == pytest.approx(mapping.area())
+    assert canon.global_routes() == mapping.global_routes()
+
+
+def test_orbits_group_interchangeable_slots_only():
+    arch = custom_architecture(
+        [(CrossbarType(4, 4), 3), (CrossbarType(8, 8), 1)]
+    )
+    orbits = slot_orbits(arch, list(range(4)))
+    # The lone 8x8 slot has no permutation partner: no orbit for it.
+    assert orbits == [[0, 1, 2]]
+
+
+def _fixed_problem() -> MappingProblem:
+    net = random_network(12, 24, seed=7, max_fan_in=4)
+    arch = custom_architecture(
+        [(CrossbarType(4, 4), 6), (CrossbarType(8, 8), 3)]
+    )
+    return MappingProblem(net, arch)
+
+
+class TestLpRound:
+    def test_incumbent_feasible_and_sandwiched(self):
+        problem = _fixed_problem()
+        handle = AreaModel(problem)
+        warm = handle.warm_start_from(greedy_first_fit(problem))
+        result = solve_model(
+            handle.model,
+            SolverSpec("lp_round", time_limit=3.0),
+            warm_start=warm,
+        )
+        assert result.status.has_solution()
+        assert handle.model.check_feasible(result.x) == []
+        # The LP optimum is a true dual bound for the minimization...
+        assert result.bound is not None
+        assert result.objective >= result.bound - 1e-6
+        # ...and the repair loop never returns worse than its seed.
+        assert result.objective <= handle.model.objective_of(warm) + 1e-9
+
+    def test_lex_snu_incumbent_extracts_to_valid_mapping(self):
+        problem = _fixed_problem()
+        base = greedy_first_fit(problem)
+        handle = build_snu_model(
+            problem, base, options=RouteModelOptions(symmetry="lex")
+        )
+        warm = handle.warm_start_from(base)
+        result = solve_model(
+            handle.model,
+            SolverSpec("lp_round", time_limit=3.0),
+            warm_start=warm,
+        )
+        assert result.status.has_solution()
+        assert handle.model.check_feasible(result.x) == []
+        assert result.objective <= handle.model.objective_of(warm) + 1e-9
+        mapping = handle.extract_mapping(result)
+        assert mapping.validate() == []
+
+    def test_infeasible_model_short_circuits(self):
+        from repro.ilp.expr import lin_sum
+        from repro.ilp.model import Model
+
+        model = Model("infeasible")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(lin_sum([x, y]) >= 3, name="impossible")
+        model.minimize(lin_sum([x, y]))
+        result = solve_model(model, SolverSpec("lp_round", time_limit=1.0))
+        assert result.status is SolveStatus.INFEASIBLE

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in README.md and docs/ (stdlib only).
+
+Scans every Markdown file for inline links and images
+(``[text](target)`` / ``![alt](target)``) and reference definitions
+(``[label]: target``).  External targets (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#section``) are skipped; everything else is
+resolved relative to the containing file and must exist inside the
+repository.  Fragments are stripped before the existence check
+(``solver.md#presolve`` checks ``solver.md``).
+
+Run:  python tools/check_docs_links.py
+Exit: 0 when every link resolves, 1 otherwise (each break on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline links/images.  [text](target "title") — target ends at the
+#: first whitespace or closing paren; nested parens are not used in
+#: this repo's docs.
+INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference-style definitions: [label]: target
+REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+#: Fenced code blocks — links inside them are examples, not links.
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def targets_in(text: str) -> list[str]:
+    text = FENCE.sub("", text)
+    found = INLINE.findall(text)
+    found.extend(REFERENCE.findall(text))
+    return found
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for target in targets_in(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        try:
+            resolved.relative_to(REPO)
+        except ValueError:
+            errors.append(f"{path.relative_to(REPO)}: link escapes the "
+                          f"repository: {target}")
+            continue
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(REPO)}: broken link: {target} "
+                f"(resolved to {resolved.relative_to(REPO)})"
+            )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
